@@ -1,0 +1,60 @@
+"""Benchmark: ablations of the flow's design choices (DESIGN.md §4)."""
+
+from repro.experiments import (
+    run_baseline_ablation,
+    run_refine_ablation,
+    run_repair_ablation,
+    run_scheduler_ablation,
+    run_sweep_ablation,
+)
+
+
+def test_repair_policy_ablation(once):
+    table = once(run_repair_ablation)
+    print("\n" + table.as_text())
+    for row in table.rows:
+        paper_rule, generalized = row[3], row[4]
+        if paper_rule is not None and generalized is not None:
+            assert generalized >= paper_rule - 1e-12
+
+
+def test_refine_ablation(once):
+    table = once(run_refine_ablation)
+    print("\n" + table.as_text())
+    improvements = 0
+    for row in table.rows:
+        no_refine, refine = row[3], row[4]
+        if no_refine is not None and refine is not None:
+            assert refine >= no_refine - 1e-12
+            if refine > no_refine + 1e-9:
+                improvements += 1
+    assert improvements > 0  # the hill climb earns its keep somewhere
+
+
+def test_sweep_ablation(once):
+    table = once(run_sweep_ablation)
+    print("\n" + table.as_text())
+    for row in table.rows:
+        single, sweep = row[3], row[4]
+        if sweep is not None and single is not None:
+            assert sweep >= single - 1e-12
+
+
+def test_scheduler_ablation(once):
+    table = once(run_scheduler_ablation)
+    print("\n" + table.as_text())
+    for row in table.rows:
+        density, list_area, auto = row[2], row[3], row[4]
+        assert auto is not None
+        # auto takes the better of the two engines
+        candidates = [a for a in (density, list_area) if a is not None]
+        assert auto == min(candidates)
+
+
+def test_baseline_version_ablation(once):
+    table = once(run_baseline_ablation)
+    print("\n" + table.as_text())
+    for row in table.rows:
+        fastest, adaptive = row[3], row[4]
+        if fastest is not None and adaptive is not None:
+            assert adaptive >= fastest - 1e-12

@@ -1,0 +1,67 @@
+"""Benchmark: extension experiments (pipelining, self-recovery, voters,
+extra benchmarks) — the paper's motivated-but-unevaluated directions."""
+
+from repro.experiments import (
+    run_extra_benchmarks,
+    run_pipeline_tradeoff,
+    run_self_recovery_comparison,
+    run_voter_sensitivity,
+)
+
+
+def test_pipeline_tradeoff(once):
+    table = once(run_pipeline_tradeoff)
+    print("\n" + table.as_text())
+    areas = table.column("area")
+    iis = table.column("II")
+    # throughput costs area: area is non-increasing as II grows
+    paired = sorted(zip(iis, areas))
+    sorted_areas = [a for _, a in paired]
+    assert sorted_areas == sorted(sorted_areas, reverse=True)
+    # at a loose II the design degenerates to the sequential area (8)
+    assert sorted_areas[-1] == 8
+
+
+def test_self_recovery_comparison(once):
+    table = once(run_self_recovery_comparison)
+    print("\n" + table.as_text())
+    tighter_than_2x = 0
+    for row in table.rows:
+        ours, nmr, combined, recovery, overhead = row[2:]
+        assert ours is not None
+        if recovery is not None:
+            # duplication detects/recovers: high reliability...
+            assert recovery > ours
+            # ...at no more than double the single-copy area
+            assert overhead is not None and 1.0 < overhead <= 2.0
+            if overhead < 2.0:
+                tighter_than_2x += 1
+        if combined is not None and nmr is not None:
+            assert combined >= nmr - 1e-12
+    # under tight bounds, interleaving the copies saves real area
+    assert tighter_than_2x >= 1
+
+
+def test_voter_sensitivity(once):
+    table = once(run_voter_sensitivity)
+    print("\n" + table.as_text())
+    gains = table.column("gain over bare module")
+    voters = table.column("voter R")
+    # gain degrades monotonically with voter reliability
+    paired = sorted(zip(voters, gains))
+    ordered = [g for _, g in paired]
+    assert ordered == sorted(ordered)
+    # perfect voter helps, a 0.9 voter hurts
+    assert gains[0] > 0
+    assert min(gains) < 0
+
+
+def test_extra_benchmarks(once):
+    table = once(run_extra_benchmarks)
+    print("\n" + table.as_text())
+    for row in table.rows:
+        ref3, ours = row[3], row[4]
+        if ref3 is not None and ours is not None:
+            # version selection beats the single-version baseline on
+            # the wider benchmark set too
+            assert ours >= ref3 - 1e-12

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 8 (reliability vs latency / area)."""
+
+import pytest
+
+from repro.experiments import run_fig8a, run_fig8b
+
+
+def test_fig8a_latency_tradeoff(once):
+    table = once(run_fig8a)
+    print("\n" + table.as_text())
+    values = [row[1] for row in table.rows if row[1] is not None]
+    assert len(values) == len(table.rows)
+    # paper: reliability grows monotonically with the latency bound
+    assert values == sorted(values)
+    # endpoints: ~0.48-0.6 at Ld=10 rising strongly by Ld=18
+    assert values[0] < 0.7
+    assert values[-1] > 0.9
+    # at Ld=18 everything fits on type-1 resources: 0.999^23
+    assert values[-1] == pytest.approx(0.999 ** 23, abs=1e-3)
+
+
+def test_fig8b_area_tradeoff(once):
+    table = once(run_fig8b)
+    print("\n" + table.as_text())
+    values = [row[1] for row in table.rows if row[1] is not None]
+    assert len(values) == len(table.rows)
+    # paper: reliability grows monotonically with the area bound
+    assert values == sorted(values)
+    assert values[-1] > values[0]

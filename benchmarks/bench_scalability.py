@@ -1,0 +1,56 @@
+"""Performance benchmarks of the synthesis primitives.
+
+These are true pytest-benchmark measurements (multiple rounds) of the
+substrate's hot paths, so regressions in the schedulers or the full
+flow show up as timing changes.
+"""
+
+from repro.bench import ewf, fir16
+from repro.dfg import random_dag, unit_delays
+from repro.hls import density_schedule, left_edge_bind, list_schedule
+from repro.library import paper_library
+from repro.core import find_design
+
+
+def test_density_scheduler_speed(benchmark):
+    graph = random_dag(60, seed=11)
+    delays = unit_delays(graph)
+    schedule = benchmark(density_schedule, graph, delays, 30)
+    schedule.validate()
+
+
+def test_list_scheduler_speed(benchmark):
+    graph = random_dag(60, seed=11)
+    library = paper_library()
+    allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                  for op in graph}
+    schedule = benchmark(list_schedule, graph, allocation,
+                         {"adder2": 3, "mult2": 2})
+    schedule.validate()
+
+
+def test_binding_speed(benchmark):
+    graph = fir16()
+    library = paper_library()
+    allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                  for op in graph}
+    delays = {o: v.delay for o, v in allocation.items()}
+    schedule = density_schedule(graph, delays, 11)
+    binding = benchmark(left_edge_bind, schedule, allocation)
+    binding.validate()
+
+
+def test_find_design_speed_fir(benchmark):
+    library = paper_library()
+    result = benchmark.pedantic(
+        find_design, args=(fir16(), library, 11, 9),
+        rounds=3, iterations=1)
+    assert result.meets_bounds()
+
+
+def test_find_design_speed_ewf(benchmark):
+    library = paper_library()
+    result = benchmark.pedantic(
+        find_design, args=(ewf(), library, 14, 9),
+        rounds=3, iterations=1)
+    assert result.meets_bounds()

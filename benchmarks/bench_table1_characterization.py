@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table 1 (component characterization).
+
+Paper: Table 1 lists (area, delay, reliability) for three adders and
+two multipliers; Section 4 gives the adders' Qcritical values and the
+anchoring rule (ripple-carry = 0.999).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_table1_calibrated,
+    run_table1_characterized,
+)
+
+
+def test_table1_calibrated(once):
+    table = once(run_table1_calibrated)
+    print("\n" + table.as_text())
+    rows = {row[0]: row for row in table.rows}
+    # exact reproduction of the reliability column from the Qcritical
+    # anchors (Figure 2 chain)
+    assert rows["adder1"][2] == pytest.approx(0.999, abs=1e-9)
+    assert rows["adder2"][2] == pytest.approx(0.969, abs=1e-6)
+    assert rows["adder3"][2] == pytest.approx(0.987, abs=5e-4)
+
+
+def test_table1_characterized(once):
+    table = once(run_table1_characterized)
+    print("\n" + table.as_text())
+    rows = {row[0]: row for row in table.rows}
+
+    def reliability(name):
+        return rows[name][6]
+
+    def delay(name):
+        return rows[name][5]
+
+    def area(name):
+        return rows[name][4]
+
+    # anchor pinned
+    assert reliability("adder1") == pytest.approx(0.999, abs=1e-9)
+    # paper shape: the ripple-carry adder is the slowest adder but the
+    # most reliable; the prefix adders are faster and larger
+    assert delay("adder3") < delay("adder1")
+    assert area("adder3") > area("adder1")
+    assert reliability("adder1") > reliability("adder3")
+    # multipliers: leap-frog is the faster, larger, less reliable one
+    assert delay("mult2") <= delay("mult1")
+    assert area("mult2") >= area("mult1")
+    assert reliability("mult2") <= reliability("mult1")

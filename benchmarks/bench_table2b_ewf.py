@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 2(b) — elliptic wave filter."""
+
+import pytest
+
+from repro.experiments import run_table2
+
+
+def test_table2b_ew(once):
+    table = once(run_table2, "ew")
+    print("\n" + table.as_text())
+    cells = {(row[0], row[1]): row for row in table.rows}
+
+    # the no-redundancy baseline product: 0.969^25 (paper 0.45509)
+    assert cells[(13, 9)][2] == pytest.approx(0.45509, abs=1e-4)
+
+    for (latency_bound, area_bound), row in cells.items():
+        ref3, ours, combined = row[2], row[3], row[5]
+        if ours is not None and ref3 is not None:
+            # ours dominates the bare baseline at tight bounds
+            if area_bound <= 9:
+                assert ours > ref3
+        if combined is not None and ours is not None:
+            assert combined >= ours - 1e-12
+
+
+def test_table2b_versions_accounting(once):
+    table = once(run_table2, "ew", area_model="versions")
+    print("\n" + table.as_text())
+    cells = {(row[0], row[1]): row for row in table.rows}
+    # the paper's (15, 5) cell is infeasible under instance accounting
+    # but feasible under its own; our value there matches the paper's
+    # 0.69739 exactly (14 type-1 operations)
+    assert cells[(15, 5)][3] == pytest.approx(0.69739, abs=5e-5)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the FIR filter (paper Section 7).
+
+Sweeps the latency and area bounds over the paper's Figure 8 / Table 2
+ranges, prints the trade-off curves and the three-way comparison, and
+reports the Pareto frontier over (latency, area, reliability).
+
+Run:  python examples/fir_design_space.py
+"""
+
+from repro.bench import fir16
+from repro.library import paper_library
+from repro.core import pareto_frontier, sweep_bounds
+from repro.experiments import run_fig8a, run_fig8b, run_table2
+
+
+def main():
+    print(run_fig8a().as_text())
+    print()
+    print(run_fig8b().as_text())
+    print()
+    print(run_table2("fir").as_text())
+    print()
+
+    points = sweep_bounds(fir16(), paper_library(),
+                          latency_bounds=range(9, 14),
+                          area_bounds=range(6, 15, 2))
+    frontier = pareto_frontier(points)
+    print("Pareto-optimal FIR designs (latency, area, reliability):")
+    for point in sorted(frontier, key=lambda p: p.result.latency):
+        result = point.result
+        print(f"  latency {result.latency:>2}  area {result.area:>2}  "
+              f"reliability {result.reliability:.5f}  "
+              f"versions {result.version_histogram()}")
+
+
+if __name__ == "__main__":
+    main()

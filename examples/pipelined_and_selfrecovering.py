@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Extensions in action: pipelined data paths and self-recovery.
+
+1. Pipeline the FIR filter at decreasing initiation intervals and
+   watch the area/throughput trade-off (the paper claims pipelined
+   support in Section 6 but never shows it).
+2. Compare four fault-tolerance strategies on DiffEq under the same
+   bounds: version selection (the paper), instance-level NMR (its
+   baseline [3]), full-graph self-recovery duplication (its related
+   work [5]), and the combined approach.
+3. Check how reliable a voter must be before TMR stops paying off.
+
+Run:  python examples/pipelined_and_selfrecovering.py
+"""
+
+from repro.bench import diffeq, fir16
+from repro.hls import allocate_registers, pipelined_realization
+from repro.library import paper_library
+from repro.core import (
+    baseline_design,
+    combined_design,
+    find_design,
+    self_recovery_design,
+)
+from repro.reliability.nmr import nmr_with_voter
+
+
+def pipeline_sweep():
+    graph = fir16()
+    library = paper_library()
+    allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                  for op in graph}
+    print("pipelined FIR: initiation interval vs area")
+    print(f"{'II':>4} {'area':>5} {'latency':>8} {'registers':>10}")
+    for ii in (2, 4, 6, 8, 12):
+        schedule, binding = pipelined_realization(graph, allocation, ii)
+        registers = allocate_registers(schedule)
+        print(f"{ii:>4} {binding.area:>5} {schedule.latency:>8} "
+              f"{registers.count:>10}")
+    print()
+
+
+def strategy_comparison():
+    graph = diffeq()
+    library = paper_library()
+    latency_bound, area_bound = 12, 22
+    print(f"DiffEq fault-tolerance strategies at Ld={latency_bound}, "
+          f"Ad={area_bound}")
+    strategies = (
+        ("version selection (paper)", find_design),
+        ("instance NMR (ref [3])", baseline_design),
+        ("combined", combined_design),
+        ("self-recovery (ref [5])", self_recovery_design),
+    )
+    for name, method in strategies:
+        result = method(graph, library, latency_bound, area_bound)
+        print(f"  {name:<28} R={result.reliability:.6f} "
+              f"area={result.area:>2} latency={result.latency}")
+    print()
+
+
+def voter_threshold():
+    module = 0.969
+    print("TMR with an imperfect voter (module R = 0.969):")
+    for voter in (1.0, 0.9999, 0.999, 0.99, 0.969):
+        group = nmr_with_voter(module, 3, voter)
+        verdict = "helps" if group > module else "HURTS"
+        print(f"  voter R={voter:<7} group R={group:.6f}  ({verdict})")
+
+
+def main():
+    pipeline_sweep()
+    strategy_comparison()
+    voter_threshold()
+
+
+if __name__ == "__main__":
+    main()

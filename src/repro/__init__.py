@@ -1,0 +1,79 @@
+"""repro — Reliability-Centric High-Level Synthesis.
+
+A from-scratch reproduction of Tosun et al., "Reliability-Centric
+High-Level Synthesis" (DATE 2005): an HLS flow that maximizes the
+soft-error reliability of a data path under latency and area bounds by
+choosing among multiple characterized implementations ("versions") of
+each resource type.
+
+Quickstart::
+
+    from repro import paper_library, find_design
+    from repro.bench import fir16
+
+    design = find_design(fir16(), paper_library(),
+                         latency_bound=11, area_bound=8)
+    print(design.reliability, design.area, design.latency)
+
+Subpackages
+-----------
+``repro.dfg``
+    Data-flow graphs, builders, analysis, IO.
+``repro.library``
+    Characterized resource libraries (the paper's Table 1).
+``repro.reliability``
+    Reliability calculus: serial composition, NMR, the SER chain.
+``repro.charlib``
+    Gate-level netlists, logic simulation, SEU fault injection and the
+    component characterization pipeline.
+``repro.hls``
+    Scheduling (ASAP/ALAP/density/list) and binding substrate.
+``repro.core``
+    The paper's Figure 6 algorithm, the redundancy baseline, the
+    combined approach, and design-space exploration.
+``repro.bench``
+    The paper's benchmarks: FIR16, EW, DiffEq.
+``repro.experiments``
+    Drivers regenerating every table and figure of the paper.
+"""
+
+from repro.dfg import DataFlowGraph, DFGBuilder, Operation
+from repro.errors import (
+    BindingError,
+    CharacterizationError,
+    DFGError,
+    LibraryError,
+    NoSolutionError,
+    ReproError,
+    SchedulingError,
+)
+from repro.library import ResourceLibrary, ResourceVersion, paper_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataFlowGraph",
+    "DFGBuilder",
+    "Operation",
+    "ResourceLibrary",
+    "ResourceVersion",
+    "paper_library",
+    "ReproError",
+    "DFGError",
+    "LibraryError",
+    "SchedulingError",
+    "BindingError",
+    "NoSolutionError",
+    "CharacterizationError",
+]
+
+
+def __getattr__(name):
+    # Heavier subsystems are imported lazily so `import repro` stays cheap.
+    if name in ("find_design", "baseline_design", "combined_design",
+                "DesignResult"):
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,10 @@
+"""The paper's HLS benchmarks (FIR16, EW, DiffEq) plus extras."""
+
+from repro.bench.diffeq import diffeq
+from repro.bench.ewf import ewf
+from repro.bench.extra import ar_lattice, ewf34
+from repro.bench.fir import fir16
+from repro.bench.registry import benchmark_names, get_benchmark
+
+__all__ = ["fir16", "ewf", "diffeq", "ewf34", "ar_lattice",
+           "get_benchmark", "benchmark_names"]

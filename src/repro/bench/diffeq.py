@@ -1,0 +1,43 @@
+"""The differential-equation solver benchmark (HAL, 11 operations).
+
+The classic HLSynth'92 "HAL" benchmark computes one Euler step of
+``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u − (3·x·u·dx) − (3·y·dx)
+    y1 = y + u·dx
+    c  = x1 < a
+
+which decomposes into 6 multiplications, 2 subtractions, 2 additions
+and 1 comparison — 11 operations, matching the paper's Table 2(c)
+product 0.969¹¹ = 0.70723.  Subtractions and the comparison execute on
+the adder resource class.
+
+Unit-delay critical path: *1 → *4 → *6 → −1 → −2, i.e. 5 steps —
+which is why the paper's Table 2(c) grid starts at a latency bound
+of 5.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+
+
+def diffeq(name: str = "diffeq") -> DataFlowGraph:
+    """Build the HAL differential-equation-solver data-flow graph."""
+    graph = DataFlowGraph(name)
+    # Multiplications (operands not in the graph are primary inputs).
+    graph.add("*1", "mul")                      # 3 * x
+    graph.add("*2", "mul")                      # u * dx
+    graph.add("*3", "mul")                      # 3 * y
+    graph.add("*4", "mul", deps=["*1"])         # (3x) * u
+    graph.add("*5", "mul", deps=["*3"])         # (3y) * dx
+    graph.add("*6", "mul", deps=["*4"])         # (3xu) * dx
+    # Adder-class operations.
+    graph.add("-1", "sub", deps=["*6"])         # u − 3xudx
+    graph.add("-2", "sub", deps=["-1", "*5"])   # ... − 3ydx  (= u1)
+    graph.add("+1", "add")                      # x + dx      (= x1)
+    graph.add("+2", "add", deps=["*2"])         # y + u·dx    (= y1)
+    graph.add("<1", "cmp", deps=["+1"])         # x1 < a
+    graph.validate()
+    return graph

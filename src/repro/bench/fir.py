@@ -1,0 +1,52 @@
+"""The 16-point symmetric FIR filter benchmark (23 operations).
+
+A 16-tap FIR filter with symmetric coefficients computes
+
+    y = Σ_{i=1..8} c_i · (x_i + x_{17−i}),
+
+which folds into 8 *pre-additions* (the symmetric input pairs), 8
+multiplications by the coefficients, and a 7-addition accumulation
+chain — 23 operations, matching the paper's Figure 7 node set
+(+1..+8, *1..*8, +a..+g) and its reliability products
+(0.969²³ = 0.48467, Table 2(a)).
+
+The accumulation is a *linear* chain (not a balanced tree): the paper
+states that with type-1 resources only, the minimum latency is 18
+cycles — exactly pre-add (2cc) + multiply (2cc) + 7 chained adds
+(2cc each) = 18.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+
+#: Number of symmetric tap pairs (= multiplications).
+TAP_PAIRS = 8
+
+
+def fir16(name: str = "fir16") -> DataFlowGraph:
+    """Build the 16-point symmetric FIR filter data-flow graph.
+
+    Node naming follows the paper's Figure 7: pre-adds ``+1``..``+8``,
+    products ``*1``..``*8``, accumulation ``+a``..``+g``.
+    """
+    graph = DataFlowGraph(name)
+    # Pre-additions of symmetric input pairs; inputs are primary.
+    for index in range(1, TAP_PAIRS + 1):
+        graph.add(f"+{index}", "add")
+    # Coefficient multiplications, one per pre-add.
+    for index in range(1, TAP_PAIRS + 1):
+        graph.add(f"*{index}", "mul", deps=[f"+{index}"])
+    # Linear accumulation chain: +a = *1 + *2, then fold in *3.. *8.
+    chain_ids = [chr(ord("a") + i) for i in range(TAP_PAIRS - 1)]
+    accumulator = None
+    for position, letter in enumerate(chain_ids):
+        op_id = f"+{letter}"
+        if position == 0:
+            deps = ["*1", "*2"]
+        else:
+            deps = [accumulator, f"*{position + 2}"]
+        graph.add(op_id, "add", deps=deps)
+        accumulator = op_id
+    graph.validate()
+    return graph

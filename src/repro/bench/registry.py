@@ -1,0 +1,45 @@
+"""Registry of the paper's HLS benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.diffeq import diffeq
+from repro.bench.ewf import ewf
+from repro.bench.extra import ar_lattice, ewf34
+from repro.bench.fir import fir16
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import ReproError
+
+_BENCHMARKS: Dict[str, Callable[[], DataFlowGraph]] = {
+    "fir": fir16,
+    "ew": ewf,
+    "diffeq": diffeq,
+    "ewf34": ewf34,
+    "ar": ar_lattice,
+}
+
+_ALIASES = {
+    "fir16": "fir",
+    "ewf": "ew",
+    "ewf25": "ew",
+    "hal": "diffeq",
+    "ar28": "ar",
+}
+
+
+def benchmark_names() -> List[str]:
+    """Canonical benchmark names."""
+    return sorted(_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> DataFlowGraph:
+    """Build a benchmark graph by (case-insensitive) name or alias."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _BENCHMARKS[key]()
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None

@@ -1,0 +1,76 @@
+"""Gate-level characterization substrate (paper Section 4).
+
+Netlists, adder/multiplier generators, bit-parallel logic simulation,
+SEU fault injection, masking models, and the Qcritical → SER →
+reliability pipeline that regenerates a Table-1-style library.
+"""
+
+from repro.charlib.adders import (
+    brent_kung_adder,
+    carry_skip_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.charlib.characterize import (
+    CharacterizationConfig,
+    ComponentReport,
+    characterize_component,
+    characterize_library,
+    node_qcritical,
+    paper_fitted_qs,
+    paper_scale,
+    reliabilities_from_reports,
+)
+from repro.charlib.faults import (
+    FaultResult,
+    average_masking,
+    inject,
+    masking_campaign,
+)
+from repro.charlib.gates import GATE_TYPES, GateType, gate_type
+from repro.charlib.masking import MaskingModel
+from repro.charlib.multipliers import carry_save_multiplier, leapfrog_multiplier
+from repro.charlib.netlist import Gate, Netlist
+from repro.charlib.simulate import (
+    all_ones,
+    bus,
+    drive_bus,
+    output_values,
+    random_stimulus,
+    read_bus,
+    simulate,
+)
+
+__all__ = [
+    "Netlist",
+    "Gate",
+    "GateType",
+    "GATE_TYPES",
+    "gate_type",
+    "ripple_carry_adder",
+    "brent_kung_adder",
+    "kogge_stone_adder",
+    "carry_skip_adder",
+    "carry_save_multiplier",
+    "leapfrog_multiplier",
+    "simulate",
+    "output_values",
+    "random_stimulus",
+    "all_ones",
+    "bus",
+    "drive_bus",
+    "read_bus",
+    "inject",
+    "masking_campaign",
+    "average_masking",
+    "FaultResult",
+    "MaskingModel",
+    "CharacterizationConfig",
+    "ComponentReport",
+    "characterize_component",
+    "characterize_library",
+    "node_qcritical",
+    "reliabilities_from_reports",
+    "paper_fitted_qs",
+    "paper_scale",
+]

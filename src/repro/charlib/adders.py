@@ -1,0 +1,219 @@
+"""Gate-level adder generators.
+
+The paper characterizes three adder implementations — ripple-carry
+(Table 1's Adder 1), Brent-Kung (Adder 2) and Kogge-Stone (Adder 3) —
+and mentions carry-lookahead/carry-skip structures; a carry-skip
+generator is included for completeness.  All generators use the bus
+naming convention ``a0..a{n-1}``, ``b0..``, sum ``s0..``, carry out
+``cout`` (and optional carry-in ``cin``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.charlib.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _check_width(bits: int) -> None:
+    if bits < 1:
+        raise NetlistError(f"adder width must be positive, got {bits}")
+
+
+def _declare_operands(netlist: Netlist, bits: int,
+                      with_cin: bool) -> Tuple[List[str], List[str], str]:
+    a = [netlist.add_input(f"a{i}") for i in range(bits)]
+    b = [netlist.add_input(f"b{i}") for i in range(bits)]
+    cin = netlist.add_input("cin") if with_cin else ""
+    return a, b, cin
+
+
+def _full_adder(netlist: Netlist, a: str, b: str, cin: str,
+                tag: str) -> Tuple[str, str]:
+    """One full-adder cell; returns (sum, carry) nets.
+
+    Built from two-input gates (s = (a⊕b)⊕cin,
+    cout = ab | (a⊕b)cin) so the ripple carry chain is two gate
+    levels per bit — the structure that makes the ripple-carry adder
+    Table 1's slow-but-small-and-reliable Adder 1.
+    """
+    p = netlist.add_gate("xor2", [a, b], output=f"p_{tag}")
+    total = netlist.add_gate("xor2", [p, cin], output=f"s_{tag}")
+    g = netlist.add_gate("and2", [a, b], output=f"g_{tag}")
+    t = netlist.add_gate("and2", [p, cin], output=f"t_{tag}")
+    carry = netlist.add_gate("or2", [g, t], output=f"c_{tag}")
+    return total, carry
+
+
+def _half_adder(netlist: Netlist, a: str, b: str,
+                tag: str) -> Tuple[str, str]:
+    total = netlist.add_gate("xor2", [a, b], output=f"s_{tag}")
+    carry = netlist.add_gate("and2", [a, b], output=f"c_{tag}")
+    return total, carry
+
+
+def ripple_carry_adder(bits: int = 8, with_cin: bool = False) -> Netlist:
+    """The ripple-carry adder (Table 1's Adder 1 / "Adder 1")."""
+    _check_width(bits)
+    netlist = Netlist(f"rca{bits}")
+    a, b, cin = _declare_operands(netlist, bits, with_cin)
+    carry = cin
+    for i in range(bits):
+        if carry:
+            total, carry = _full_adder(netlist, a[i], b[i], carry, f"fa{i}")
+        else:
+            total, carry = _half_adder(netlist, a[i], b[i], f"ha{i}")
+        netlist.add_gate("buf", [total], output=f"sum{i}")
+        netlist.add_output(f"sum{i}")
+    netlist.add_gate("buf", [carry], output="cout")
+    netlist.add_output("cout")
+    netlist.validate()
+    return netlist
+
+
+def _pg_layer(netlist: Netlist, a: List[str],
+              b: List[str]) -> Tuple[List[str], List[str]]:
+    """Bitwise propagate/generate signals."""
+    p = [netlist.add_gate("xor2", [a[i], b[i]], output=f"p{i}")
+         for i in range(len(a))]
+    g = [netlist.add_gate("and2", [a[i], b[i]], output=f"g{i}")
+         for i in range(len(a))]
+    return p, g
+
+
+def _combine(netlist: Netlist, g_hi: str, p_hi: str, g_lo: str, p_lo: str,
+             tag: str) -> Tuple[str, str]:
+    """Black prefix cell: (G, P) = (g_hi | p_hi·g_lo, p_hi·p_lo)."""
+    t = netlist.add_gate("and2", [p_hi, g_lo], output=f"t_{tag}")
+    g_out = netlist.add_gate("or2", [g_hi, t], output=f"G_{tag}")
+    p_out = netlist.add_gate("and2", [p_hi, p_lo], output=f"P_{tag}")
+    return g_out, p_out
+
+
+def _finish_prefix_adder(netlist: Netlist, p: List[str],
+                         carries: List[str]) -> None:
+    """Sum layer of a prefix adder given per-position group carries.
+
+    ``carries[i]`` is the carry *into* position ``i + 1`` (i.e. the
+    group generate of bits ``0..i``).
+    """
+    bits = len(p)
+    netlist.add_gate("buf", [p[0]], output="sum0")
+    netlist.add_output("sum0")
+    for i in range(1, bits):
+        netlist.add_gate("xor2", [p[i], carries[i - 1]], output=f"sum{i}")
+        netlist.add_output(f"sum{i}")
+    netlist.add_gate("buf", [carries[bits - 1]], output="cout")
+    netlist.add_output("cout")
+
+
+def kogge_stone_adder(bits: int = 8) -> Netlist:
+    """The Kogge-Stone parallel-prefix adder (Table 1's Adder 3)."""
+    _check_width(bits)
+    netlist = Netlist(f"ks{bits}")
+    a, b, _ = _declare_operands(netlist, bits, with_cin=False)
+    p, g = _pg_layer(netlist, a, b)
+    # Prefix tree: span-doubling combine at every position.
+    g_cur, p_cur = list(g), list(p)
+    distance = 1
+    level = 0
+    while distance < bits:
+        g_next, p_next = list(g_cur), list(p_cur)
+        for i in range(distance, bits):
+            g_next[i], p_next[i] = _combine(
+                netlist, g_cur[i], p_cur[i], g_cur[i - distance],
+                p_cur[i - distance], f"ks{level}_{i}")
+        g_cur, p_cur = g_next, p_next
+        distance *= 2
+        level += 1
+    _finish_prefix_adder(netlist, p, g_cur)
+    netlist.validate()
+    return netlist
+
+
+def brent_kung_adder(bits: int = 8) -> Netlist:
+    """The Brent-Kung parallel-prefix adder (Table 1's Adder 2)."""
+    _check_width(bits)
+    netlist = Netlist(f"bk{bits}")
+    a, b, _ = _declare_operands(netlist, bits, with_cin=False)
+    p, g = _pg_layer(netlist, a, b)
+
+    # group (G, P) spans, keyed by (low_bit, high_bit) inclusive
+    spans: Dict[Tuple[int, int], Tuple[str, str]] = {
+        (i, i): (g[i], p[i]) for i in range(bits)
+    }
+
+    def combine_span(lo: int, mid: int, hi: int, tag: str) -> None:
+        g_hi, p_hi = spans[(mid + 1, hi)]
+        g_lo, p_lo = spans[(lo, mid)]
+        spans[(lo, hi)] = _combine(netlist, g_hi, p_hi, g_lo, p_lo, tag)
+
+    # Up-sweep: combine adjacent power-of-two blocks.
+    width = 2
+    while width <= bits:
+        for hi in range(width - 1, bits, width):
+            lo = hi - width + 1
+            combine_span(lo, lo + width // 2 - 1, hi, f"up{width}_{hi}")
+        width *= 2
+
+    # Down-sweep: fill in the missing prefixes (0..i for every i).
+    width //= 2
+    while width >= 2:
+        half = width // 2
+        for mid in range(width - 1, bits - half, width):
+            hi = mid + half
+            if (0, hi) not in spans and (0, mid) in spans:
+                combine_span(0, mid, hi, f"dn{width}_{hi}")
+        width //= 2
+
+    carries = []
+    for i in range(bits):
+        if (0, i) not in spans:
+            # positions not covered by the sweeps combine directly
+            g_hi, p_hi = spans[(i, i)]
+            g_lo, p_lo = spans[(0, i - 1)]
+            spans[(0, i)] = _combine(netlist, g_hi, p_hi, g_lo, p_lo,
+                                     f"fix_{i}")
+        carries.append(spans[(0, i)][0])
+    _finish_prefix_adder(netlist, p, carries)
+    netlist.validate()
+    return netlist
+
+
+def carry_skip_adder(bits: int = 8, block: int = 4) -> Netlist:
+    """A carry-skip adder (mentioned alongside Table 1's structures)."""
+    _check_width(bits)
+    if block < 1:
+        raise NetlistError(f"block size must be positive, got {block}")
+    netlist = Netlist(f"cskip{bits}")
+    a, b, _ = _declare_operands(netlist, bits, with_cin=False)
+    carry = ""
+    for lo in range(0, bits, block):
+        hi = min(lo + block, bits)
+        block_in = carry
+        props = []
+        for i in range(lo, hi):
+            if carry:
+                total, carry = _full_adder(netlist, a[i], b[i], carry,
+                                           f"fa{i}")
+            else:
+                total, carry = _half_adder(netlist, a[i], b[i], f"ha{i}")
+            netlist.add_gate("buf", [total], output=f"sum{i}")
+            netlist.add_output(f"sum{i}")
+            props.append(netlist.add_gate("xor2", [a[i], b[i]],
+                                          output=f"skip_p{i}"))
+        if block_in:
+            # skip path: carry-out = ripple-carry | (P_block & carry-in)
+            p_block = props[0]
+            for index, prop in enumerate(props[1:], start=1):
+                p_block = netlist.add_gate(
+                    "and2", [p_block, prop], output=f"skipP_{lo}_{index}")
+            skip = netlist.add_gate("and2", [p_block, block_in],
+                                    output=f"skip_{lo}")
+            carry = netlist.add_gate("or2", [carry, skip],
+                                     output=f"cskip_{lo}")
+    netlist.add_gate("buf", [carry], output="cout")
+    netlist.add_output("cout")
+    netlist.validate()
+    return netlist

@@ -1,0 +1,130 @@
+"""The gate library used by the characterization substrate.
+
+Gates evaluate *bit-parallel*: each net carries a Python integer whose
+bit *k* is the net's value under test vector *k*, so one pass over the
+netlist simulates thousands of vectors.  Inverting gates therefore
+need the vector-width mask, which the simulator passes in.
+
+Each gate type also carries the two knobs the critical-charge model
+uses: ``drive`` (relative restoring drive strength of the output
+stage) and ``cap`` (relative intrinsic output capacitance).  A struck
+node with more charge on its output and a stronger driver needs more
+collected charge to flip — see :mod:`repro.charlib.characterize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A combinational gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (``"nand2"``, ``"xor2"``, ...).
+    arity:
+        Number of inputs.
+    evaluate:
+        Bit-parallel boolean function ``f(inputs, mask) -> output``.
+    drive:
+        Relative output drive strength (restoring current).
+    cap:
+        Relative intrinsic output capacitance.
+    """
+
+    name: str
+    arity: int
+    evaluate: Callable[[Tuple[int, ...], int], int]
+    drive: float = 1.0
+    cap: float = 1.0
+
+
+def _inv(inputs, mask):
+    return ~inputs[0] & mask
+
+
+def _buf(inputs, mask):
+    return inputs[0]
+
+
+def _and2(inputs, mask):
+    return inputs[0] & inputs[1]
+
+
+def _or2(inputs, mask):
+    return inputs[0] | inputs[1]
+
+
+def _nand2(inputs, mask):
+    return ~(inputs[0] & inputs[1]) & mask
+
+
+def _nor2(inputs, mask):
+    return ~(inputs[0] | inputs[1]) & mask
+
+
+def _xor2(inputs, mask):
+    return inputs[0] ^ inputs[1]
+
+
+def _xnor2(inputs, mask):
+    return ~(inputs[0] ^ inputs[1]) & mask
+
+
+def _and3(inputs, mask):
+    return inputs[0] & inputs[1] & inputs[2]
+
+
+def _or3(inputs, mask):
+    return inputs[0] | inputs[1] | inputs[2]
+
+
+def _xor3(inputs, mask):
+    return inputs[0] ^ inputs[1] ^ inputs[2]
+
+
+def _maj3(inputs, mask):
+    a, b, c = inputs
+    return (a & b) | (a & c) | (b & c)
+
+
+def _aoi21(inputs, mask):
+    # ~((a & b) | c)
+    a, b, c = inputs
+    return ~((a & b) | c) & mask
+
+
+GATE_TYPES: Dict[str, GateType] = {
+    gate.name: gate
+    for gate in (
+        GateType("inv", 1, _inv, drive=1.0, cap=0.6),
+        GateType("buf", 1, _buf, drive=1.2, cap=0.7),
+        GateType("and2", 2, _and2, drive=1.0, cap=1.0),
+        GateType("or2", 2, _or2, drive=1.0, cap=1.0),
+        GateType("nand2", 2, _nand2, drive=1.1, cap=0.9),
+        GateType("nor2", 2, _nor2, drive=0.9, cap=0.9),
+        GateType("xor2", 2, _xor2, drive=0.8, cap=1.3),
+        GateType("xnor2", 2, _xnor2, drive=0.8, cap=1.3),
+        GateType("and3", 3, _and3, drive=0.9, cap=1.2),
+        GateType("or3", 3, _or3, drive=0.9, cap=1.2),
+        GateType("xor3", 3, _xor3, drive=0.7, cap=1.6),
+        GateType("maj3", 3, _maj3, drive=0.9, cap=1.4),
+        GateType("aoi21", 3, _aoi21, drive=1.0, cap=1.1),
+    )
+}
+
+
+def gate_type(name: str) -> GateType:
+    """Look up a gate type by name."""
+    try:
+        return GATE_TYPES[name]
+    except KeyError:
+        raise NetlistError(
+            f"unknown gate type {name!r}; available: {sorted(GATE_TYPES)}"
+        ) from None

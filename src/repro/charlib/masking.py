@@ -1,0 +1,82 @@
+"""Electrical and latching-window masking models (paper Section 3).
+
+Besides logical masking (measured exactly by fault injection), two
+analog effects keep combinational transients from becoming soft
+errors:
+
+* **Electrical masking** — a voltage glitch attenuates through each
+  gate it traverses; deep inside a cone it may die out entirely.  We
+  model per-stage amplitude retention ``exp(-attenuation)`` over the
+  number of gate levels separating the struck node from the nearest
+  primary output/latch.
+* **Latching-window masking** — the (attenuated) pulse must overlap a
+  latch's setup/hold window to be captured: probability
+  ``min(1, pulse_width / clock_period)``.
+
+These are the three masking effects the paper's Section 1 cites from
+reference [1]; their product derates each node's raw strike rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CharacterizationError
+
+
+@dataclass(frozen=True)
+class MaskingModel:
+    """Parameters of the analog masking models.
+
+    Attributes
+    ----------
+    attenuation:
+        Per-gate-stage attenuation exponent (0 disables electrical
+        masking; larger values kill deep transients faster).
+    pulse_width:
+        Nominal transient pulse width, in the same unit as
+        ``clock_period``.
+    clock_period:
+        Clock period; the latch captures at each rising edge.
+    """
+
+    attenuation: float = 0.12
+    pulse_width: float = 0.15
+    clock_period: float = 1.0
+
+    def __post_init__(self):
+        if self.attenuation < 0:
+            raise CharacterizationError("attenuation must be >= 0")
+        if self.pulse_width <= 0:
+            raise CharacterizationError("pulse width must be positive")
+        if self.clock_period <= 0:
+            raise CharacterizationError("clock period must be positive")
+
+    def electrical_survival(self, levels_to_output: int) -> float:
+        """Fraction of transient amplitude surviving *levels* stages."""
+        if levels_to_output < 0:
+            raise CharacterizationError("levels_to_output must be >= 0")
+        return math.exp(-self.attenuation * levels_to_output)
+
+    def latching_probability(self, levels_to_output: int = 0) -> float:
+        """Probability the (attenuated) pulse is captured by the latch."""
+        effective = (self.pulse_width
+                     * self.electrical_survival(levels_to_output))
+        return min(1.0, effective / self.clock_period)
+
+    def derating(self, levels_to_output: int,
+                 logical_propagation: float) -> float:
+        """Combined derating factor for a node's raw strike rate.
+
+        The product of logical propagation probability (from fault
+        injection), electrical survival and latching probability —
+        i.e. the fraction of strikes at this node that become soft
+        errors.
+        """
+        if not (0.0 <= logical_propagation <= 1.0):
+            raise CharacterizationError(
+                "logical propagation must be a probability")
+        return (logical_propagation
+                * self.electrical_survival(levels_to_output)
+                * self.latching_probability(levels_to_output))

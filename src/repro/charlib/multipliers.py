@@ -1,0 +1,199 @@
+"""Gate-level multiplier generators.
+
+Table 1 characterizes two multipliers: a carry-save array multiplier
+(Multiplier 1) and a "leap-frog" multiplier (Multiplier 2).  The
+carry-save array is the textbook structure: an AND-gate partial-
+product plane reduced row by row with full-adder rows in carry-save
+form, finished by a ripple carry-propagate adder.
+
+**Substitution note (DESIGN.md §5):** no public netlist exists for the
+paper's leap-frog multiplier.  :func:`leapfrog_multiplier` implements
+a flattened two-row-interleaved ("leap-frogging") carry-save reduction
+— carries skip a row, which shortens the reduction's critical path at
+the cost of wider rows, giving the faster/larger/less-reliable profile
+Table 1 assigns to Multiplier 2.  Only the (area, delay, reliability)
+triple reaches the HLS flow, and the experiments use Table 1's values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.charlib.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _partial_products(netlist: Netlist, bits: int) -> List[List[str]]:
+    a = [netlist.add_input(f"a{i}") for i in range(bits)]
+    b = [netlist.add_input(f"b{i}") for i in range(bits)]
+    return [
+        [netlist.add_gate("and2", [a[i], b[j]], output=f"pp{i}_{j}")
+         for i in range(bits)]
+        for j in range(bits)
+    ]
+
+
+def _fa(netlist: Netlist, x: str, y: str, z: str,
+        tag: str) -> Tuple[str, str]:
+    total = netlist.add_gate("xor3", [x, y, z], output=f"ms_{tag}")
+    carry = netlist.add_gate("maj3", [x, y, z], output=f"mc_{tag}")
+    return total, carry
+
+
+def _ha(netlist: Netlist, x: str, y: str, tag: str) -> Tuple[str, str]:
+    total = netlist.add_gate("xor2", [x, y], output=f"ms_{tag}")
+    carry = netlist.add_gate("and2", [x, y], output=f"mc_{tag}")
+    return total, carry
+
+
+def _reduce_columns(netlist: Netlist, columns: List[List[str]],
+                    tag: str, leapfrog: bool) -> List[List[str]]:
+    """One carry-save reduction pass over the whole column matrix.
+
+    In the plain array, a carry produced at column *c* lands in column
+    ``c + 1``.  The leap-frog variant sends carries to ``c + 2``
+    alternately (compensated by a doubled weight-1 deposit at
+    ``c + 1`` being impossible — instead alternate rows contribute to
+    skipped columns), shortening the chains that serialize the array.
+    For correctness both variants deposit every carry at weight
+    ``c + 1``; leap-frogging only changes *which reduction round*
+    consumes it, modelling the flattened interleaved structure.
+    """
+    result: List[List[str]] = [[] for _ in range(len(columns) + 1)]
+    carry_skew = 0
+    for c, column in enumerate(columns):
+        items = list(column)
+        round_index = 0
+        while len(items) > 2:
+            x, y, z = items.pop(0), items.pop(0), items.pop(0)
+            total, carry = _fa(netlist, x, y, z,
+                               f"{tag}_c{c}_r{round_index}")
+            items.append(total)
+            result[c + 1].append(carry)
+            round_index += 1
+        if len(items) == 2 and (not leapfrog or (c + carry_skew) % 2 == 0):
+            x, y = items.pop(0), items.pop(0)
+            total, carry = _ha(netlist, x, y, f"{tag}_c{c}_h")
+            items.append(total)
+            result[c + 1].append(carry)
+        result[c].extend(items)
+        if leapfrog:
+            carry_skew ^= 1
+    while result and not result[-1]:
+        result.pop()
+    return result
+
+
+def _ripple_cpa(netlist: Netlist, columns: List[List[str]],
+                bits: int) -> None:
+    """Ripple carry-propagate completion over the reduced columns."""
+    carry = ""
+    for c in range(2 * bits):
+        column = columns[c] if c < len(columns) else []
+        operands = list(column) + ([carry] if carry else [])
+        carry = ""
+        if not operands:
+            # structurally empty column: emit a constant zero
+            zero_src = netlist.inputs[0]
+            netlist.add_gate("xor2", [zero_src, zero_src],
+                             output=f"prod{c}")
+        elif len(operands) == 1:
+            netlist.add_gate("buf", [operands[0]], output=f"prod{c}")
+        elif len(operands) == 2:
+            total, carry = _ha(netlist, operands[0], operands[1],
+                               f"cpa_{c}")
+            netlist.add_gate("buf", [total], output=f"prod{c}")
+        elif len(operands) == 3:
+            total, carry = _fa(netlist, operands[0], operands[1],
+                               operands[2], f"cpa_{c}")
+            netlist.add_gate("buf", [total], output=f"prod{c}")
+        else:
+            raise NetlistError(
+                f"column {c} not fully reduced: {len(operands)} operands")
+        netlist.add_output(f"prod{c}")
+
+
+def _prefix_cpa(netlist: Netlist, columns: List[List[str]],
+                bits: int) -> None:
+    """Kogge-Stone carry-propagate completion over the reduced columns.
+
+    The fast completion stage is what makes the leap-frog multiplier a
+    one-cycle (but larger and more upset-prone) component.
+    """
+    width = 2 * bits
+    zero = netlist.add_gate("xor2", [netlist.inputs[0], netlist.inputs[0]],
+                            output="mzero")
+    x: List[str] = []
+    y: List[str] = []
+    for c in range(width):
+        column = columns[c] if c < len(columns) else []
+        if len(column) > 2:
+            raise NetlistError(f"column {c} not fully reduced")
+        x.append(column[0] if len(column) >= 1 else zero)
+        y.append(column[1] if len(column) >= 2 else zero)
+
+    p = [netlist.add_gate("xor2", [x[i], y[i]], output=f"fp{i}")
+         for i in range(width)]
+    g = [netlist.add_gate("and2", [x[i], y[i]], output=f"fg{i}")
+         for i in range(width)]
+    g_cur, p_cur = list(g), list(p)
+    distance = 1
+    level = 0
+    while distance < width:
+        g_next, p_next = list(g_cur), list(p_cur)
+        for i in range(distance, width):
+            t = netlist.add_gate("and2", [p_cur[i], g_cur[i - distance]],
+                                 output=f"ft_{level}_{i}")
+            g_next[i] = netlist.add_gate("or2", [g_cur[i], t],
+                                         output=f"fG_{level}_{i}")
+            p_next[i] = netlist.add_gate(
+                "and2", [p_cur[i], p_cur[i - distance]],
+                output=f"fP_{level}_{i}")
+        g_cur, p_cur = g_next, p_next
+        distance *= 2
+        level += 1
+
+    netlist.add_gate("buf", [p[0]], output="prod0")
+    netlist.add_output("prod0")
+    for i in range(1, width):
+        netlist.add_gate("xor2", [p[i], g_cur[i - 1]], output=f"prod{i}")
+        netlist.add_output(f"prod{i}")
+
+
+def _carry_save_core(bits: int, leapfrog: bool, name: str) -> Netlist:
+    if bits < 2:
+        raise NetlistError(f"multiplier width must be >= 2, got {bits}")
+    netlist = Netlist(name)
+    pps = _partial_products(netlist, bits)
+
+    # column-major view: column c holds all weight-2^c partial products
+    columns: List[List[str]] = [[] for _ in range(2 * bits)]
+    for j, row in enumerate(pps):
+        for i, pp in enumerate(row):
+            columns[i + j].append(pp)
+
+    passes = 0
+    while max(len(col) for col in columns) > 2:
+        columns = _reduce_columns(netlist, columns, f"p{passes}", leapfrog)
+        passes += 1
+        if passes > 4 * bits:
+            raise NetlistError("carry-save reduction failed to converge")
+
+    # The product of two n-bit operands fits in 2n bits, so any carry
+    # left after the top column is provably zero and is dropped.
+    if leapfrog:
+        _prefix_cpa(netlist, columns, bits)
+    else:
+        _ripple_cpa(netlist, columns, bits)
+    netlist.validate()
+    return netlist
+
+
+def carry_save_multiplier(bits: int = 8) -> Netlist:
+    """The carry-save array multiplier (Table 1's Multiplier 1)."""
+    return _carry_save_core(bits, leapfrog=False, name=f"csm{bits}")
+
+
+def leapfrog_multiplier(bits: int = 8) -> Netlist:
+    """The leap-frog multiplier stand-in (Table 1's Multiplier 2)."""
+    return _carry_save_core(bits, leapfrog=True, name=f"leapfrog{bits}")

@@ -1,0 +1,214 @@
+"""Gate-level netlists.
+
+A :class:`Netlist` is a DAG of gate instances connected by named nets.
+Primary inputs are nets without drivers; primary outputs are
+explicitly declared.  The netlist knows how to levelize itself for
+bit-parallel simulation and exposes the structural quantities the
+characterization model consumes (fan-out, logic depth to outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.charlib.gates import GateType, gate_type
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``output = type(inputs)``."""
+
+    name: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+    output: str
+
+
+class Netlist:
+    """A combinational gate-level netlist."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._gates: Dict[str, Gate] = {}       # by gate name
+        self._driver: Dict[str, Gate] = {}      # net -> driving gate
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._levels: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._driver:
+            raise NetlistError(f"net {net!r} already driven by a gate")
+        if net in self._inputs:
+            raise NetlistError(f"duplicate primary input {net!r}")
+        self._inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net (must be driven eventually)."""
+        if net in self._outputs:
+            raise NetlistError(f"duplicate primary output {net!r}")
+        self._outputs.append(net)
+        return net
+
+    def add_gate(self, gtype_name: str, inputs: Sequence[str],
+                 output: Optional[str] = None,
+                 name: Optional[str] = None) -> str:
+        """Instantiate a gate; returns its output net name.
+
+        The output net is auto-named ``n<k>`` when not given.
+        """
+        gtype = gate_type(gtype_name)
+        if len(inputs) != gtype.arity:
+            raise NetlistError(
+                f"gate type {gtype_name!r} takes {gtype.arity} inputs, "
+                f"got {len(inputs)}")
+        output = output or f"n{len(self._gates)}"
+        if output in self._driver:
+            raise NetlistError(f"net {output!r} already has a driver")
+        if output in self._inputs:
+            raise NetlistError(f"net {output!r} is a primary input")
+        name = name or f"g{len(self._gates)}"
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        gate = Gate(name, gtype, tuple(inputs), output)
+        self._gates[name] = gate
+        self._driver[output] = gate
+        self._levels = None
+        return output
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input nets."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output nets."""
+        return list(self._outputs)
+
+    def gates(self) -> List[Gate]:
+        """All gates, in insertion order."""
+        return list(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        """Gate instance by name."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate {name!r} in {self.name!r}") from None
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving *net*, or None for primary inputs."""
+        return self._driver.get(net)
+
+    def gate_count(self) -> int:
+        """Number of gate instances."""
+        return len(self._gates)
+
+    def fanout(self) -> Dict[str, int]:
+        """Net → number of gate inputs it feeds (outputs add one)."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                counts[net] = counts.get(net, 0) + 1
+        for net in self._outputs:
+            counts[net] = counts.get(net, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check drivers exist, outputs are driven, and no cycles."""
+        if not self._gates:
+            raise NetlistError(f"netlist {self.name!r} has no gates")
+        known = set(self._inputs) | set(self._driver)
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads undriven net {net!r}")
+        for net in self._outputs:
+            if net not in known:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.levelize()  # raises on combinational cycles
+
+    def levelize(self) -> List[Gate]:
+        """Gates in dependency order (memoized)."""
+        if self._levels is not None:
+            return self._levels
+        resolved = set(self._inputs)
+        pending = dict(self._gates)
+        ordered: List[Gate] = []
+        while pending:
+            progress = [name for name, gate in pending.items()
+                        if all(net in resolved for net in gate.inputs)]
+            if not progress:
+                raise NetlistError(
+                    f"netlist {self.name!r} has a combinational cycle "
+                    f"involving {sorted(pending)[:4]}...")
+            for name in progress:
+                gate = pending.pop(name)
+                ordered.append(gate)
+                resolved.add(gate.output)
+        self._levels = ordered
+        return ordered
+
+    def logic_depth(self) -> Dict[str, int]:
+        """Net → gate levels from the primary inputs (inputs are 0)."""
+        depth: Dict[str, int] = {net: 0 for net in self._inputs}
+        for gate in self.levelize():
+            depth[gate.output] = 1 + max(
+                (depth[net] for net in gate.inputs), default=0)
+        return depth
+
+    def depth(self) -> int:
+        """Maximum logic depth over the primary outputs."""
+        depths = self.logic_depth()
+        return max(depths[net] for net in self._outputs)
+
+    def levels_to_output(self) -> Dict[str, int]:
+        """Net → minimum gate levels to reach any primary output.
+
+        Used by the electrical-masking model: a transient deep inside
+        the logic cone traverses more stages (and attenuates more)
+        before reaching a latch.
+        """
+        consumers: Dict[str, List[Gate]] = {}
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                consumers.setdefault(net, []).append(gate)
+        remaining: Dict[str, int] = {}
+        for gate in reversed(self.levelize()):
+            best = None
+            if gate.output in self._outputs:
+                best = 0
+            for consumer in consumers.get(gate.output, []):
+                through = remaining[consumer.output] + 1
+                if best is None or through < best:
+                    best = through
+            remaining[gate.output] = best if best is not None else 0
+        return remaining
+
+    def stats(self) -> Dict[str, object]:
+        """Structural summary used in reports and tests."""
+        by_type: Dict[str, int] = {}
+        for gate in self._gates.values():
+            by_type[gate.gtype.name] = by_type.get(gate.gtype.name, 0) + 1
+        return {
+            "name": self.name,
+            "gates": self.gate_count(),
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "depth": self.depth(),
+            "by_type": by_type,
+        }

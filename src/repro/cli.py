@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro`` / ``repro-hls``.
+
+Subcommands::
+
+    synth BENCH --latency L --area A [--method ...]   synthesize a design
+    bench [NAME]                                      list / inspect benchmarks
+    characterize [--bits N]                           regenerate Table 1
+    experiment NAME                                   regenerate a table/figure
+    explore BENCH --latencies .. --areas ..           Pareto sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import NoSolutionError, ReproError
+
+EXPERIMENTS = ("table1", "fig5", "fig7", "fig8", "fig9",
+               "table2a", "table2b", "table2c", "ablations",
+               "extensions", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hls",
+        description="Reliability-centric high-level synthesis "
+                    "(Tosun et al., DATE 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize one design")
+    synth.add_argument("benchmark", help="benchmark name or .dfg/.json path")
+    synth.add_argument("--latency", "-l", type=int, required=True,
+                       help="latency bound Ld (clock cycles)")
+    synth.add_argument("--area", "-a", type=int, required=True,
+                       help="area bound Ad (units)")
+    synth.add_argument("--method", "-m", default="ours",
+                       choices=("ours", "baseline", "combined"))
+    synth.add_argument("--area-model", default="instances",
+                       choices=("instances", "versions"))
+    synth.add_argument("--library", help="JSON library file "
+                                         "(default: paper Table 1)")
+    synth.add_argument("--schedule", action="store_true",
+                       help="also print the step-by-step schedule")
+    synth.add_argument("--json", action="store_true",
+                       help="emit the result summary as JSON")
+
+    bench = sub.add_parser("bench", help="list or inspect benchmarks")
+    bench.add_argument("name", nargs="?", help="benchmark to inspect")
+
+    character = sub.add_parser("characterize",
+                               help="regenerate Table 1 from netlists")
+    character.add_argument("--bits", type=int, default=8,
+                           help="datapath width of the netlists")
+    character.add_argument("--calibrated-only", action="store_true",
+                           help="only run the paper-anchored chain")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--area-model", default="instances",
+                            choices=("instances", "versions"))
+
+    explore = sub.add_parser("explore", help="Pareto sweep over bounds")
+    explore.add_argument("benchmark")
+    explore.add_argument("--latencies", type=int, nargs="+", required=True)
+    explore.add_argument("--areas", type=int, nargs="+", required=True)
+    explore.add_argument("--method", default="ours",
+                         choices=("ours", "baseline", "combined"))
+    return parser
+
+
+def _load_graph(spec: str):
+    from repro.bench import get_benchmark
+    from repro.dfg import textio
+
+    if spec.endswith((".dfg", ".json")):
+        return textio.load(spec)
+    return get_benchmark(spec)
+
+
+def _load_library(path: Optional[str]):
+    from repro.library import paper_library
+    from repro.library import io as library_io
+
+    if path:
+        return library_io.load(path)
+    return paper_library()
+
+
+def _cmd_synth(args) -> int:
+    from repro.core import synthesize
+
+    graph = _load_graph(args.benchmark)
+    library = _load_library(args.library)
+    try:
+        result = synthesize(args.method, graph, library, args.latency,
+                            args.area, area_model=args.area_model)
+    except NoSolutionError as exc:
+        print(f"no solution: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+    else:
+        print(result.as_text())
+        if args.schedule:
+            print("\nschedule:")
+            print(result.schedule.as_text())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import benchmark_names, get_benchmark
+    from repro.dfg import summarize
+
+    if args.name:
+        report = summarize(get_benchmark(args.name))
+        for key, value in report.items():
+            print(f"{key}: {value}")
+    else:
+        for name in benchmark_names():
+            graph = get_benchmark(name)
+            print(f"{name:<8} {len(graph):>3} ops  {graph.counts_by_rtype()}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.experiments import (
+        run_table1_calibrated,
+        run_table1_characterized,
+    )
+
+    print(run_table1_calibrated().as_text())
+    if not args.calibrated_only:
+        print()
+        print(run_table1_characterized(bits=args.bits).as_text())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments
+
+    runs = {
+        "table1": lambda: [experiments.run_table1_calibrated(),
+                           experiments.run_table1_characterized()],
+        "fig5": lambda: [experiments.run_fig5()],
+        "fig7": lambda: [experiments.run_fig7()],
+        "fig8": lambda: [experiments.run_fig8a(args.area_model),
+                         experiments.run_fig8b(args.area_model)],
+        "fig9": lambda: [experiments.run_fig9(args.area_model)],
+        "table2a": lambda: [experiments.run_table2("fir",
+                                                   area_model=args.area_model)],
+        "table2b": lambda: [experiments.run_table2("ew",
+                                                   area_model=args.area_model)],
+        "table2c": lambda: [experiments.run_table2("diffeq",
+                                                   area_model=args.area_model)],
+        "ablations": lambda: [experiments.run_repair_ablation(),
+                              experiments.run_refine_ablation(),
+                              experiments.run_sweep_ablation(),
+                              experiments.run_scheduler_ablation(),
+                              experiments.run_baseline_ablation()],
+        "extensions": lambda: [experiments.run_pipeline_tradeoff(),
+                               experiments.run_self_recovery_comparison(),
+                               experiments.run_voter_sensitivity(),
+                               experiments.run_extra_benchmarks()],
+    }
+    names = list(runs) if args.name == "all" else [args.name]
+    for index, name in enumerate(names):
+        if index:
+            print()
+        for table in runs[name]():
+            print(table.as_text())
+            print()
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.core import pareto_frontier, sweep_bounds
+
+    graph = _load_graph(args.benchmark)
+    library = _load_library(None)
+    points = sweep_bounds(graph, library, args.latencies, args.areas,
+                          args.method)
+    print(f"{'Ld':>4} {'Ad':>4} {'latency':>8} {'area':>5} {'reliability':>12}")
+    for point in points:
+        if point.result is None:
+            print(f"{point.latency_bound:>4} {point.area_bound:>4} "
+                  f"{'-':>8} {'-':>5} {'infeasible':>12}")
+        else:
+            result = point.result
+            print(f"{point.latency_bound:>4} {point.area_bound:>4} "
+                  f"{result.latency:>8} {result.area:>5} "
+                  f"{result.reliability:>12.5f}")
+    frontier = pareto_frontier(points)
+    print(f"\nPareto frontier ({len(frontier)} points):")
+    for point in sorted(frontier, key=lambda p: p.result.latency):
+        result = point.result
+        print(f"  latency {result.latency}  area {result.area}  "
+              f"reliability {result.reliability:.5f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "synth": _cmd_synth,
+        "bench": _cmd_bench,
+        "characterize": _cmd_characterize,
+        "experiment": _cmd_experiment,
+        "explore": _cmd_explore,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core synthesis algorithms: the paper's contribution and baselines."""
+
+from repro.core.baseline import baseline_design
+from repro.core.combined import combined_design
+from repro.core.design import DesignResult
+from repro.core.evaluate import evaluate_allocation, min_latency
+from repro.core.explore import (
+    METHODS,
+    SweepPoint,
+    pareto_frontier,
+    reliability_vs_area,
+    reliability_vs_latency,
+    sweep_bounds,
+    synthesize,
+)
+from repro.core.find_design import find_design, uniform_allocations
+from repro.core.montecarlo import MonteCarloReport, simulate_design
+from repro.core.objectives import minimize_area, minimize_latency
+from repro.core.optimal import optimal_design
+from repro.core.redundancy import apply_greedy_redundancy, best_upgrade
+from repro.core.selfrecover import (
+    SelfRecoveryDesign,
+    duplication_overhead,
+    self_recovery_design,
+)
+
+__all__ = [
+    "DesignResult",
+    "find_design",
+    "baseline_design",
+    "combined_design",
+    "apply_greedy_redundancy",
+    "best_upgrade",
+    "evaluate_allocation",
+    "min_latency",
+    "uniform_allocations",
+    "minimize_area",
+    "minimize_latency",
+    "optimal_design",
+    "simulate_design",
+    "MonteCarloReport",
+    "self_recovery_design",
+    "SelfRecoveryDesign",
+    "duplication_overhead",
+    "sweep_bounds",
+    "synthesize",
+    "SweepPoint",
+    "pareto_frontier",
+    "reliability_vs_latency",
+    "reliability_vs_area",
+    "METHODS",
+]

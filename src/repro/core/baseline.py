@@ -1,0 +1,132 @@
+"""The redundancy-based baseline (the paper's reference [3]).
+
+Orailoglu & Karri's fault-tolerant HLS methodology assumes a *single
+fixed implementation per operation type* and improves reliability by
+N-modular redundancy.  Following the paper's experimental setup
+(Section 7), the baseline here:
+
+1. allocates one version per resource type — by default the fast
+   type-2 components, whose products reproduce every no-redundancy
+   cell of the paper's Table 2;
+2. schedules at the latency in ``[critical path, Ld]`` that minimizes
+   area (a smaller base design leaves more area for redundancy);
+3. greedily replicates instances while the area bound permits
+   (see :mod:`repro.core.redundancy`).
+
+``version_choice="adaptive"`` additionally sweeps all single-version
+combinations and returns the most reliable feasible outcome, a
+stronger variant used in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import NoSolutionError, ReproError
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library.library import ResourceLibrary
+from repro.library.version import ResourceVersion
+from repro.core.design import DesignResult, check_area_model
+from repro.core.evaluate import evaluate_allocation
+from repro.core.redundancy import apply_greedy_redundancy
+
+VERSION_CHOICES = ("fastest", "adaptive")
+
+
+def _uniform_result(graph: DataFlowGraph,
+                    per_type: Dict[str, ResourceVersion],
+                    latency_bound: int, area_bound: int,
+                    area_model: str) -> Optional[DesignResult]:
+    allocation = {op.op_id: per_type[op.rtype] for op in graph}
+    evaluation = evaluate_allocation(graph, allocation, latency_bound,
+                                     area_model)
+    if evaluation is None:
+        return None
+    result = DesignResult(
+        graph=graph,
+        allocation=allocation,
+        schedule=evaluation.schedule,
+        binding=evaluation.binding,
+        latency_bound=latency_bound,
+        area_bound=area_bound,
+        area_model=area_model,
+        method="baseline-nmr",
+    )
+    if result.area > area_bound:
+        return None
+    return result
+
+
+def baseline_design(graph: DataFlowGraph,
+                    library: ResourceLibrary,
+                    latency_bound: int,
+                    area_bound: int,
+                    *,
+                    versions: Optional[Sequence[str]] = None,
+                    version_choice: str = "fastest",
+                    redundancy: bool = True,
+                    max_copies: int = 7,
+                    area_model: str = AREA_INSTANCES) -> DesignResult:
+    """Synthesize with the single-version + NMR baseline.
+
+    Parameters
+    ----------
+    versions:
+        Explicit version names to use (one per resource type present
+        in the graph); overrides *version_choice*.
+    version_choice:
+        ``"fastest"`` (paper default) or ``"adaptive"`` (sweep all
+        single-version combinations).
+    redundancy:
+        Apply greedy NMR insertion after the base design (paper
+        behaviour); disable to measure the bare single-version design.
+
+    Raises
+    ------
+    NoSolutionError
+        When no single-version design fits the bounds.
+    """
+    graph.validate()
+    check_area_model(area_model)
+    if version_choice not in VERSION_CHOICES:
+        raise ReproError(
+            f"unknown version_choice {version_choice!r}; "
+            f"use one of {VERSION_CHOICES}")
+
+    rtypes = graph.rtypes()
+    candidates = []
+    if versions is not None:
+        named = [library.version(name) for name in versions]
+        per_type = {v.rtype: v for v in named}
+        missing = [t for t in rtypes if t not in per_type]
+        if missing:
+            raise ReproError(
+                f"versions {list(versions)} do not cover resource types "
+                f"{missing}")
+        candidates.append(per_type)
+    elif version_choice == "fastest":
+        candidates.append({t: library.fastest_smallest(t) for t in rtypes})
+    else:  # adaptive
+        import itertools
+
+        pools = [library.versions_of(t) for t in rtypes]
+        for combo in itertools.product(*pools):
+            candidates.append(dict(zip(rtypes, combo)))
+
+    best: Optional[DesignResult] = None
+    for per_type in candidates:
+        result = _uniform_result(graph, per_type, latency_bound, area_bound,
+                                 area_model)
+        if result is None:
+            continue
+        if redundancy:
+            result = apply_greedy_redundancy(result, area_bound, max_copies)
+        if best is None or result.reliability > best.reliability:
+            best = result
+
+    if best is None:
+        raise NoSolutionError(
+            f"baseline: no single-version design of {graph.name!r} meets "
+            f"latency <= {latency_bound} and area <= {area_bound}")
+    return best

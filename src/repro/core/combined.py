@@ -1,0 +1,38 @@
+"""The combined approach: version selection + redundancy (Section 7).
+
+The paper's final experiment layers redundancy on top of the
+reliability-centric design: run ``find_design`` first, then replicate
+instances of the *selected* versions while the area bound permits
+("when we add redundancy for an operator, we use the same version
+selected by our reliability-centric approach as duplicate(s)").
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library.library import ResourceLibrary
+from repro.core.design import DesignResult
+from repro.core.find_design import find_design
+from repro.core.redundancy import apply_greedy_redundancy
+
+
+def combined_design(graph: DataFlowGraph,
+                    library: ResourceLibrary,
+                    latency_bound: int,
+                    area_bound: int,
+                    *,
+                    area_model: str = AREA_INSTANCES,
+                    repair: str = "generalized",
+                    refine: bool = True,
+                    max_copies: int = 7) -> DesignResult:
+    """Reliability-centric synthesis followed by greedy redundancy.
+
+    Raises :class:`~repro.errors.NoSolutionError` when even the
+    redundancy-free problem is infeasible.
+    """
+    base = find_design(graph, library, latency_bound, area_bound,
+                       area_model=area_model, repair=repair, refine=refine)
+    result = apply_greedy_redundancy(base, area_bound, max_copies)
+    result.method = "combined"
+    return result

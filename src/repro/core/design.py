@@ -1,0 +1,165 @@
+"""The result object produced by every synthesis entry point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import ReproError
+from repro.hls.binding import Binding
+from repro.hls.metrics import AREA_INSTANCES, AREA_VERSIONS, total_area
+from repro.hls.schedule import Schedule
+from repro.library.version import ResourceVersion
+from repro.reliability.composition import design_reliability
+
+
+@dataclass
+class DesignResult:
+    """A synthesized design: allocation + schedule + binding (+ redundancy).
+
+    Attributes
+    ----------
+    graph:
+        The synthesized data-flow graph.
+    allocation:
+        Operation id → the resource version executing it.
+    schedule:
+        The validated schedule.
+    binding:
+        The instance binding of the schedule.
+    instance_copies:
+        Instance name → replica count (1 = no redundancy).  Replicas
+        model the paper's NMR/duplication baseline: every operation
+        bound to a replicated instance executes on the whole replica
+        group.
+    latency_bound / area_bound:
+        The bounds the design was synthesized under (for reporting).
+    area_model:
+        Area accounting model (see :mod:`repro.hls.metrics`).
+    method:
+        Name of the producing algorithm (for reports).
+    """
+
+    graph: DataFlowGraph
+    allocation: Dict[str, ResourceVersion]
+    schedule: Schedule
+    binding: Binding
+    instance_copies: Dict[str, int] = field(default_factory=dict)
+    latency_bound: Optional[int] = None
+    area_bound: Optional[int] = None
+    area_model: str = AREA_INSTANCES
+    method: str = "find_design"
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> int:
+        """Realized latency in clock cycles."""
+        return self.schedule.latency
+
+    @property
+    def base_area(self) -> int:
+        """Area without redundancy, under the configured model."""
+        return total_area(self.binding, self.area_model)
+
+    @property
+    def redundancy_area(self) -> int:
+        """Extra area contributed by instance replicas."""
+        extra = 0
+        for inst in self.binding.instances:
+            copies = self.instance_copies.get(inst.name, 1)
+            if copies < 1:
+                raise ReproError(
+                    f"instance {inst.name!r} has invalid copy count {copies}")
+            extra += (copies - 1) * inst.version.area
+        return extra
+
+    @property
+    def area(self) -> int:
+        """Total area including redundancy."""
+        return self.base_area + self.redundancy_area
+
+    def copies_by_op(self) -> Dict[str, int]:
+        """Operation id → replica count inherited from its instance."""
+        return {
+            op_id: self.instance_copies.get(inst_name, 1)
+            for op_id, inst_name in self.binding.op_to_instance.items()
+        }
+
+    @property
+    def reliability(self) -> float:
+        """Design reliability (serial product over operations)."""
+        return design_reliability(self.graph, self.allocation,
+                                  self.copies_by_op())
+
+    @property
+    def log_reliability(self) -> float:
+        """ln(reliability); handy for additive comparisons."""
+        return math.log(self.reliability)
+
+    def meets_bounds(self, latency_bound: Optional[int] = None,
+                     area_bound: Optional[int] = None) -> bool:
+        """True when the design satisfies the given (or stored) bounds."""
+        latency_bound = latency_bound if latency_bound is not None \
+            else self.latency_bound
+        area_bound = area_bound if area_bound is not None else self.area_bound
+        if latency_bound is not None and self.latency > latency_bound:
+            return False
+        if area_bound is not None and self.area > area_bound:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def version_histogram(self) -> Dict[str, int]:
+        """Version name → number of operations allocated to it."""
+        histogram: Dict[str, int] = {}
+        for version in self.allocation.values():
+            histogram[version.name] = histogram.get(version.name, 0) + 1
+        return histogram
+
+    def summary(self) -> Dict[str, object]:
+        """A compact JSON-friendly report."""
+        return {
+            "graph": self.graph.name,
+            "method": self.method,
+            "latency": self.latency,
+            "latency_bound": self.latency_bound,
+            "area": self.area,
+            "area_bound": self.area_bound,
+            "area_model": self.area_model,
+            "reliability": self.reliability,
+            "versions": self.version_histogram(),
+            "instances": self.binding.instance_counts(),
+            "redundancy": {name: copies
+                           for name, copies in self.instance_copies.items()
+                           if copies > 1},
+        }
+
+    def as_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"design of {self.graph.name!r} via {self.method}",
+            f"  latency     : {self.latency}"
+            + (f" (bound {self.latency_bound})" if self.latency_bound else ""),
+            f"  area        : {self.area}"
+            + (f" (bound {self.area_bound})" if self.area_bound else ""),
+            f"  reliability : {self.reliability:.5f}",
+            f"  allocation  : {self.version_histogram()}",
+            f"  instances   : {self.binding.instance_counts()}",
+        ]
+        redundant = {n: c for n, c in self.instance_copies.items() if c > 1}
+        if redundant:
+            lines.append(f"  redundancy  : {redundant}")
+        return "\n".join(lines)
+
+
+def check_area_model(model: str) -> str:
+    """Validate an area-model name."""
+    if model not in (AREA_INSTANCES, AREA_VERSIONS):
+        raise ReproError(f"unknown area model {model!r}")
+    return model

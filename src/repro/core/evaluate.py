@@ -1,0 +1,160 @@
+"""Allocation evaluation: schedule + bind + measure under bounds.
+
+Given a complete allocation (operation → version), the concrete
+schedule and binding determine the design's latency and area.  Because
+the paper's density scheduler is time-constrained, stretching the
+schedule toward the latency bound can reduce peak concurrency and thus
+area (the paper's Figure 6, lines 15–21, exploits exactly this slack).
+:func:`evaluate_allocation` scans the feasible latency range and keeps
+the smallest-area realization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import ReproError, SchedulingError
+from repro.hls.binding import Binding, left_edge_bind
+from repro.hls.density import density_schedule
+from repro.hls.listsched import list_schedule
+from repro.hls.metrics import AREA_INSTANCES, total_area
+from repro.hls.schedule import Schedule
+from repro.hls.timing import asap_latency
+from repro.library.version import ResourceVersion
+
+SCHEDULERS = ("auto", "density", "list")
+
+
+@dataclass
+class Evaluation:
+    """One realized allocation: schedule, binding and measurements."""
+
+    schedule: Schedule
+    binding: Binding
+    latency: int
+    area: int
+
+
+def delays_of(allocation: Mapping[str, ResourceVersion]) -> Dict[str, int]:
+    """Per-operation delays implied by an allocation."""
+    return {op_id: version.delay for op_id, version in allocation.items()}
+
+
+def min_latency(graph: DataFlowGraph,
+                allocation: Mapping[str, ResourceVersion]) -> int:
+    """Critical-path latency of *graph* under *allocation*."""
+    return asap_latency(graph, delays_of(allocation))
+
+
+def _count_lower_bounds(graph: DataFlowGraph,
+                        allocation: Mapping[str, ResourceVersion],
+                        latency_bound: int) -> Dict[str, int]:
+    """Work-conservation lower bound on instances per version."""
+    busy: Dict[str, int] = {}
+    for op in graph:
+        version = allocation[op.op_id]
+        busy[version.name] = busy.get(version.name, 0) + version.delay
+    return {name: max(1, math.ceil(cycles / latency_bound))
+            for name, cycles in busy.items()}
+
+
+def _list_realization(graph: DataFlowGraph,
+                      allocation: Mapping[str, ResourceVersion],
+                      latency_bound: int,
+                      area_model: str) -> Optional[Evaluation]:
+    """Minimum-area realization via count-driven list scheduling.
+
+    Starts from the work-conservation lower bound on instance counts
+    and increments the count of whichever version buys the largest
+    latency reduction per unit area, until the schedule fits the bound.
+    """
+    unit_area = {allocation[op.op_id].name: allocation[op.op_id].area
+                 for op in graph}
+    counts = _count_lower_bounds(graph, allocation, latency_bound)
+    max_rounds = sum(counts.values()) + len(graph)
+    for _ in range(max_rounds):
+        schedule = list_schedule(graph, allocation, counts)
+        if schedule.latency <= latency_bound:
+            binding = left_edge_bind(schedule, allocation)
+            return Evaluation(schedule, binding, schedule.latency,
+                              total_area(binding, area_model))
+        best_name = None
+        best_key = None
+        for name in counts:
+            trial = dict(counts)
+            trial[name] += 1
+            latency = list_schedule(graph, allocation, trial).latency
+            key = (latency, unit_area[name], name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_name = name
+        counts[best_name] += 1
+    return None
+
+
+def _density_realization(graph: DataFlowGraph,
+                         allocation: Mapping[str, ResourceVersion],
+                         latency_bound: int,
+                         area_model: str,
+                         stop_at_area: Optional[int]) -> Optional[Evaluation]:
+    """Minimum-area realization over the density scheduler's latency scan."""
+    critical = min_latency(graph, allocation)
+    delays = delays_of(allocation)
+    best: Optional[Evaluation] = None
+    for latency in range(critical, latency_bound + 1):
+        try:
+            schedule = density_schedule(graph, delays, latency)
+            binding = left_edge_bind(schedule, allocation)
+        except SchedulingError:
+            continue
+        area = total_area(binding, area_model)
+        if best is None or area < best.area:
+            best = Evaluation(schedule, binding, schedule.latency, area)
+        if stop_at_area is not None and area <= stop_at_area:
+            break
+    return best
+
+
+def evaluate_allocation(graph: DataFlowGraph,
+                        allocation: Mapping[str, ResourceVersion],
+                        latency_bound: int,
+                        area_model: str = AREA_INSTANCES,
+                        stop_at_area: Optional[int] = None,
+                        scheduler: str = "auto") -> Optional[Evaluation]:
+    """Best (minimum-area) realization of an allocation within a bound.
+
+    Returns ``None`` when even the critical path exceeds the bound.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"density"`` — the paper's partition-density scheduler,
+        scanning latencies from the critical path to the bound;
+        ``"list"`` — count-driven list scheduling, growing instance
+        budgets from the work-conservation lower bound;
+        ``"auto"`` (default) — run both and keep the smaller area
+        (ties: the density result, matching the paper's flow).
+    stop_at_area:
+        Optional early-exit threshold for the density latency scan.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ReproError(
+            f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+    critical = min_latency(graph, allocation)
+    if critical > latency_bound:
+        return None
+
+    candidates = []
+    if scheduler in ("auto", "density"):
+        candidates.append(_density_realization(
+            graph, allocation, latency_bound, area_model, stop_at_area))
+    if scheduler in ("auto", "list"):
+        candidates.append(_list_realization(
+            graph, allocation, latency_bound, area_model))
+    feasible = [c for c in candidates if c is not None]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda e: e.area)

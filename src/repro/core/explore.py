@@ -1,0 +1,114 @@
+"""Design-space exploration: bound sweeps and Pareto analysis.
+
+These drivers generate the paper's Figure 8 trade-off curves and
+Table 2 grids, and additionally expose a three-dimensional
+(latency, area, reliability) Pareto frontier over swept bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import NoSolutionError
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library.library import ResourceLibrary
+from repro.core.baseline import baseline_design
+from repro.core.combined import combined_design
+from repro.core.design import DesignResult
+from repro.core.find_design import find_design
+
+METHODS: Dict[str, Callable] = {
+    "ours": find_design,
+    "baseline": baseline_design,
+    "combined": combined_design,
+}
+
+
+@dataclass
+class SweepPoint:
+    """One (latency bound, area bound) synthesis outcome."""
+
+    latency_bound: int
+    area_bound: int
+    result: Optional[DesignResult]  # None when infeasible
+
+    @property
+    def reliability(self) -> Optional[float]:
+        return self.result.reliability if self.result else None
+
+
+def synthesize(method: str, graph: DataFlowGraph, library: ResourceLibrary,
+               latency_bound: int, area_bound: int,
+               **kwargs) -> DesignResult:
+    """Dispatch to one of the three approaches by name."""
+    try:
+        func = METHODS[method]
+    except KeyError:
+        raise NoSolutionError(
+            f"unknown method {method!r}; use one of {sorted(METHODS)}"
+        ) from None
+    return func(graph, library, latency_bound, area_bound, **kwargs)
+
+
+def sweep_bounds(graph: DataFlowGraph,
+                 library: ResourceLibrary,
+                 latency_bounds: Sequence[int],
+                 area_bounds: Sequence[int],
+                 method: str = "ours",
+                 area_model: str = AREA_INSTANCES,
+                 **kwargs) -> List[SweepPoint]:
+    """Synthesize at every (Ld, Ad) pair; infeasible points yield None."""
+    points = []
+    for latency_bound in latency_bounds:
+        for area_bound in area_bounds:
+            try:
+                result = synthesize(method, graph, library, latency_bound,
+                                    area_bound, area_model=area_model,
+                                    **kwargs)
+            except NoSolutionError:
+                result = None
+            points.append(SweepPoint(latency_bound, area_bound, result))
+    return points
+
+
+def reliability_vs_latency(graph: DataFlowGraph, library: ResourceLibrary,
+                           latency_bounds: Sequence[int], area_bound: int,
+                           method: str = "ours",
+                           **kwargs) -> List[Tuple[int, Optional[float]]]:
+    """The paper's Figure 8(a): reliability as the latency bound varies."""
+    points = sweep_bounds(graph, library, latency_bounds, [area_bound],
+                          method, **kwargs)
+    return [(p.latency_bound, p.reliability) for p in points]
+
+
+def reliability_vs_area(graph: DataFlowGraph, library: ResourceLibrary,
+                        latency_bound: int, area_bounds: Sequence[int],
+                        method: str = "ours",
+                        **kwargs) -> List[Tuple[int, Optional[float]]]:
+    """The paper's Figure 8(b): reliability as the area bound varies."""
+    points = sweep_bounds(graph, library, [latency_bound], area_bounds,
+                          method, **kwargs)
+    return [(p.area_bound, p.reliability) for p in points]
+
+
+def pareto_frontier(points: Iterable[SweepPoint]) -> List[SweepPoint]:
+    """Non-dominated feasible points in (latency, area, −reliability).
+
+    A point dominates another when it is no worse on all three axes
+    (realized latency, realized area, reliability) and strictly better
+    on at least one.
+    """
+    feasible = [p for p in points if p.result is not None]
+
+    def dominates(a: SweepPoint, b: SweepPoint) -> bool:
+        ra, rb = a.result, b.result
+        no_worse = (ra.latency <= rb.latency and ra.area <= rb.area
+                    and ra.reliability >= rb.reliability)
+        strictly = (ra.latency < rb.latency or ra.area < rb.area
+                    or ra.reliability > rb.reliability)
+        return no_worse and strictly
+
+    return [p for p in feasible
+            if not any(dominates(q, p) for q in feasible if q is not p)]

@@ -1,0 +1,325 @@
+"""The paper's Figure 6 algorithm: reliability-centric synthesis.
+
+``find_design`` maximizes design reliability under latency and area
+bounds:
+
+1. **Initial allocation** — the most reliable version for every
+   operation (this is the global reliability optimum, possibly
+   violating both bounds).
+2. **Latency loop** (Figure 6, lines 7–12) — while the critical path
+   exceeds the bound, pick a critical-path victim and give it a
+   faster (usually less reliable) version.
+3. **Slack exploitation** (lines 15–21) — realize the allocation at
+   the latency, up to the bound, that minimizes area; stretching the
+   schedule lets more operations share an instance.
+4. **Area loop** (lines 23–28) — while the area exceeds the bound,
+   re-allocate a whole sharing group to another version.  The default
+   ``repair="generalized"`` policy considers *any* alternative version
+   and judges candidates by realized total area (which also captures
+   instance-count savings from faster versions); ``repair="paper"``
+   restricts replacements to strictly-smaller-area versions, the
+   literal Figure 6 rule.  Candidates that would break the latency
+   bound are rejected, as the paper prescribes.
+5. **Refinement** (optional, ``refine=True``) — spend leftover area
+   upgrading allocations back to more reliable versions while both
+   bounds still hold: first whole version groups, then single
+   operations (a hill climb that discovers mixed allocations such as
+   "seven pre-adders on the slow reliable adder, one on the fast
+   one").  This is a monotone improvement the paper's greedy leaves on
+   the table; disable it for a strictly faithful run.
+
+Throughout the search every feasible realization encountered is
+remembered and the most reliable one is returned, so a late unlucky
+greedy step cannot discard an earlier feasible design.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Mapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import NoSolutionError, ReproError
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library.library import ResourceLibrary
+from repro.library.version import ResourceVersion
+from repro.core.design import DesignResult, check_area_model
+from repro.core.evaluate import evaluate_allocation, min_latency
+from repro.core.victims import group_swaps, select_latency_victim
+
+REPAIR_POLICIES = ("generalized", "paper")
+
+
+def _allocation_log_reliability(allocation: Mapping[str, ResourceVersion]
+                                ) -> float:
+    return sum(math.log(v.reliability) for v in allocation.values())
+
+
+class _Search:
+    """Mutable state of one find_design run."""
+
+    def __init__(self, graph: DataFlowGraph, library: ResourceLibrary,
+                 latency_bound: int, area_bound: int, area_model: str,
+                 method: str):
+        self.graph = graph
+        self.library = library
+        self.latency_bound = latency_bound
+        self.area_bound = area_bound
+        self.area_model = area_model
+        self.method = method
+        self.best: Optional[DesignResult] = None
+
+    def consider(self, allocation: Dict[str, ResourceVersion]
+                 ) -> Optional[DesignResult]:
+        """Realize *allocation*; record it if feasible; return result."""
+        evaluation = evaluate_allocation(
+            self.graph, allocation, self.latency_bound, self.area_model)
+        if evaluation is None:
+            return None
+        result = DesignResult(
+            graph=self.graph,
+            allocation=dict(allocation),
+            schedule=evaluation.schedule,
+            binding=evaluation.binding,
+            latency_bound=self.latency_bound,
+            area_bound=self.area_bound,
+            area_model=self.area_model,
+            method=self.method,
+        )
+        if result.area <= self.area_bound:
+            if self.best is None or result.reliability > self.best.reliability:
+                self.best = result
+        return result
+
+
+def find_design(graph: DataFlowGraph,
+                library: ResourceLibrary,
+                latency_bound: int,
+                area_bound: int,
+                *,
+                area_model: str = AREA_INSTANCES,
+                repair: str = "generalized",
+                refine: bool = True,
+                fallback: bool = True,
+                latency_sweep: bool = True) -> DesignResult:
+    """Synthesize the most reliable design within the given bounds.
+
+    Parameters
+    ----------
+    graph:
+        Data-flow graph ``Gs(V, E)``.
+    library:
+        Characterized resource library ``R``.
+    latency_bound:
+        Desired latency ``Ld`` in clock cycles.
+    area_bound:
+        Desired area ``Ad`` in area units.
+    area_model:
+        Accounting model, see :mod:`repro.hls.metrics`.
+    repair:
+        Area-loop policy: ``"generalized"`` (default) or ``"paper"``.
+    refine:
+        Spend leftover area on reliability upgrades when ``True``.
+    fallback:
+        When the greedy trajectory ends infeasible, additionally sweep
+        all uniform (one version per type) allocations before giving
+        up.
+    latency_sweep:
+        Run the greedy trajectory once per effective latency bound in
+        ``[fastest critical path, latency_bound]`` and keep the best.
+        The single-trajectory greedy is not monotone in the latency
+        bound — a looser bound stops the latency loop earlier, which
+        can strand the search in a worse region — so the sweep both
+        restores monotonicity and finds strictly better designs.
+        Disable for the fastest, single-trajectory behaviour.
+
+    Returns
+    -------
+    DesignResult
+
+    Raises
+    ------
+    NoSolutionError
+        When no explored allocation meets both bounds.
+    """
+    graph.validate()
+    check_area_model(area_model)
+    if repair not in REPAIR_POLICIES:
+        raise ReproError(
+            f"unknown repair policy {repair!r}; use one of {REPAIR_POLICIES}")
+    if latency_bound < 1 or area_bound < 1:
+        raise ReproError("latency and area bounds must be positive")
+
+    search = _Search(graph, library, latency_bound, area_bound, area_model,
+                     method="find_design")
+
+    fastest = {op.op_id: library.fastest(op.rtype) for op in graph}
+    floor = min_latency(graph, fastest)
+    if latency_sweep:
+        horizons = range(min(floor, latency_bound), latency_bound + 1)
+    else:
+        horizons = [latency_bound]
+    seen_allocations: set = set()
+    for horizon in horizons:
+        _trajectory(search, horizon, repair, refine, seen_allocations)
+
+    # Fallback: uniform single-version allocations.
+    if fallback and search.best is None:
+        for combo in uniform_allocations(graph, library):
+            search.consider(combo)
+
+    if search.best is None:
+        achieved = search_achievements(graph, library, latency_bound,
+                                       area_model)
+        raise NoSolutionError(
+            f"no design of {graph.name!r} meets latency <= {latency_bound} "
+            f"and area <= {area_bound}",
+            latency=achieved.get("latency"),
+            area=achieved.get("area"),
+        )
+    return search.best
+
+
+def _trajectory(search: _Search, horizon: int, repair: str,
+                refine: bool, seen_allocations: Optional[set] = None) -> None:
+    """One Figure 6 greedy trajectory with effective latency *horizon*."""
+    graph, library = search.graph, search.library
+    area_bound = search.area_bound
+
+    # 1. Most reliable version everywhere (Figure 6, line 3).
+    allocation: Dict[str, ResourceVersion] = {
+        op.op_id: library.most_reliable(op.rtype) for op in graph
+    }
+
+    # 2. Latency loop (lines 7-12).
+    while min_latency(graph, allocation) > horizon:
+        victim = select_latency_victim(graph, library, allocation)
+        if victim is None:
+            return
+        allocation[victim.op_id] = victim.new_version
+
+    if seen_allocations is not None:
+        signature = tuple(sorted(
+            (op_id, version.name) for op_id, version in allocation.items()))
+        if signature in seen_allocations:
+            return  # same start as a previous horizon's trajectory
+        seen_allocations.add(signature)
+
+    current = search.consider(allocation)
+
+    # 3/4. Area repair loop (lines 15-28; slack exploitation happens
+    # inside evaluate_allocation's latency scan).
+    if current is not None:
+        guard = 0
+        while current.area > area_bound:
+            guard += 1
+            if guard > 10 * max(1, len(library)) * len(graph):
+                raise ReproError("area repair loop failed to terminate")
+            chosen = None
+            chosen_key = None
+            for swap in group_swaps(library, allocation,
+                                    smaller_only=(repair == "paper")):
+                trial_alloc = swap.apply(allocation)
+                trial = search.consider(trial_alloc)
+                if trial is None:     # violates the latency bound
+                    continue
+                if trial.area >= current.area:
+                    continue
+                loss = (_allocation_log_reliability(allocation)
+                        - _allocation_log_reliability(trial_alloc))
+                key = (trial.area, loss, swap.new_version.name)
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = (swap, trial)
+            if chosen is None:
+                break
+            swap, current = chosen
+            allocation = swap.apply(allocation)
+
+    # 5. Refinement: upgrade groups, then single ops, while bounds hold.
+    if refine and search.best is not None:
+        allocation = dict(search.best.allocation)
+        improved = True
+        while improved:
+            improved = False
+            chosen = None
+            chosen_gain = 0.0
+            for swap in group_swaps(library, allocation):
+                gain = (len(swap.ops)
+                        * (math.log(swap.new_version.reliability)
+                           - math.log(swap.old_version.reliability)))
+                if gain <= 1e-12:
+                    continue
+                trial = search.consider(swap.apply(allocation))
+                if trial is None or trial.area > area_bound:
+                    continue
+                if gain > chosen_gain:
+                    chosen_gain = gain
+                    chosen = swap
+            if chosen is not None:
+                allocation = chosen.apply(allocation)
+                improved = True
+        _refine_per_op(search, allocation)
+
+
+def _refine_per_op(search: _Search,
+                   allocation: Dict[str, ResourceVersion]) -> None:
+    """Hill-climb single-operation upgrades toward higher reliability.
+
+    At each round, the feasible single-op version change with the
+    largest reliability gain is applied; the climb stops when no
+    single change both improves reliability and stays within bounds.
+    Feasible intermediate states are recorded in *search* as usual.
+    """
+    while True:
+        chosen = None
+        chosen_gain = 0.0
+        for op in search.graph:
+            current = allocation[op.op_id]
+            for candidate in search.library.versions_of(op.rtype):
+                gain = (math.log(candidate.reliability)
+                        - math.log(current.reliability))
+                if gain <= chosen_gain + 1e-12:
+                    continue
+                trial_alloc = dict(allocation)
+                trial_alloc[op.op_id] = candidate
+                trial = search.consider(trial_alloc)
+                if trial is None or trial.area > search.area_bound:
+                    continue
+                chosen_gain = gain
+                chosen = (op.op_id, candidate)
+        if chosen is None:
+            return
+        op_id, version = chosen
+        allocation[op_id] = version
+
+
+def uniform_allocations(graph: DataFlowGraph, library: ResourceLibrary
+                        ) -> List[Dict[str, ResourceVersion]]:
+    """Every allocation using one fixed version per resource type."""
+    rtypes = graph.rtypes()
+    choices = [library.versions_of(rtype) for rtype in rtypes]
+    allocations = []
+    for combo in itertools.product(*choices):
+        per_type = dict(zip(rtypes, combo))
+        allocations.append(
+            {op.op_id: per_type[op.rtype] for op in graph})
+    return allocations
+
+
+def search_achievements(graph: DataFlowGraph, library: ResourceLibrary,
+                        latency_bound: int, area_model: str) -> Dict[str, int]:
+    """Best latency and area reachable independently (for diagnostics)."""
+    fastest = {op.op_id: library.fastest(op.rtype) for op in graph}
+    best_latency = min_latency(graph, fastest)
+    evaluation = evaluate_allocation(
+        graph,
+        {op.op_id: library.smallest(op.rtype) for op in graph},
+        max(latency_bound, best_latency) + len(graph),
+        area_model,
+    )
+    report = {"latency": best_latency}
+    if evaluation is not None:
+        report["area"] = evaluation.area
+    return report

@@ -1,0 +1,97 @@
+"""Alternate optimization objectives (the paper's future work).
+
+Section 8 of the paper lists "optimizing area under reliability and
+performance constraints, or optimizing performance under reliability
+and area constraints" as future work.  Both reduce to sweeps over the
+bound being minimized with ``find_design`` as the feasibility oracle:
+reliability is monotone non-decreasing in both bounds (a looser bound
+never forces a worse design), so the first sweep point whose maximal
+reliability reaches the requirement is the optimum for that axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import NoSolutionError, ReproError
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library.library import ResourceLibrary
+from repro.core.design import DesignResult
+from repro.core.evaluate import min_latency
+from repro.core.find_design import find_design
+
+
+def _check_target(min_reliability: float) -> None:
+    if not (0.0 < min_reliability <= 1.0):
+        raise ReproError(
+            f"min_reliability must be in (0, 1], got {min_reliability}")
+
+
+def minimize_area(graph: DataFlowGraph,
+                  library: ResourceLibrary,
+                  latency_bound: int,
+                  min_reliability: float,
+                  *,
+                  max_area: Optional[int] = None,
+                  area_model: str = AREA_INSTANCES) -> DesignResult:
+    """Smallest-area design meeting a reliability floor and a latency bound.
+
+    Sweeps the area bound upward from the theoretical minimum (one
+    smallest instance per resource type) to *max_area* (default: every
+    operation on its own largest instance).
+    """
+    _check_target(min_reliability)
+    lower = sum(library.smallest(t).area for t in graph.rtypes())
+    if max_area is None:
+        max_area = sum(max(v.area for v in library.versions_of(op.rtype))
+                       for op in graph)
+    for area in range(lower, max_area + 1):
+        try:
+            result = find_design(graph, library, latency_bound, area,
+                                 area_model=area_model)
+        except NoSolutionError:
+            continue
+        if result.reliability >= min_reliability:
+            result.method = "minimize_area"
+            return result
+    raise NoSolutionError(
+        f"no design of {graph.name!r} reaches reliability "
+        f">= {min_reliability} within latency {latency_bound} and area "
+        f"<= {max_area}")
+
+
+def minimize_latency(graph: DataFlowGraph,
+                     library: ResourceLibrary,
+                     area_bound: int,
+                     min_reliability: float,
+                     *,
+                     max_latency: Optional[int] = None,
+                     area_model: str = AREA_INSTANCES) -> DesignResult:
+    """Fastest design meeting a reliability floor and an area bound.
+
+    Sweeps the latency bound upward from the all-fastest critical path.
+    """
+    _check_target(min_reliability)
+    fastest = {op.op_id: library.fastest(op.rtype) for op in graph}
+    lower = min_latency(graph, fastest)
+    if max_latency is None:
+        slowest = {
+            op.op_id: max(library.versions_of(op.rtype),
+                          key=lambda v: v.delay)
+            for op in graph
+        }
+        max_latency = min_latency(graph, slowest) + len(graph)
+    for latency in range(lower, max_latency + 1):
+        try:
+            result = find_design(graph, library, latency, area_bound,
+                                 area_model=area_model)
+        except NoSolutionError:
+            continue
+        if result.reliability >= min_reliability:
+            result.method = "minimize_latency"
+            return result
+    raise NoSolutionError(
+        f"no design of {graph.name!r} reaches reliability "
+        f">= {min_reliability} within area {area_bound} and latency "
+        f"<= {max_latency}")

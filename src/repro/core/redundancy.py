@@ -1,0 +1,102 @@
+"""Greedy instance-level redundancy insertion (paper Sections 5, 7).
+
+The redundancy-based baseline (the paper's reference [3]) and the
+combined approach both grow replica groups around physical instances:
+replicating an instance of area ``A`` costs ``A`` extra area
+(checker/voter area is excluded, following the paper) and lifts every
+operation bound to it from ``R`` to the replica-group reliability of
+:func:`repro.reliability.nmr.redundant_reliability`.
+
+The greedy loop repeatedly applies the best replica upgrade that still
+fits the area bound, where "best" means the largest gain in the
+design's log-reliability (ties: cheapest, then instance name).  Both
+``copies + 1`` and ``copies + 2`` upgrades are examined at each step
+because the reliability of a replica group is not monotone in the
+replica count (a duplex pair with rollback beats bare TMR), so the
+best reachable configuration may require stepping by two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.design import DesignResult
+from repro.reliability.nmr import redundant_reliability
+
+
+@dataclass(frozen=True)
+class Upgrade:
+    """One replica-count increase for one instance."""
+
+    instance: str
+    old_copies: int
+    new_copies: int
+    cost: int
+    gain: float  # increase in ln(design reliability)
+
+
+def _group_log_reliability(reliability: float, copies: int, ops: int) -> float:
+    return ops * math.log(redundant_reliability(reliability, copies))
+
+
+def best_upgrade(result: DesignResult, area_bound: int,
+                 max_copies: int = 7) -> Optional[Upgrade]:
+    """The most valuable affordable replica upgrade, if any."""
+    slack = area_bound - result.area
+    if slack <= 0:
+        return None
+    best: Optional[Upgrade] = None
+    best_key = None
+    for inst in result.binding.instances:
+        copies = result.instance_copies.get(inst.name, 1)
+        reliability = inst.version.reliability
+        ops = len(inst.ops)
+        for target in (copies + 1, copies + 2):
+            if target > max_copies:
+                continue
+            cost = (target - copies) * inst.version.area
+            if cost > slack:
+                continue
+            gain = (_group_log_reliability(reliability, target, ops)
+                    - _group_log_reliability(reliability, copies, ops))
+            if gain <= 1e-15:
+                continue
+            key = (-gain, cost, inst.name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = Upgrade(inst.name, copies, target, cost, gain)
+    return best
+
+
+def apply_greedy_redundancy(result: DesignResult,
+                            area_bound: Optional[int] = None,
+                            max_copies: int = 7) -> DesignResult:
+    """Fill leftover area with the greedy replica upgrades.
+
+    Returns a new :class:`DesignResult` sharing the schedule and
+    binding but with updated ``instance_copies``.  The input result is
+    not modified.
+    """
+    area_bound = area_bound if area_bound is not None else result.area_bound
+    if area_bound is None:
+        raise ValueError("an area bound is required to add redundancy")
+
+    copies: Dict[str, int] = dict(result.instance_copies)
+    upgraded = DesignResult(
+        graph=result.graph,
+        allocation=dict(result.allocation),
+        schedule=result.schedule,
+        binding=result.binding,
+        instance_copies=copies,
+        latency_bound=result.latency_bound,
+        area_bound=area_bound,
+        area_model=result.area_model,
+        method=result.method,
+    )
+    while True:
+        upgrade = best_upgrade(upgraded, area_bound, max_copies)
+        if upgrade is None:
+            return upgraded
+        copies[upgrade.instance] = upgrade.new_copies

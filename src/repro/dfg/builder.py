@@ -1,0 +1,110 @@
+"""Fluent construction of data-flow graphs.
+
+:class:`DFGBuilder` removes the boilerplate of naming every node when
+writing benchmarks by hand::
+
+    b = DFGBuilder("example")
+    a = b.add("add")                 # auto-named "+1"
+    c = b.add("add", deps=[a])       # auto-named "+2", consumes +1
+    m = b.mul(deps=[a, c])           # auto-named "*1"
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.node import KIND_GLYPH
+
+
+class DFGBuilder:
+    """Incrementally build a :class:`DataFlowGraph` with auto-naming."""
+
+    def __init__(self, name: str = "dfg"):
+        self._graph = DataFlowGraph(name)
+        self._counters: Dict[str, int] = {}
+        self._built = False
+
+    def _next_id(self, kind: str) -> str:
+        self._counters[kind] = self._counters.get(kind, 0) + 1
+        glyph = KIND_GLYPH.get(kind, kind[:1])
+        return f"{glyph}{self._counters[kind]}"
+
+    def add(self, kind: str = "add", deps: Iterable[str] = (),
+            op_id: Optional[str] = None, rtype: str = "",
+            label: Optional[str] = None) -> str:
+        """Add an operation; returns its id for wiring later nodes."""
+        op_id = op_id or self._next_id(kind)
+        self._graph.add(op_id, kind, deps=deps, rtype=rtype, label=label)
+        return op_id
+
+    # Shorthands for the common kinds -----------------------------------
+    def adder(self, deps: Iterable[str] = (), op_id: Optional[str] = None,
+              label: Optional[str] = None) -> str:
+        """Add an addition node."""
+        return self.add("add", deps, op_id, label=label)
+
+    def sub(self, deps: Iterable[str] = (), op_id: Optional[str] = None,
+            label: Optional[str] = None) -> str:
+        """Add a subtraction node (adder-class resource)."""
+        return self.add("sub", deps, op_id, label=label)
+
+    def cmp(self, deps: Iterable[str] = (), op_id: Optional[str] = None,
+            label: Optional[str] = None) -> str:
+        """Add a comparison node (adder-class resource)."""
+        return self.add("cmp", deps, op_id, label=label)
+
+    def mul(self, deps: Iterable[str] = (), op_id: Optional[str] = None,
+            label: Optional[str] = None) -> str:
+        """Add a multiplication node."""
+        return self.add("mul", deps, op_id, label=label)
+
+    def depend(self, producer: str, consumer: str) -> "DFGBuilder":
+        """Add an extra dependency edge between existing nodes."""
+        self._graph.add_edge(producer, consumer)
+        return self
+
+    def build(self, validate: bool = True) -> DataFlowGraph:
+        """Finish and return the graph (builder stays usable)."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+
+def chain(kind: str, length: int, name: str = "chain") -> DataFlowGraph:
+    """A straight-line dependency chain of *length* operations."""
+    builder = DFGBuilder(name)
+    prev: Optional[str] = None
+    for _ in range(length):
+        prev = builder.add(kind, deps=[prev] if prev else [])
+    return builder.build()
+
+
+def reduction_tree(kind: str, leaves: int,
+                   name: str = "tree") -> DataFlowGraph:
+    """A balanced binary reduction over *leaves* inputs.
+
+    The resulting graph has ``leaves - 1`` operations; the first layer's
+    operations read primary inputs only (no in-graph dependencies).
+    """
+    if leaves < 2:
+        raise ValueError("a reduction tree needs at least two leaves")
+    builder = DFGBuilder(name)
+    frontier = [builder.add(kind) for _ in range(leaves // 2)]
+    carry_over = leaves % 2  # one raw input still waiting to be combined
+    while len(frontier) + carry_over > 1:
+        next_frontier = []
+        if carry_over and frontier:
+            # fold the odd raw input into the first combine of this layer
+            first = frontier.pop(0)
+            next_frontier.append(builder.add(kind, deps=[first]))
+            carry_over = 0
+        while len(frontier) >= 2:
+            a = frontier.pop(0)
+            b = frontier.pop(0)
+            next_frontier.append(builder.add(kind, deps=[a, b]))
+        if frontier:  # odd node left: promote it
+            next_frontier.append(frontier.pop(0))
+        frontier = next_frontier
+    return builder.build()

@@ -1,0 +1,101 @@
+"""Synthetic data-flow-graph generators.
+
+Used by the property-based tests and the ablation benchmarks to stress
+the schedulers on graphs beyond the paper's three benchmarks.  All
+generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.node import KIND_GLYPH
+
+
+def random_dag(n_ops: int,
+               seed: int = 0,
+               edge_prob: float = 0.3,
+               kinds: Sequence[str] = ("add", "mul"),
+               kind_weights: Optional[Sequence[float]] = None,
+               max_fanin: int = 2,
+               name: Optional[str] = None) -> DataFlowGraph:
+    """A random DAG with *n_ops* operations.
+
+    Each operation draws up to *max_fanin* dependencies from earlier
+    operations, each accepted with probability *edge_prob* — so the
+    graph is acyclic by construction and roughly layered.
+    """
+    if n_ops < 1:
+        raise ValueError("n_ops must be positive")
+    rng = random.Random(seed)
+    graph = DataFlowGraph(name or f"random{n_ops}s{seed}")
+    ids = []
+    counters = {kind: 0 for kind in kinds}
+    for index in range(n_ops):
+        kind = rng.choices(list(kinds), weights=kind_weights)[0]
+        counters[kind] += 1
+        glyph = KIND_GLYPH.get(kind, kind[:1])
+        op_id = f"{glyph}{counters[kind]}"
+        graph.add(op_id, kind)
+        if index:
+            pool = rng.sample(ids, min(len(ids), max_fanin))
+            deps = [p for p in pool if rng.random() < edge_prob]
+            if not deps and rng.random() < edge_prob:
+                deps = [rng.choice(ids)]
+            for dep in deps:
+                graph.add_edge(dep, op_id)
+        ids.append(op_id)
+    return graph
+
+
+def layered_dag(layers: int,
+                width: int,
+                seed: int = 0,
+                kinds: Sequence[str] = ("add", "mul"),
+                name: Optional[str] = None) -> DataFlowGraph:
+    """A layered DAG: every operation depends on 1–2 ops one layer up.
+
+    Layered graphs have predictable depth (= *layers*), which makes
+    them handy for latency-bound stress tests.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive")
+    rng = random.Random(seed)
+    graph = DataFlowGraph(name or f"layered{layers}x{width}s{seed}")
+    previous: list = []
+    counter = 0
+    for layer in range(layers):
+        current = []
+        for _ in range(width):
+            counter += 1
+            kind = rng.choice(list(kinds))
+            op_id = f"{KIND_GLYPH.get(kind, '?')}{counter}"
+            graph.add(op_id, kind)
+            if previous:
+                for dep in rng.sample(previous, min(len(previous),
+                                                    rng.randint(1, 2))):
+                    graph.add_edge(dep, op_id)
+            current.append(op_id)
+        previous = current
+    return graph
+
+
+def fir_like(taps: int, seed: int = 0,
+             name: Optional[str] = None) -> DataFlowGraph:
+    """A transposed-FIR-shaped graph: ``taps`` multiplies feeding an
+    accumulation chain of ``taps - 1`` additions (2·taps − 1 ops)."""
+    if taps < 2:
+        raise ValueError("need at least two taps")
+    graph = DataFlowGraph(name or f"firlike{taps}")
+    products = []
+    for index in range(1, taps + 1):
+        graph.add(f"*{index}", "mul")
+        products.append(f"*{index}")
+    accumulator = products[0]
+    for index in range(1, taps):
+        add_id = f"+{index}"
+        graph.add(add_id, "add", deps=[accumulator, products[index]])
+        accumulator = add_id
+    return graph

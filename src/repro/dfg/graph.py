@@ -1,0 +1,202 @@
+"""The data-flow graph (DFG) container.
+
+A :class:`DataFlowGraph` is a directed acyclic graph whose nodes are
+:class:`~repro.dfg.node.Operation` objects and whose edges are data
+dependencies (producer → consumer).  It is the input to every
+scheduling and synthesis routine in this library, mirroring the paper's
+``Gs(V, E)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.dfg.node import Operation
+from repro.errors import DFGError
+
+
+class DataFlowGraph:
+    """A directed acyclic graph of operations with data-dependency edges."""
+
+    def __init__(self, name: str = "dfg"):
+        self.name = name
+        self._g = nx.DiGraph()
+        self._ops: Dict[str, Operation] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> Operation:
+        """Add *op* to the graph.  Duplicate ids are rejected."""
+        if op.op_id in self._ops:
+            raise DFGError(f"duplicate operation id {op.op_id!r} in {self.name!r}")
+        self._ops[op.op_id] = op
+        self._g.add_node(op.op_id)
+        return op
+
+    def add(self, op_id: str, kind: str, deps: Iterable[str] = (),
+            rtype: str = "", label: Optional[str] = None) -> Operation:
+        """Convenience: create an operation and wire its dependencies."""
+        op = self.add_operation(Operation(op_id, kind, rtype, label))
+        for dep in deps:
+            self.add_edge(dep, op_id)
+        return op
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        """Add a data dependency: *consumer* reads *producer*'s result."""
+        for end in (producer, consumer):
+            if end not in self._ops:
+                raise DFGError(
+                    f"edge ({producer!r} -> {consumer!r}) references unknown "
+                    f"operation {end!r}"
+                )
+        if producer == consumer:
+            raise DFGError(f"self-dependency on {producer!r}")
+        self._g.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(producer, consumer)
+            raise DFGError(
+                f"edge ({producer!r} -> {consumer!r}) would create a cycle"
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, op_id: str) -> bool:
+        return op_id in self._ops
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops.values())
+
+    def operation(self, op_id: str) -> Operation:
+        """Return the operation with id *op_id*."""
+        try:
+            return self._ops[op_id]
+        except KeyError:
+            raise DFGError(f"no operation {op_id!r} in {self.name!r}") from None
+
+    def operations(self) -> List[Operation]:
+        """All operations, in insertion order."""
+        return list(self._ops.values())
+
+    def op_ids(self) -> List[str]:
+        """All operation ids, in insertion order."""
+        return list(self._ops)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All dependency edges as (producer, consumer) pairs."""
+        return list(self._g.edges())
+
+    def predecessors(self, op_id: str) -> List[str]:
+        """Ids of operations whose results *op_id* consumes."""
+        self.operation(op_id)
+        return list(self._g.predecessors(op_id))
+
+    def successors(self, op_id: str) -> List[str]:
+        """Ids of operations consuming *op_id*'s result."""
+        self.operation(op_id)
+        return list(self._g.successors(op_id))
+
+    def sources(self) -> List[str]:
+        """Operations with no predecessors (read primary inputs only)."""
+        return [n for n in self._ops if self._g.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        """Operations with no successors (produce primary outputs)."""
+        return [n for n in self._ops if self._g.out_degree(n) == 0]
+
+    def topological_order(self) -> List[str]:
+        """A topological ordering of operation ids (stable for ties)."""
+        return list(nx.lexicographical_topological_sort(
+            self._g, key=lambda n: list(self._ops).index(n)))
+
+    def counts_by_rtype(self) -> Dict[str, int]:
+        """Number of operations per resource type."""
+        counts: Dict[str, int] = {}
+        for op in self._ops.values():
+            counts[op.rtype] = counts.get(op.rtype, 0) + 1
+        return counts
+
+    def rtypes(self) -> List[str]:
+        """Sorted list of resource types present in the graph."""
+        return sorted(self.counts_by_rtype())
+
+    def nx_graph(self) -> nx.DiGraph:
+        """A copy of the underlying :class:`networkx.DiGraph`."""
+        return self._g.copy()
+
+    # ------------------------------------------------------------------
+    # manipulation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "DataFlowGraph":
+        """A deep copy (operations are immutable and shared)."""
+        clone = DataFlowGraph(name or self.name)
+        for op in self._ops.values():
+            clone.add_operation(op)
+        for u, v in self._g.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def relabeled(self, prefix: str, name: Optional[str] = None) -> "DataFlowGraph":
+        """A copy with every id prefixed by *prefix* (for graph merging)."""
+        clone = DataFlowGraph(name or f"{prefix}{self.name}")
+        for op in self._ops.values():
+            clone.add_operation(Operation(
+                prefix + op.op_id, op.kind, op.rtype, op.label))
+        for u, v in self._g.edges():
+            clone.add_edge(prefix + u, prefix + v)
+        return clone
+
+    def merged_with(self, other: "DataFlowGraph",
+                    name: Optional[str] = None) -> "DataFlowGraph":
+        """Disjoint union with *other*; ids must not collide."""
+        merged = self.copy(name or f"{self.name}+{other.name}")
+        for op in other.operations():
+            merged.add_operation(op)
+        for u, v in other.edges():
+            merged.add_edge(u, v)
+        return merged
+
+    # ------------------------------------------------------------------
+    # validation / serialization
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`DFGError` if the graph is not a well-formed DAG."""
+        if not self._ops:
+            raise DFGError(f"{self.name!r} has no operations")
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise DFGError(f"{self.name!r} contains a cycle")
+        for node in self._g.nodes():
+            if node not in self._ops:
+                raise DFGError(f"{self.name!r}: edge endpoint {node!r} has no "
+                               "operation record")
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary."""
+        return {
+            "name": self.name,
+            "operations": [op.to_dict() for op in self._ops.values()],
+            "edges": [list(edge) for edge in self._g.edges()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataFlowGraph":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            graph = cls(str(data.get("name", "dfg")))
+            for op_data in data["operations"]:
+                graph.add_operation(Operation.from_dict(op_data))
+            for producer, consumer in data["edges"]:
+                graph.add_edge(producer, consumer)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DFGError(f"malformed DFG dictionary: {exc}") from exc
+        return graph
+
+    def __repr__(self) -> str:
+        return (f"DataFlowGraph(name={self.name!r}, ops={len(self._ops)}, "
+                f"edges={self._g.number_of_edges()})")

@@ -1,0 +1,111 @@
+"""Operation nodes of a data-flow graph.
+
+The paper's designs are built from two resource classes — adders and
+multipliers — but its benchmarks (notably the HAL differential-equation
+solver) also contain subtractions and comparisons, which classical HLS
+maps onto the adder/ALU class.  We therefore distinguish an operation's
+*kind* (what it computes: ``add``, ``sub``, ``cmp``, ``mul``, ...) from
+its *resource type* (which library class executes it: ``add`` or
+``mul``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import DFGError
+
+#: Resource class executing additions, subtractions and comparisons.
+RTYPE_ADD = "add"
+#: Resource class executing multiplications.
+RTYPE_MUL = "mul"
+
+#: Default mapping from operation kind to resource type.  Subtraction and
+#: comparison are adder-class operations, as in classical HLS libraries.
+KIND_TO_RTYPE: Mapping[str, str] = {
+    "add": RTYPE_ADD,
+    "sub": RTYPE_ADD,
+    "cmp": RTYPE_ADD,
+    "mul": RTYPE_MUL,
+}
+
+#: Display glyphs used by the paper's figures (e.g. ``+3``, ``*7``).
+KIND_GLYPH: Mapping[str, str] = {
+    "add": "+",
+    "sub": "-",
+    "cmp": "<",
+    "mul": "*",
+}
+
+
+def known_kinds() -> tuple:
+    """Return the operation kinds understood by the default mapping."""
+    return tuple(KIND_TO_RTYPE)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single operation (node) of a data-flow graph.
+
+    Parameters
+    ----------
+    op_id:
+        Unique identifier within its graph, e.g. ``"+3"`` or ``"m1"``.
+    kind:
+        What the node computes (``add``, ``sub``, ``cmp``, ``mul``).
+    rtype:
+        Resource class that executes the node.  Defaults to
+        :data:`KIND_TO_RTYPE`'s entry for *kind*.
+    label:
+        Optional human-readable label for exports and reports.
+    """
+
+    op_id: str
+    kind: str
+    rtype: str = field(default="")
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.op_id:
+            raise DFGError("operation id must be a non-empty string")
+        if not self.kind:
+            raise DFGError(f"operation {self.op_id!r} has an empty kind")
+        if not self.rtype:
+            try:
+                derived = KIND_TO_RTYPE[self.kind]
+            except KeyError:
+                raise DFGError(
+                    f"operation {self.op_id!r}: unknown kind {self.kind!r}; "
+                    f"pass rtype= explicitly or use one of {known_kinds()}"
+                ) from None
+            object.__setattr__(self, "rtype", derived)
+
+    @property
+    def glyph(self) -> str:
+        """Display glyph (``+``, ``-``, ``<``, ``*``) for this node."""
+        return KIND_GLYPH.get(self.kind, "?")
+
+    def display_name(self) -> str:
+        """Name used in figures: the label if set, else the id."""
+        return self.label if self.label else self.op_id
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dictionary (JSON-friendly)."""
+        data = {"id": self.op_id, "kind": self.kind, "rtype": self.rtype}
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Operation":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                op_id=str(data["id"]),
+                kind=str(data["kind"]),
+                rtype=str(data.get("rtype", "")),
+                label=data.get("label"),
+            )
+        except KeyError as exc:
+            raise DFGError(f"operation dict missing key: {exc}") from exc

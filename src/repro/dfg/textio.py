@@ -1,0 +1,93 @@
+"""Plain-text and JSON persistence for data-flow graphs.
+
+The text format is line oriented and diff-friendly::
+
+    # a comment
+    dfg example
+    node +A add
+    node *1 mul
+    edge +A *1
+
+``node ID KIND [RTYPE]`` declares an operation; ``edge SRC DST`` a
+dependency.  Declarations may appear in any order as long as every edge
+endpoint is eventually declared.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import DFGError
+
+PathLike = Union[str, Path]
+
+
+def dumps(graph: DataFlowGraph) -> str:
+    """Serialize *graph* to the text format."""
+    lines: List[str] = [f"dfg {graph.name}"]
+    for op in graph:
+        lines.append(f"node {op.op_id} {op.kind} {op.rtype}")
+    for producer, consumer in graph.edges():
+        lines.append(f"edge {producer} {consumer}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> DataFlowGraph:
+    """Parse the text format produced by :func:`dumps`."""
+    name = "dfg"
+    nodes: List[Tuple[str, str, str]] = []
+    edges: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == "dfg":
+            if len(parts) != 2:
+                raise DFGError(f"line {lineno}: 'dfg' takes exactly one name")
+            name = parts[1]
+        elif keyword == "node":
+            if len(parts) not in (3, 4):
+                raise DFGError(
+                    f"line {lineno}: expected 'node ID KIND [RTYPE]'")
+            rtype = parts[3] if len(parts) == 4 else ""
+            nodes.append((parts[1], parts[2], rtype))
+        elif keyword == "edge":
+            if len(parts) != 3:
+                raise DFGError(f"line {lineno}: expected 'edge SRC DST'")
+            edges.append((parts[1], parts[2]))
+        else:
+            raise DFGError(f"line {lineno}: unknown keyword {keyword!r}")
+
+    graph = DataFlowGraph(name)
+    for op_id, kind, rtype in nodes:
+        graph.add(op_id, kind, rtype=rtype)
+    for producer, consumer in edges:
+        graph.add_edge(producer, consumer)
+    graph.validate()
+    return graph
+
+
+def save(graph: DataFlowGraph, path: PathLike) -> None:
+    """Write *graph* to *path*; ``.json`` selects JSON, else text."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json.dumps(graph.to_dict(), indent=2) + "\n")
+    else:
+        path.write_text(dumps(graph))
+
+
+def load(path: PathLike) -> DataFlowGraph:
+    """Read a graph written by :func:`save`."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".json":
+        try:
+            return DataFlowGraph.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise DFGError(f"{path}: invalid JSON: {exc}") from exc
+    return loads(text)

@@ -1,0 +1,135 @@
+"""Behaviour-preserving data-flow-graph transformations.
+
+Two transformations relevant to the paper's related work are provided:
+
+* :func:`duplicate_graph` — full-graph duplication for self-recovering
+  designs (the technique of the paper's reference [5]); the duplicate
+  shares no operations with the original, so a scheduler is free to
+  interleave the two copies to reduce area overhead.
+* :func:`rebalance_reduction` — tree-height reduction of associative
+  accumulation chains, the classic transformation used by
+  transformation-based fault-tolerant HLS (the paper's reference [4]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import DFGError
+
+
+def duplicate_graph(graph: DataFlowGraph,
+                    copies: int = 2,
+                    name: Optional[str] = None) -> DataFlowGraph:
+    """Return *copies* disjoint copies of *graph* in one DFG.
+
+    The first copy keeps the original ids; copy *k* (k ≥ 2) prefixes ids
+    with ``d<k>_``.  Comparison/voting logic is intentionally *not*
+    modelled as DFG operations (the paper excludes checker area too).
+    """
+    if copies < 1:
+        raise DFGError("copies must be >= 1")
+    result = graph.copy(name or f"{graph.name}x{copies}")
+    for index in range(2, copies + 1):
+        result = result.merged_with(graph.relabeled(f"d{index}_"),
+                                    name=result.name)
+    # keep the requested name (merged_with appends by default)
+    result.name = name or f"{graph.name}x{copies}"
+    return result
+
+
+def _accumulation_chain(graph: DataFlowGraph, head: str) -> List[str]:
+    """Longest chain of same-kind, single-consumer ops ending at *head*."""
+    kind = graph.operation(head).kind
+    chain = [head]
+    current = head
+    while True:
+        candidates = [
+            p for p in graph.predecessors(current)
+            if graph.operation(p).kind == kind
+            and len(graph.successors(p)) == 1
+        ]
+        if len(candidates) != 1:
+            break
+        current = candidates[0]
+        chain.append(current)
+    chain.reverse()
+    return chain
+
+
+def rebalance_reduction(graph: DataFlowGraph,
+                        kind: str = "add",
+                        name: Optional[str] = None) -> DataFlowGraph:
+    """Rebalance linear accumulation chains of *kind* into trees.
+
+    Only the chain's internal dependency edges are rewritten; every
+    external producer feeding the chain keeps feeding the same number
+    of chain operations, so the computation (a reduction under an
+    associative operator) is preserved.  Chains shorter than three
+    operations are left untouched.
+    """
+    result = DataFlowGraph(name or f"{graph.name}_balanced")
+    for op in graph:
+        result.add_operation(op)
+
+    # Identify maximal chains (longest chain from each chain tail).
+    in_chain = set()
+    chains: List[List[str]] = []
+    for op in graph:
+        if op.op_id in in_chain:
+            continue
+        successors = graph.successors(op.op_id)
+        is_tail = not any(
+            graph.operation(s).kind == op.kind and
+            _accumulation_chain(graph, s)[0] != s
+            for s in successors
+        )
+        if not is_tail:
+            continue
+        chain = _accumulation_chain(graph, op.op_id)
+        if len(chain) >= 3:
+            chains.append(chain)
+            in_chain.update(chain)
+
+    chain_members = {member for chain in chains for member in chain}
+    internal_edges = set()
+    for chain in chains:
+        for earlier, later in zip(chain, chain[1:]):
+            internal_edges.add((earlier, later))
+
+    external_inputs: dict = {member: [] for member in chain_members}
+    for producer, consumer in graph.edges():
+        if (producer, consumer) in internal_edges:
+            continue
+        if consumer in chain_members:
+            external_inputs[consumer].append(producer)
+        else:
+            result.add_edge(producer, consumer)
+
+    for chain in chains:
+        # Rebuild as a balanced binary tree over the chain's operations.
+        # External producers feed the leaf level in original order.
+        feeders: List[str] = []
+        for member in chain:
+            feeders.extend(external_inputs[member])
+        nodes = list(chain)
+        frontier: List[str] = []
+        # Pair up external feeders on leaf operations first.
+        while len(feeders) >= 2 and nodes:
+            leaf = nodes.pop(0)
+            result.add_edge(feeders.pop(0), leaf)
+            result.add_edge(feeders.pop(0), leaf)
+            frontier.append(leaf)
+        while feeders and nodes:
+            leaf = nodes.pop(0)
+            result.add_edge(feeders.pop(0), leaf)
+            frontier.append(leaf)
+        # Combine frontier results pairwise with the remaining ops.
+        while nodes:
+            combiner = nodes.pop(0)
+            for _ in range(min(2, len(frontier))):
+                result.add_edge(frontier.pop(0), combiner)
+            frontier.append(combiner)
+    result.validate()
+    return result

@@ -1,0 +1,51 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    run_baseline_ablation,
+    run_refine_ablation,
+    run_repair_ablation,
+    run_scheduler_ablation,
+    run_sweep_ablation,
+)
+from repro.experiments.extensions import (
+    run_extra_benchmarks,
+    run_pipeline_tradeoff,
+    run_self_recovery_comparison,
+    run_voter_sensitivity,
+)
+from repro.experiments.fig5 import example_dfg, fig5_schedules, run_fig5
+from repro.experiments.fig7 import fig7_schedules, run_fig7
+from repro.experiments.fig8 import run_fig8a, run_fig8b
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.runner import ExperimentTable, improvement, mean
+from repro.experiments.table1 import (
+    run_table1_calibrated,
+    run_table1_characterized,
+)
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentTable",
+    "improvement",
+    "mean",
+    "run_table1_calibrated",
+    "run_table1_characterized",
+    "run_table2",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig9",
+    "fig5_schedules",
+    "fig7_schedules",
+    "example_dfg",
+    "run_repair_ablation",
+    "run_refine_ablation",
+    "run_sweep_ablation",
+    "run_scheduler_ablation",
+    "run_baseline_ablation",
+    "run_pipeline_tradeoff",
+    "run_self_recovery_comparison",
+    "run_voter_sensitivity",
+    "run_extra_benchmarks",
+]

@@ -1,0 +1,133 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation toggles one knob of the flow and reports the resulting
+reliability over a representative bound grid:
+
+* **repair policy** — the paper's literal smaller-area-only rule vs
+  our generalized whole-group re-allocation;
+* **refinement** — with/without the post-repair upgrade hill climb;
+* **latency sweep** — single greedy trajectory vs the horizon sweep;
+* **scheduler** — the paper's density scheduler vs the count-driven
+  list scheduler as the realization engine;
+* **baseline version choice** — fixed fast versions vs the adaptive
+  single-version sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.bench import get_benchmark
+from repro.errors import NoSolutionError
+from repro.library import paper_library
+from repro.core import baseline_design, find_design
+from repro.core.evaluate import evaluate_allocation
+from repro.experiments.runner import ExperimentTable
+
+DEFAULT_GRID: Sequence[Tuple[str, int, int]] = (
+    ("fir", 10, 9), ("fir", 11, 9), ("fir", 12, 13),
+    ("ew", 13, 9), ("ew", 15, 9),
+    ("diffeq", 5, 11), ("diffeq", 7, 11),
+)
+
+
+def _run(benchmark: str, latency_bound: int, area_bound: int,
+         **kwargs) -> Optional[float]:
+    try:
+        return find_design(get_benchmark(benchmark), paper_library(),
+                           latency_bound, area_bound, **kwargs).reliability
+    except NoSolutionError:
+        return None
+
+
+def run_repair_ablation(grid=DEFAULT_GRID) -> ExperimentTable:
+    """Paper's area-repair rule vs the generalized rule."""
+    table = ExperimentTable(
+        title="Ablation — area-repair policy",
+        headers=("benchmark", "Ld", "Ad", "paper rule", "generalized"),
+    )
+    for benchmark, latency_bound, area_bound in grid:
+        table.add_row(benchmark, latency_bound, area_bound,
+                      _run(benchmark, latency_bound, area_bound,
+                           repair="paper"),
+                      _run(benchmark, latency_bound, area_bound,
+                           repair="generalized"))
+    return table
+
+
+def run_refine_ablation(grid=DEFAULT_GRID) -> ExperimentTable:
+    """With vs without the reliability-upgrade hill climb."""
+    table = ExperimentTable(
+        title="Ablation — refinement hill climb",
+        headers=("benchmark", "Ld", "Ad", "no refine", "refine"),
+    )
+    for benchmark, latency_bound, area_bound in grid:
+        table.add_row(benchmark, latency_bound, area_bound,
+                      _run(benchmark, latency_bound, area_bound,
+                           refine=False),
+                      _run(benchmark, latency_bound, area_bound,
+                           refine=True))
+    return table
+
+
+def run_sweep_ablation(grid=DEFAULT_GRID) -> ExperimentTable:
+    """Single greedy trajectory vs the latency-horizon sweep."""
+    table = ExperimentTable(
+        title="Ablation — latency-horizon sweep",
+        headers=("benchmark", "Ld", "Ad", "single", "sweep"),
+    )
+    for benchmark, latency_bound, area_bound in grid:
+        table.add_row(benchmark, latency_bound, area_bound,
+                      _run(benchmark, latency_bound, area_bound,
+                           latency_sweep=False),
+                      _run(benchmark, latency_bound, area_bound,
+                           latency_sweep=True))
+    return table
+
+
+def run_scheduler_ablation(grid=DEFAULT_GRID) -> ExperimentTable:
+    """Realized area of the density vs the list scheduler.
+
+    Measures, for the all-fastest allocation at each benchmark's
+    tightest paper latency bound, the minimum area each realization
+    engine achieves.
+    """
+    table = ExperimentTable(
+        title="Ablation — realization scheduler (min area achieved)",
+        headers=("benchmark", "Ld", "density", "list", "auto"),
+    )
+    library = paper_library()
+    for benchmark, latency_bound in (("fir", 10), ("ew", 13), ("diffeq", 5)):
+        graph = get_benchmark(benchmark)
+        allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                      for op in graph}
+        areas = {}
+        for engine in ("density", "list", "auto"):
+            evaluation = evaluate_allocation(graph, allocation,
+                                             latency_bound,
+                                             scheduler=engine)
+            areas[engine] = evaluation.area if evaluation else None
+        table.add_row(benchmark, latency_bound, areas["density"],
+                      areas["list"], areas["auto"])
+    return table
+
+
+def run_baseline_ablation(grid=DEFAULT_GRID) -> ExperimentTable:
+    """Fixed fast single version vs the adaptive single-version sweep."""
+    table = ExperimentTable(
+        title="Ablation — baseline version choice",
+        headers=("benchmark", "Ld", "Ad", "fastest", "adaptive"),
+    )
+    library = paper_library()
+    for benchmark, latency_bound, area_bound in grid:
+        values = {}
+        for choice in ("fastest", "adaptive"):
+            try:
+                values[choice] = baseline_design(
+                    get_benchmark(benchmark), library, latency_bound,
+                    area_bound, version_choice=choice).reliability
+            except NoSolutionError:
+                values[choice] = None
+        table.add_row(benchmark, latency_bound, area_bound,
+                      values["fastest"], values["adaptive"])
+    return table

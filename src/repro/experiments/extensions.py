@@ -1,0 +1,132 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's text motivates all three but evaluates none:
+
+* **pipelined data paths** (Section 6 claims support) — area vs
+  initiation-interval trade-off of the FIR filter;
+* **self-recovering duplication** (related work [5]) — full-graph
+  duplication vs version selection vs instance-level NMR under equal
+  bounds;
+* **imperfect voters** (Section 5 assumes perfect ones) — how much
+  voter reliability TMR needs before it stops paying off;
+* **extra benchmarks** — the full-size 34-op EWF and the AR lattice
+  under a Table-2-style grid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench import ar_lattice, ewf34, fir16
+from repro.errors import NoSolutionError
+from repro.library import paper_library
+from repro.core import (
+    baseline_design,
+    combined_design,
+    find_design,
+    self_recovery_design,
+)
+from repro.hls.pipeline import pipelined_realization
+from repro.reliability.nmr import nmr_with_voter
+from repro.experiments.runner import ExperimentTable, improvement
+
+
+def run_pipeline_tradeoff(
+        iis: Sequence[int] = (2, 3, 4, 6, 8, 12)) -> ExperimentTable:
+    """Area and latency vs initiation interval for the pipelined FIR."""
+    graph = fir16()
+    library = paper_library()
+    allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                  for op in graph}
+    table = ExperimentTable(
+        title="Extension — pipelined FIR: area vs initiation interval",
+        headers=("II", "area", "latency", "adders", "multipliers"),
+    )
+    for ii in iis:
+        schedule, binding = pipelined_realization(graph, allocation, ii)
+        counts = binding.instance_counts()
+        table.add_row(ii, binding.area, schedule.latency,
+                      counts.get("adder2", 0), counts.get("mult2", 0))
+    table.add_note("smaller II = higher throughput = more instances")
+    return table
+
+
+def run_self_recovery_comparison(
+        grid: Sequence[Tuple[int, int]] = ((12, 20), (14, 24), (16, 30)),
+) -> ExperimentTable:
+    """Duplication [5] vs version selection vs NMR on DiffEq."""
+    from repro.bench import diffeq
+
+    library = paper_library()
+    table = ExperimentTable(
+        title="Extension — self-recovery (ref [5]) vs ours vs NMR (DiffEq)",
+        headers=("Ld", "Ad", "ours", "NMR baseline", "combined",
+                 "self-recovery", "overhead"),
+    )
+    for latency_bound, area_bound in grid:
+        def attempt(func, **kwargs):
+            try:
+                return func(diffeq(), library, latency_bound, area_bound,
+                            **kwargs)
+            except NoSolutionError:
+                return None
+
+        ours = attempt(find_design)
+        nmr = attempt(baseline_design)
+        combined = attempt(combined_design)
+        recovery = attempt(self_recovery_design)
+        table.add_row(
+            latency_bound, area_bound,
+            ours.reliability if ours else None,
+            nmr.reliability if nmr else None,
+            combined.reliability if combined else None,
+            recovery.reliability if recovery else None,
+            (round(recovery.area / ours.area, 3)
+             if recovery and ours else None),
+        )
+    table.add_note("overhead = duplicated area / single-copy area "
+                   "(interleaving keeps it below 2.0)")
+    return table
+
+
+def run_voter_sensitivity(
+        voters: Sequence[float] = (1.0, 0.9999, 0.999, 0.99, 0.969, 0.9),
+) -> ExperimentTable:
+    """TMR benefit as the voter degrades (module R = 0.969)."""
+    module = 0.969
+    table = ExperimentTable(
+        title="Extension — voter sensitivity of TMR (module R = 0.969)",
+        headers=("voter R", "TMR group R", "gain over bare module"),
+    )
+    for voter in voters:
+        group = nmr_with_voter(module, 3, voter)
+        table.add_row(voter, group, improvement(group, module))
+    table.add_note("negative gain: the voter has become the weak link")
+    return table
+
+
+def run_extra_benchmarks(
+        grid: Sequence[Tuple[int, int]] = ((16, 10), (16, 12), (18, 12)),
+) -> ExperimentTable:
+    """Table-2-style comparison on EWF-34 and the AR lattice."""
+    library = paper_library()
+    table = ExperimentTable(
+        title="Extension — EWF-34 and AR lattice",
+        headers=("benchmark", "Ld", "Ad", "Ref[3]", "Ours", "%Imprv"),
+    )
+    for builder in (ewf34, ar_lattice):
+        for latency_bound, area_bound in grid:
+            graph = builder()
+            try:
+                ref3 = baseline_design(graph, library, latency_bound,
+                                       area_bound).reliability
+            except NoSolutionError:
+                ref3 = None
+            try:
+                ours = find_design(graph, library, latency_bound,
+                                   area_bound).reliability
+            except NoSolutionError:
+                ours = None
+            table.add_row(graph.name, latency_bound, area_bound, ref3,
+                          ours, improvement(ours, ref3))
+    return table

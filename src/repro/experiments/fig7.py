@@ -1,0 +1,59 @@
+"""Figure 7 — FIR: single-version vs reliability-centric schedules.
+
+At Ld=11, Ad=8 the paper's first design restricts itself to type-2
+components (R = 0.969²³ = 0.48467) while the reliability-centric
+design reaches 0.78943.  Under sound instance accounting the paper's
+exact mixed design needs slightly more area (see DESIGN.md §1); the
+experiment reports both accounting models.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fir16
+from repro.library import paper_library, single_version_library
+from repro.core import baseline_design, find_design
+from repro.experiments import paper_data
+from repro.experiments.runner import ExperimentTable
+
+LATENCY_BOUND = 11
+AREA_BOUND = 8
+
+
+def run_fig7() -> ExperimentTable:
+    """Regenerate the Figure 7 comparison."""
+    library = paper_library()
+    table = ExperimentTable(
+        title=f"Figure 7 — FIR, Ld={LATENCY_BOUND}, Ad={AREA_BOUND}",
+        headers=("design", "area model", "latency", "area", "reliability",
+                 "paper"),
+    )
+
+    single = baseline_design(fir16(), single_version_library(),
+                             LATENCY_BOUND, AREA_BOUND, redundancy=False)
+    table.add_row("(a) type-2 only", "instances", single.latency,
+                  single.area, single.reliability,
+                  paper_data.FIG7["single_version"])
+
+    ours = find_design(fir16(), library, LATENCY_BOUND, AREA_BOUND)
+    table.add_row("(b) ours", "instances", ours.latency, ours.area,
+                  ours.reliability, paper_data.FIG7["ours"])
+
+    ours_versions = find_design(fir16(), library, LATENCY_BOUND,
+                                AREA_BOUND, area_model="versions")
+    table.add_row("(b) ours", "versions", ours_versions.latency,
+                  ours_versions.area, ours_versions.reliability,
+                  paper_data.FIG7["ours"])
+    table.add_note(
+        "under the versions accounting the paper appears to use, our "
+        "search meets and exceeds the published 0.78943")
+    return table
+
+
+def fig7_schedules() -> str:
+    """The two FIR schedules as step lists (the figure's content)."""
+    library = paper_library()
+    single = baseline_design(fir16(), single_version_library(),
+                             LATENCY_BOUND, AREA_BOUND, redundancy=False)
+    ours = find_design(fir16(), library, LATENCY_BOUND, AREA_BOUND)
+    return ("(a) type-2 only:\n" + single.schedule.as_text()
+            + "\n\n(b) reliability-centric:\n" + ours.schedule.as_text())

@@ -1,0 +1,52 @@
+"""Figure 8 — reliability vs performance and reliability vs area.
+
+Sweeps the FIR benchmark exactly as the paper's Figure 8: (a) vary the
+latency bound at a fixed area bound of 8; (b) vary the area bound at a
+fixed latency bound of 10.  Both curves must be monotone
+non-decreasing (a looser bound never forces a worse design).
+"""
+
+from __future__ import annotations
+
+from repro.bench import fir16
+from repro.hls.metrics import AREA_INSTANCES
+from repro.library import paper_library
+from repro.core import reliability_vs_area, reliability_vs_latency
+from repro.experiments import paper_data
+from repro.experiments.runner import ExperimentTable
+
+
+def run_fig8a(area_model: str = AREA_INSTANCES) -> ExperimentTable:
+    """Reliability vs latency bound (Figure 8(a))."""
+    curve = reliability_vs_latency(
+        fir16(), paper_library(),
+        paper_data.FIG8A_LATENCIES, paper_data.FIG8A_AREA_BOUND,
+        area_model=area_model)
+    table = ExperimentTable(
+        title=(f"Figure 8(a) — FIR reliability vs latency bound "
+               f"(Ad={paper_data.FIG8A_AREA_BOUND}, "
+               f"area model: {area_model})"),
+        headers=("Ld", "reliability"),
+    )
+    for latency_bound, reliability in curve:
+        table.add_row(latency_bound, reliability)
+    table.add_note("paper: monotone rise from ~0.48 at Ld=10 toward ~1")
+    return table
+
+
+def run_fig8b(area_model: str = AREA_INSTANCES) -> ExperimentTable:
+    """Reliability vs area bound (Figure 8(b))."""
+    curve = reliability_vs_area(
+        fir16(), paper_library(),
+        paper_data.FIG8B_LATENCY_BOUND, paper_data.FIG8B_AREAS,
+        area_model=area_model)
+    table = ExperimentTable(
+        title=(f"Figure 8(b) — FIR reliability vs area bound "
+               f"(Ld={paper_data.FIG8B_LATENCY_BOUND}, "
+               f"area model: {area_model})"),
+        headers=("Ad", "reliability"),
+    )
+    for area_bound, reliability in curve:
+        table.add_row(area_bound, reliability)
+    table.add_note("paper: monotone rise from ~0.48 at Ad=8 toward ~0.9")
+    return table

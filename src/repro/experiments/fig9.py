@@ -1,0 +1,40 @@
+"""Figure 9 — average reliabilities over the Table 2 grids.
+
+The paper averages each approach's reliability over all nine (Ld, Ad)
+pairs per benchmark and reports the improvement of ours / combined
+over the baseline (21.92 % / 30.33 % for FIR, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hls.metrics import AREA_INSTANCES
+from repro.experiments import paper_data
+from repro.experiments.runner import ExperimentTable, improvement, mean
+from repro.experiments.table2 import run_table2
+
+BENCHMARKS: Sequence[str] = ("fir", "ew", "diffeq")
+
+
+def run_fig9(area_model: str = AREA_INSTANCES) -> ExperimentTable:
+    """Regenerate the Figure 9 averages (one row per benchmark)."""
+    table = ExperimentTable(
+        title=f"Figure 9 — average reliabilities [area model: {area_model}]",
+        headers=("benchmark", "Ref[3]", "Ours", "Combined",
+                 "%Imprv ours", "%Imprv comb",
+                 "paper %ours", "paper %comb"),
+    )
+    for benchmark in BENCHMARKS:
+        section = run_table2(benchmark, area_model=area_model)
+        ref3 = mean(section.column("Ref[3]"))
+        ours = mean(section.column("Ours"))
+        combined = mean(section.column("Ours+Ref[3]"))
+        table.add_row(
+            benchmark, ref3, ours, combined,
+            improvement(ours, ref3), improvement(combined, ref3),
+            paper_data.FIG9_IMPROVEMENT_OURS[benchmark],
+            paper_data.FIG9_IMPROVEMENT_COMBINED[benchmark],
+        )
+    table.add_note("averages taken over feasible cells of each grid")
+    return table

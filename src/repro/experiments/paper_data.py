@@ -1,0 +1,101 @@
+"""The paper's published numbers, for paper-vs-measured reporting.
+
+Transcribed from Tosun et al., DATE 2005.  ``REF3`` is the
+redundancy-based baseline (the paper's reference [3]), ``OURS`` the
+reliability-centric approach, ``COMBINED`` ours + redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Table 1 — area (units), delay (cc), reliability per version.
+TABLE1: Dict[str, Tuple[int, int, float]] = {
+    "adder1": (1, 2, 0.999),
+    "adder2": (2, 1, 0.969),
+    "adder3": (4, 1, 0.987),
+    "mult1": (2, 2, 0.999),
+    "mult2": (4, 1, 0.969),
+}
+
+#: Section 4 — Qcritical values (Coulomb) for the three adders.
+QCRITICAL: Dict[str, float] = {
+    "adder1": 59.460e-21,
+    "adder2": 29.701e-21,
+    "adder3": 37.291e-21,
+}
+
+#: Figure 5 — the 6-addition example DFG at Ld=5, Ad=4.
+FIG5 = {
+    "all_type2": 0.82783,      # schedule (a): two type-2 adders
+    "mixed": 0.90713,          # schedule (b): adder1 x3 + adder2 x3
+}
+
+#: Figure 7 — FIR at Ld=11, Ad=8.
+FIG7 = {
+    "single_version": 0.48467,
+    "ours": 0.78943,
+}
+
+#: Figure 8(a) — FIR reliability vs latency bound at Ad=8 (the paper
+#: plots the curve without printing values; the endpoints follow from
+#: its text/other data: 10 -> the (10, 8-ish) regime, 18 -> all
+#: type-1 feasible).
+FIG8A_LATENCIES = (10, 11, 12, 14, 16, 18)
+FIG8A_AREA_BOUND = 8
+
+#: Figure 8(b) — FIR reliability vs area bound at Ld=10.
+FIG8B_AREAS = (8, 10, 12, 13, 14, 15, 16)
+FIG8B_LATENCY_BOUND = 10
+
+#: Table 2 rows: (Ld, Ad) -> (ref3, ours, combined).
+TABLE2_FIR: Dict[Tuple[int, int], Tuple[float, float, float]] = {
+    (10, 9): (0.48467, 0.59998, 0.59998),
+    (10, 11): (0.61856, 0.69516, 0.76572),
+    (10, 13): (0.76572, 0.69516, 0.77187),
+    (11, 9): (0.48467, 0.78943, 0.79497),
+    (11, 11): (0.61856, 0.89798, 0.98411),
+    (11, 13): (0.76572, 0.89798, 0.99102),
+    (12, 9): (0.61856, 0.81387, 0.81959),
+    (12, 11): (0.76572, 0.90890, 0.98411),
+    (12, 13): (0.78943, 0.90890, 0.99301),
+}
+
+TABLE2_EW: Dict[Tuple[int, int], Tuple[float, float, float]] = {
+    (13, 7): (0.45509, 0.70260, 0.81225),
+    (13, 9): (0.67645, 0.78463, 0.97530),
+    (13, 11): (0.89005, 0.78463, 0.98805),
+    (14, 7): (0.45509, 0.71114, 0.83739),
+    (14, 9): (0.69739, 0.79417, 0.97530),
+    (14, 11): (0.94641, 0.79417, 0.98805),
+    (15, 5): (0.45509, 0.69739, 0.69739),
+    (15, 7): (0.71899, 0.80383, 0.81225),
+    (15, 9): (0.97530, 0.80383, 0.97530),
+}
+
+TABLE2_DIFFEQ: Dict[Tuple[int, int], Tuple[float, float, float]] = {
+    (5, 11): (0.70723, 0.77497, 0.77497),
+    (5, 13): (0.82370, 0.80403, 0.82370),
+    (5, 15): (0.82783, 0.80645, 0.84920),
+    (6, 11): (0.70723, 0.82370, 0.82700),
+    (6, 13): (0.82370, 0.82370, 0.82783),
+    (6, 15): (0.82783, 0.90260, 0.90712),
+    (7, 7): (0.70723, 0.90260, 0.90260),
+    (7, 9): (0.82370, 0.93054, 0.93054),
+    (7, 11): (0.82783, 0.95935, 0.95935),
+}
+
+TABLE2 = {
+    "fir": TABLE2_FIR,
+    "ew": TABLE2_EW,
+    "diffeq": TABLE2_DIFFEQ,
+}
+
+#: Figure 9 — average reliability improvements quoted in the text (%).
+FIG9_IMPROVEMENT_OURS = {"fir": 21.92, "ew": 9.67, "diffeq": 9.21}
+FIG9_IMPROVEMENT_COMBINED = {"fir": 30.33, "ew": 28.57, "diffeq": 10.26}
+
+
+def table2_grid(benchmark: str) -> List[Tuple[int, int]]:
+    """The (Ld, Ad) grid of a Table 2 section, in paper row order."""
+    return list(TABLE2[benchmark])

@@ -1,0 +1,82 @@
+"""Table 1 — reliability characterization of the component library.
+
+Two reproductions are reported:
+
+1. **Paper-calibrated** (exact): the published Qcritical values pushed
+   through the Figure 2 chain with the charge-collection efficiency
+   fitted on two of the paper's own anchor points; this reproduces the
+   third (Kogge-Stone → 0.987) and hence all of Table 1's reliability
+   column.
+2. **From-scratch**: our gate-level netlists characterized end to end
+   (structural Qcritical model + exact logical-masking fault injection
+   + analytic electrical/latching derating), anchored at the
+   ripple-carry adder like the paper.  Absolute numbers differ from
+   HSPICE-derived ones; orderings and trade-off directions must match.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.charlib import (
+    CharacterizationConfig,
+    brent_kung_adder,
+    carry_save_multiplier,
+    characterize_library,
+    kogge_stone_adder,
+    leapfrog_multiplier,
+    paper_scale,
+    ripple_carry_adder,
+)
+from repro.experiments import paper_data
+from repro.experiments.runner import ExperimentTable
+
+
+def run_table1_calibrated() -> ExperimentTable:
+    """Table 1 reliabilities from the paper's Qcritical anchors."""
+    scale = paper_scale()
+    table = ExperimentTable(
+        title="Table 1 (calibrated) — Qcritical -> SER -> reliability",
+        headers=("version", "Qcritical (C)", "reliability",
+                 "paper reliability"),
+    )
+    for name, qcritical in paper_data.QCRITICAL.items():
+        table.add_row(name, qcritical, scale.reliability_for(qcritical),
+                      paper_data.TABLE1[name][2])
+    table.add_note(
+        "Qs fitted on (adder1, adder2) predicts adder3 = 0.987, the "
+        "paper's third point — the chain is internally consistent")
+    return table
+
+
+def run_table1_characterized(
+        bits: int = 8,
+        config: Optional[CharacterizationConfig] = None) -> ExperimentTable:
+    """Table 1 regenerated from our own gate-level netlists."""
+    netlists = {
+        "adder1": ("add", ripple_carry_adder(bits)),
+        "adder2": ("add", brent_kung_adder(bits)),
+        "adder3": ("add", kogge_stone_adder(bits)),
+        "mult1": ("mul", carry_save_multiplier(bits)),
+        "mult2": ("mul", leapfrog_multiplier(bits)),
+    }
+    library, reports = characterize_library(netlists, anchor="adder1",
+                                            config=config)
+    table = ExperimentTable(
+        title=f"Table 1 (characterized, {bits}-bit netlists)",
+        headers=("version", "gates", "depth", "avg masking",
+                 "area (unit)", "delay (cc)", "reliability",
+                 "paper (area, delay, R)"),
+    )
+    for name in netlists:
+        version = library.version(name)
+        report = reports[name]
+        table.add_row(name, report.gate_count, report.depth,
+                      round(report.average_masking, 3), version.area,
+                      version.delay, version.reliability,
+                      str(paper_data.TABLE1[name]))
+    table.add_note(
+        "areas/delays normalized to the ripple-carry anchor; the "
+        "paper's absolute spread comes from HSPICE-level Qcritical "
+        "differences, shipped separately as the calibrated chain")
+    return table

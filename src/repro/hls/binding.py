@@ -1,0 +1,158 @@
+"""Resource binding: mapping scheduled operations onto instances.
+
+After scheduling, operations allocated the *same resource version*
+whose execution intervals do not overlap can share one physical
+instance.  The classic left-edge algorithm performs this interval
+assignment optimally per version pool: instances are only shared
+within a version, matching the paper's resource-sharing model (a
+ripple-carry addition cannot execute on a Brent-Kung adder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.errors import BindingError
+from repro.hls.schedule import Schedule
+from repro.library.version import ResourceVersion
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One physical resource instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name, e.g. ``"adder2#0"``.
+    version:
+        The resource version this instance implements.
+    ops:
+        Ids of the operations bound to this instance, in start order.
+    """
+
+    name: str
+    version: ResourceVersion
+    ops: tuple
+
+
+@dataclass
+class Binding:
+    """The result of resource binding for one schedule."""
+
+    schedule: Schedule
+    instances: List[Instance]
+    op_to_instance: Dict[str, str]
+
+    @property
+    def area(self) -> int:
+        """Total area: the sum of all instance areas."""
+        return sum(inst.version.area for inst in self.instances)
+
+    def instance(self, name: str) -> Instance:
+        """Look up an instance by name."""
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise BindingError(f"no instance named {name!r}")
+
+    def instance_of(self, op_id: str) -> Instance:
+        """The instance executing operation *op_id*."""
+        try:
+            return self.instance(self.op_to_instance[op_id])
+        except KeyError:
+            raise BindingError(f"operation {op_id!r} is not bound") from None
+
+    def instances_of_version(self, version_name: str) -> List[Instance]:
+        """All instances implementing the named version."""
+        return [i for i in self.instances if i.version.name == version_name]
+
+    def instance_counts(self) -> Dict[str, int]:
+        """Version name → number of instances."""
+        counts: Dict[str, int] = {}
+        for inst in self.instances:
+            counts[inst.version.name] = counts.get(inst.version.name, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check that no instance executes two overlapping operations."""
+        for inst in self.instances:
+            intervals = sorted(self.schedule.interval(op) for op in inst.ops)
+            for (start_a, finish_a), (start_b, _) in zip(intervals,
+                                                         intervals[1:]):
+                if start_b < finish_a:
+                    raise BindingError(
+                        f"instance {inst.name!r} has overlapping operations: "
+                        f"[{start_a},{finish_a}) and one starting at {start_b}")
+
+    def utilization(self) -> Dict[str, float]:
+        """Instance name → fraction of the schedule it is busy."""
+        latency = self.schedule.latency
+        result = {}
+        for inst in self.instances:
+            busy = sum(self.schedule.delays[op] for op in inst.ops)
+            result[inst.name] = busy / latency if latency else 0.0
+        return result
+
+    def as_text(self) -> str:
+        """Human-readable allocation summary."""
+        lines = []
+        for inst in self.instances:
+            ops = ", ".join(inst.ops)
+            lines.append(f"{inst.name} ({inst.version.name}, "
+                         f"area {inst.version.area}): {ops}")
+        lines.append(f"total area: {self.area}")
+        return "\n".join(lines)
+
+
+def left_edge_bind(schedule: Schedule,
+                   allocation: Mapping[str, ResourceVersion]) -> Binding:
+    """Bind operations to instances with the left-edge algorithm.
+
+    Operations are grouped by allocated version; within each group they
+    are sorted by start step and greedily packed onto the first
+    instance whose previous operation has finished — which uses the
+    minimum number of instances for interval graphs.
+
+    Raises
+    ------
+    BindingError
+        If an operation in the schedule has no allocation entry.
+    """
+    by_version: Dict[str, List[str]] = {}
+    versions: Dict[str, ResourceVersion] = {}
+    for op in schedule.graph:
+        version = allocation.get(op.op_id)
+        if version is None:
+            raise BindingError(f"operation {op.op_id!r} has no allocation")
+        by_version.setdefault(version.name, []).append(op.op_id)
+        versions[version.name] = version
+
+    instances: List[Instance] = []
+    op_to_instance: Dict[str, str] = {}
+    for version_name in sorted(by_version):
+        ops = sorted(by_version[version_name],
+                     key=lambda o: (schedule.start(o), o))
+        lanes: List[List[str]] = []
+        lane_free: List[int] = []  # first step the lane is free again
+        for op_id in ops:
+            start, finish = schedule.interval(op_id)
+            for lane_index, free_at in enumerate(lane_free):
+                if free_at <= start:
+                    lanes[lane_index].append(op_id)
+                    lane_free[lane_index] = finish
+                    break
+            else:
+                lanes.append([op_id])
+                lane_free.append(finish)
+        for lane_index, lane_ops in enumerate(lanes):
+            name = f"{version_name}#{lane_index}"
+            instances.append(Instance(name, versions[version_name],
+                                      tuple(lane_ops)))
+            for op_id in lane_ops:
+                op_to_instance[op_id] = name
+
+    binding = Binding(schedule, instances, op_to_instance)
+    binding.validate()
+    return binding

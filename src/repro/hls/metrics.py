@@ -1,0 +1,57 @@
+"""Area and utilization metrics over bindings.
+
+Two area accounting models are provided:
+
+* ``AREA_INSTANCES`` (default, physically sound): the design's area is
+  the sum of every bound instance's area — two ripple-carry adders
+  cost two area units.
+* ``AREA_VERSIONS``: the area is the sum over *distinct versions used*
+  — a bookkeeping the paper appears to apply in some of its worked
+  examples (e.g. Figure 5(b)'s "3 units" counts adder1 + adder2 once
+  each).  It is provided so individual paper cells can be reproduced
+  exactly and ablated; see DESIGN.md §1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import BindingError
+from repro.hls.binding import Binding
+
+AREA_INSTANCES = "instances"
+AREA_VERSIONS = "versions"
+AREA_MODELS = (AREA_INSTANCES, AREA_VERSIONS)
+
+
+def total_area(binding: Binding, model: str = AREA_INSTANCES) -> int:
+    """Design area under the chosen accounting model."""
+    if model == AREA_INSTANCES:
+        return binding.area
+    if model == AREA_VERSIONS:
+        seen: Dict[str, int] = {}
+        for inst in binding.instances:
+            seen[inst.version.name] = inst.version.area
+        return sum(seen.values())
+    raise BindingError(f"unknown area model {model!r}; use one of {AREA_MODELS}")
+
+
+def instance_summary(binding: Binding) -> Dict[str, Dict[str, int]]:
+    """Version name → {count, unit_area, total_area}."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for inst in binding.instances:
+        entry = summary.setdefault(
+            inst.version.name,
+            {"count": 0, "unit_area": inst.version.area, "total_area": 0},
+        )
+        entry["count"] += 1
+        entry["total_area"] += inst.version.area
+    return summary
+
+
+def average_utilization(binding: Binding) -> float:
+    """Mean busy fraction over all instances (0 when unbound)."""
+    utils = binding.utilization()
+    if not utils:
+        return 0.0
+    return sum(utils.values()) / len(utils)

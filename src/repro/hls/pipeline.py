@@ -1,0 +1,217 @@
+"""Functional pipelining: modulo scheduling with an initiation interval.
+
+The paper notes its algorithm "can be used for both pipelined and
+non-pipelined data-paths" but evaluates only the non-pipelined case.
+This module supplies the pipelined substrate: when a data path accepts
+a new input sample every ``ii`` cycles (the *initiation interval*),
+operations from consecutive samples overlap in time, and two
+operations can share a resource instance only if their busy cycles do
+not collide **modulo ii**.
+
+``modulo_list_schedule`` is a resource-constrained modulo scheduler
+(iterative list scheduling over the modulo reservation table);
+``modulo_bind`` packs the scheduled operations onto instances under
+the modulo-disjointness rule; ``min_initiation_interval`` gives the
+classic resource-constrained lower bound (recurrence constraints do
+not arise — DFG benchmarks are acyclic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import BindingError, SchedulingError
+from repro.hls.binding import Binding, Instance
+from repro.hls.schedule import Schedule, schedule_from_starts
+from repro.library.version import ResourceVersion
+
+
+def min_initiation_interval(graph: DataFlowGraph,
+                            allocation: Mapping[str, ResourceVersion],
+                            instance_counts: Mapping[str, int]) -> int:
+    """Resource-constrained minimum II: ceil(busy cycles / instances)."""
+    busy: Dict[str, int] = {}
+    for op in graph:
+        version = allocation[op.op_id]
+        busy[version.name] = busy.get(version.name, 0) + version.delay
+    res_mii = 1
+    for name, cycles in busy.items():
+        count = instance_counts.get(name, 0)
+        if count < 1:
+            raise SchedulingError(
+                f"no instances budgeted for version {name!r}")
+        res_mii = max(res_mii, math.ceil(cycles / count))
+    return res_mii
+
+
+def _collides(start_a: int, delay_a: int, start_b: int, delay_b: int,
+              ii: int) -> bool:
+    """True when two busy windows overlap modulo *ii*."""
+    slots_a = {(start_a + k) % ii for k in range(delay_a)}
+    slots_b = {(start_b + k) % ii for k in range(delay_b)}
+    return bool(slots_a & slots_b)
+
+
+def modulo_list_schedule(graph: DataFlowGraph,
+                         allocation: Mapping[str, ResourceVersion],
+                         instance_counts: Mapping[str, int],
+                         ii: int,
+                         max_steps: int = 100_000) -> Schedule:
+    """Schedule *graph* so instances are conflict-free modulo *ii*.
+
+    Greedy modulo list scheduling: operations become ready when their
+    predecessors finish; a ready operation is placed at the earliest
+    step at which some instance of its version has all the required
+    modulo slots free.  Raises :class:`SchedulingError` when *ii* is
+    below the resource-constrained minimum.
+    """
+    if ii < 1:
+        raise SchedulingError(f"initiation interval must be >= 1, got {ii}")
+    if ii < min_initiation_interval(graph, allocation, instance_counts):
+        raise SchedulingError(
+            f"initiation interval {ii} is below the resource-constrained "
+            f"minimum "
+            f"{min_initiation_interval(graph, allocation, instance_counts)}")
+    delays = {op.op_id: allocation[op.op_id].delay for op in graph}
+
+    # priority: longest downstream path, standard list-scheduling order
+    priority: Dict[str, int] = {}
+    for op_id in reversed(graph.topological_order()):
+        downstream = max((priority[s] for s in graph.successors(op_id)),
+                         default=0)
+        priority[op_id] = delays[op_id] + downstream
+
+    # per version: list of instances; per instance: set of busy modulo slots
+    reservations: Dict[str, List[set]] = {
+        name: [set() for _ in range(count)]
+        for name, count in instance_counts.items()
+    }
+    placement: Dict[str, Tuple[str, int]] = {}  # op -> (version, lane)
+
+    starts: Dict[str, int] = {}
+    unscheduled = set(graph.op_ids())
+    step = 0
+    stalled_for = 0
+    max_delay = max(delays.values())
+    while unscheduled:
+        if step > max_steps:
+            raise SchedulingError("modulo scheduler exceeded step bound")
+        ready = [op_id for op_id in unscheduled
+                 if all(p in starts and starts[p] + delays[p] <= step
+                        for p in graph.predecessors(op_id))]
+        ready.sort(key=lambda o: (-priority[o], o))
+        progressed = False
+        for op_id in ready:
+            version = allocation[op_id]
+            slots = {(step + k) % ii for k in range(delays[op_id])}
+            lanes = reservations[version.name]
+            for lane_index, reserved in enumerate(lanes):
+                if not (slots & reserved):
+                    reserved |= slots
+                    starts[op_id] = step
+                    placement[op_id] = (version.name, lane_index)
+                    unscheduled.discard(op_id)
+                    progressed = True
+                    break
+        # Reservations never free, so a ready operation that cannot be
+        # placed within one full wrap of the modulo table never will
+        # be: bail out so callers can add capacity (no ejection pass).
+        if ready and not progressed:
+            stalled_for += 1
+            if stalled_for > ii + max_delay:
+                raise SchedulingError(
+                    f"modulo-{ii} schedule of {graph.name!r} deadlocked "
+                    f"with counts {dict(instance_counts)}; add instances "
+                    "or raise the initiation interval")
+        else:
+            stalled_for = 0
+        step += 1
+
+    schedule = schedule_from_starts(graph, starts, delays)
+    schedule._modulo_placement = placement  # consumed by modulo_bind
+    schedule._modulo_ii = ii
+    return schedule
+
+
+def modulo_bind(schedule: Schedule,
+                allocation: Mapping[str, ResourceVersion],
+                ii: Optional[int] = None) -> Binding:
+    """Bind a modulo schedule onto instances (modulo-disjoint lanes)."""
+    placement = getattr(schedule, "_modulo_placement", None)
+    ii = ii if ii is not None else getattr(schedule, "_modulo_ii", None)
+    if placement is None or ii is None:
+        raise BindingError(
+            "modulo_bind requires a schedule from modulo_list_schedule")
+
+    lanes: Dict[Tuple[str, int], List[str]] = {}
+    versions: Dict[str, ResourceVersion] = {}
+    for op in schedule.graph:
+        version = allocation[op.op_id]
+        versions[version.name] = version
+        lanes.setdefault(placement[op.op_id], []).append(op.op_id)
+
+    instances = []
+    op_to_instance = {}
+    for (version_name, lane_index), ops in sorted(lanes.items()):
+        name = f"{version_name}#{lane_index}"
+        ordered = tuple(sorted(ops, key=lambda o: schedule.start(o)))
+        instances.append(Instance(name, versions[version_name], ordered))
+        for op_id in ordered:
+            op_to_instance[op_id] = name
+    binding = Binding(schedule, instances, op_to_instance)
+    _validate_modulo(binding, ii)
+    return binding
+
+
+def _validate_modulo(binding: Binding, ii: int) -> None:
+    """Check the modulo-disjointness invariant on every instance."""
+    schedule = binding.schedule
+    for inst in binding.instances:
+        used: set = set()
+        for op_id in inst.ops:
+            start = schedule.start(op_id)
+            delay = schedule.delays[op_id]
+            slots = {(start + k) % ii for k in range(delay)}
+            if slots & used:
+                raise BindingError(
+                    f"instance {inst.name!r} has a modulo-{ii} collision "
+                    f"at operation {op_id!r}")
+            used |= slots
+
+
+def pipelined_realization(graph: DataFlowGraph,
+                          allocation: Mapping[str, ResourceVersion],
+                          ii: int,
+                          latency_bound: Optional[int] = None
+                          ) -> Tuple[Schedule, Binding]:
+    """Minimum-area modulo realization at initiation interval *ii*.
+
+    Grows per-version instance counts from the II-implied lower bound
+    (``ceil(busy / ii)``) until the modulo schedule meets the latency
+    bound (default: unconstrained — the first feasible schedule wins).
+    """
+    busy: Dict[str, int] = {}
+    unit_area: Dict[str, int] = {}
+    for op in graph:
+        version = allocation[op.op_id]
+        busy[version.name] = busy.get(version.name, 0) + version.delay
+        unit_area[version.name] = version.area
+    counts = {name: max(1, math.ceil(cycles / ii))
+              for name, cycles in busy.items()}
+
+    for _ in range(sum(busy.values()) + len(graph)):
+        try:
+            schedule = modulo_list_schedule(graph, allocation, counts, ii)
+        except SchedulingError:
+            schedule = None
+        if schedule is not None and (latency_bound is None
+                                     or schedule.latency <= latency_bound):
+            return schedule, modulo_bind(schedule, allocation, ii)
+        # add capacity where it is cheapest
+        cheapest = min(counts, key=lambda n: (unit_area[n], n))
+        counts[cheapest] += 1
+    raise SchedulingError(
+        f"no modulo-{ii} realization within latency "
+        f"{latency_bound} for {graph.name!r}")

@@ -1,0 +1,125 @@
+"""Schedule representation and validation.
+
+A :class:`Schedule` assigns every operation a start step (0-based
+internally; the paper's figures are 1-based, which the rendering
+helpers use) together with the per-operation delay in clock cycles
+implied by the allocated resource versions.  An operation occupies the
+half-open step interval ``[start, start + delay)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SchedulingError
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of a data-flow graph.
+
+    Attributes
+    ----------
+    graph:
+        The scheduled data-flow graph.
+    starts:
+        Operation id → 0-based start step.
+    delays:
+        Operation id → delay in clock cycles.
+    """
+
+    graph: DataFlowGraph
+    starts: Dict[str, int]
+    delays: Dict[str, int]
+    _validated: bool = field(default=False, repr=False)
+
+    @property
+    def latency(self) -> int:
+        """Number of clock cycles until the last operation completes."""
+        if not self.starts:
+            raise SchedulingError("empty schedule has no latency")
+        return max(self.starts[op] + self.delays[op] for op in self.starts)
+
+    def start(self, op_id: str) -> int:
+        """0-based start step of *op_id*."""
+        try:
+            return self.starts[op_id]
+        except KeyError:
+            raise SchedulingError(f"operation {op_id!r} not scheduled") from None
+
+    def finish(self, op_id: str) -> int:
+        """Step *after* the last busy step of *op_id*."""
+        return self.start(op_id) + self.delays[op_id]
+
+    def interval(self, op_id: str) -> Tuple[int, int]:
+        """Busy interval ``(start, finish)`` of *op_id* (half-open)."""
+        return self.start(op_id), self.finish(op_id)
+
+    def validate(self) -> None:
+        """Check completeness and dependency consistency.
+
+        Raises :class:`SchedulingError` when an operation is missing, a
+        start is negative, or a consumer starts before its producer
+        finishes.
+        """
+        for op in self.graph:
+            if op.op_id not in self.starts:
+                raise SchedulingError(f"operation {op.op_id!r} not scheduled")
+            if op.op_id not in self.delays:
+                raise SchedulingError(f"operation {op.op_id!r} has no delay")
+            if self.starts[op.op_id] < 0:
+                raise SchedulingError(
+                    f"operation {op.op_id!r} starts at negative step "
+                    f"{self.starts[op.op_id]}")
+        for producer, consumer in self.graph.edges():
+            if self.starts[consumer] < self.starts[producer] + self.delays[producer]:
+                raise SchedulingError(
+                    f"dependency violated: {consumer!r} starts at step "
+                    f"{self.starts[consumer]} before {producer!r} finishes at "
+                    f"{self.starts[producer] + self.delays[producer]}")
+        self._validated = True
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def ops_starting_at(self, step: int) -> List[str]:
+        """Ids of operations whose start step is *step* (0-based)."""
+        return sorted(op for op, start in self.starts.items() if start == step)
+
+    def ops_busy_at(self, step: int) -> List[str]:
+        """Ids of operations executing during *step* (0-based)."""
+        return sorted(op for op in self.starts
+                      if self.starts[op] <= step < self.finish(op))
+
+    def step_table(self) -> Dict[int, List[str]]:
+        """1-based step → operations starting there (paper-style view)."""
+        table: Dict[int, List[str]] = {}
+        for step in range(self.latency):
+            ops = self.ops_starting_at(step)
+            if ops:
+                table[step + 1] = ops
+        return table
+
+    def as_text(self) -> str:
+        """Render in the style of the paper's Figure 5/7 step lists."""
+        lines = []
+        for step, ops in self.step_table().items():
+            rendered = []
+            for op_id in ops:
+                delay = self.delays[op_id]
+                rendered.append(op_id if delay == 1 else f"{op_id}[{delay}cc]")
+            lines.append(f"Step {step:>2}: {'  '.join(rendered)}")
+        return "\n".join(lines)
+
+
+def schedule_from_starts(graph: DataFlowGraph,
+                         starts: Mapping[str, int],
+                         delays: Mapping[str, int],
+                         validate: bool = True) -> Schedule:
+    """Build (and by default validate) a :class:`Schedule`."""
+    schedule = Schedule(graph, dict(starts), dict(delays))
+    if validate:
+        schedule.validate()
+    return schedule

@@ -1,0 +1,103 @@
+"""ASAP / ALAP timing analysis with support for fixed placements.
+
+These are the ``ASAP(G,R)`` / ``ALAP(G,R,L)`` primitives of the paper's
+Figure 6.  Both accept a partial map of already-fixed start steps so
+the density scheduler can recompute the remaining operations' time
+frames after each placement decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SchedulingError
+
+
+def asap_starts(graph: DataFlowGraph,
+                delays: Mapping[str, int],
+                fixed: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+    """Earliest start step per operation, honouring *fixed* placements.
+
+    Raises :class:`SchedulingError` if a fixed placement violates a
+    dependency (a fixed consumer earlier than a producer's finish).
+    """
+    fixed = fixed or {}
+    starts: Dict[str, int] = {}
+    for op_id in graph.topological_order():
+        earliest = max(
+            (starts[p] + delays[p] for p in graph.predecessors(op_id)),
+            default=0,
+        )
+        if op_id in fixed:
+            if fixed[op_id] < earliest:
+                raise SchedulingError(
+                    f"fixed start {fixed[op_id]} of {op_id!r} violates a "
+                    f"dependency (earliest feasible is {earliest})")
+            starts[op_id] = fixed[op_id]
+        else:
+            starts[op_id] = earliest
+    return starts
+
+
+def asap_latency(graph: DataFlowGraph, delays: Mapping[str, int]) -> int:
+    """Minimum feasible latency: the ASAP schedule's completion time."""
+    starts = asap_starts(graph, delays)
+    return max(starts[op] + delays[op] for op in starts)
+
+
+def alap_starts(graph: DataFlowGraph,
+                delays: Mapping[str, int],
+                latency: int,
+                fixed: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+    """Latest start step per operation for a *latency*-step schedule.
+
+    Raises :class:`SchedulingError` if *latency* is insufficient or a
+    fixed placement forces a dependency violation.
+    """
+    fixed = fixed or {}
+    starts: Dict[str, int] = {}
+    for op_id in reversed(graph.topological_order()):
+        latest = min(
+            (starts[s] for s in graph.successors(op_id)),
+            default=latency,
+        ) - delays[op_id]
+        if op_id in fixed:
+            if fixed[op_id] > latest:
+                raise SchedulingError(
+                    f"fixed start {fixed[op_id]} of {op_id!r} exceeds the "
+                    f"latest feasible step {latest} for latency {latency}")
+            starts[op_id] = fixed[op_id]
+        else:
+            starts[op_id] = latest
+        if starts[op_id] < 0:
+            raise SchedulingError(
+                f"latency {latency} is infeasible: operation {op_id!r} "
+                f"would need to start at step {starts[op_id]}")
+    return starts
+
+
+def time_frames(graph: DataFlowGraph,
+                delays: Mapping[str, int],
+                latency: int,
+                fixed: Optional[Mapping[str, int]] = None
+                ) -> Dict[str, Tuple[int, int]]:
+    """Inclusive ``(asap, alap)`` start-step window per operation."""
+    asap = asap_starts(graph, delays, fixed)
+    alap = alap_starts(graph, delays, latency, fixed)
+    frames = {}
+    for op_id in asap:
+        if asap[op_id] > alap[op_id]:
+            raise SchedulingError(
+                f"operation {op_id!r} has an empty time frame "
+                f"[{asap[op_id]}, {alap[op_id]}] at latency {latency}")
+        frames[op_id] = (asap[op_id], alap[op_id])
+    return frames
+
+
+def mobility(graph: DataFlowGraph,
+             delays: Mapping[str, int],
+             latency: int) -> Dict[str, int]:
+    """Scheduling freedom (alap − asap) per operation."""
+    frames = time_frames(graph, delays, latency)
+    return {op_id: hi - lo for op_id, (lo, hi) in frames.items()}

@@ -1,0 +1,21 @@
+"""Characterized resource libraries (the paper's Table 1 and beyond)."""
+
+from repro.library.library import ResourceLibrary
+from repro.library.paper import (
+    ANCHOR_RELIABILITY,
+    ANCHOR_VERSION,
+    PAPER_QCRITICAL,
+    paper_library,
+    single_version_library,
+)
+from repro.library.version import ResourceVersion
+
+__all__ = [
+    "ResourceVersion",
+    "ResourceLibrary",
+    "paper_library",
+    "single_version_library",
+    "PAPER_QCRITICAL",
+    "ANCHOR_VERSION",
+    "ANCHOR_RELIABILITY",
+]

@@ -1,0 +1,27 @@
+"""JSON persistence for resource libraries."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import LibraryError
+from repro.library.library import ResourceLibrary
+
+PathLike = Union[str, Path]
+
+
+def save(library: ResourceLibrary, path: PathLike) -> None:
+    """Write *library* to *path* as JSON."""
+    Path(path).write_text(json.dumps(library.to_dict(), indent=2) + "\n")
+
+
+def load(path: PathLike) -> ResourceLibrary:
+    """Read a library written by :func:`save`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise LibraryError(f"{path}: invalid JSON: {exc}") from exc
+    return ResourceLibrary.from_dict(data)

@@ -1,0 +1,171 @@
+"""The characterized resource library.
+
+A :class:`ResourceLibrary` groups :class:`ResourceVersion` objects by
+resource type and answers the selection queries the synthesis
+algorithm makes: *most reliable version of a type*, *fastest version*,
+*faster / smaller alternatives to a given version*, ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import LibraryError
+from repro.library.version import ResourceVersion
+
+
+class ResourceLibrary:
+    """An immutable-after-construction collection of resource versions."""
+
+    def __init__(self, versions: Iterable[ResourceVersion] = (),
+                 name: str = "library"):
+        self.name = name
+        self._by_name: Dict[str, ResourceVersion] = {}
+        self._by_rtype: Dict[str, List[ResourceVersion]] = {}
+        for version in versions:
+            self.add(version)
+
+    def add(self, version: ResourceVersion) -> None:
+        """Register *version*; names must be unique."""
+        if version.name in self._by_name:
+            raise LibraryError(
+                f"duplicate version name {version.name!r} in {self.name!r}")
+        self._by_name[version.name] = version
+        self._by_rtype.setdefault(version.rtype, []).append(version)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[ResourceVersion]:
+        return iter(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def version(self, name: str) -> ResourceVersion:
+        """The version registered under *name*."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LibraryError(
+                f"no version {name!r} in library {self.name!r}") from None
+
+    def rtypes(self) -> List[str]:
+        """Sorted resource types present in the library."""
+        return sorted(self._by_rtype)
+
+    def versions_of(self, rtype: str) -> List[ResourceVersion]:
+        """All versions of *rtype*, in registration order."""
+        try:
+            return list(self._by_rtype[rtype])
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r} has no versions of type {rtype!r}; "
+                f"available: {self.rtypes()}") from None
+
+    # ------------------------------------------------------------------
+    # selection queries used by the synthesis algorithms
+    # ------------------------------------------------------------------
+    def most_reliable(self, rtype: str) -> ResourceVersion:
+        """Highest-reliability version of *rtype* (ties: smaller area)."""
+        return max(self.versions_of(rtype),
+                   key=lambda v: (v.reliability, -v.area, -v.delay))
+
+    def fastest(self, rtype: str) -> ResourceVersion:
+        """Lowest-delay version of *rtype* (ties: higher reliability,
+        then smaller area)."""
+        return min(self.versions_of(rtype),
+                   key=lambda v: (v.delay, -v.reliability, v.area))
+
+    def fastest_smallest(self, rtype: str) -> ResourceVersion:
+        """Lowest-delay version of *rtype*, smallest area among ties.
+
+        This is the natural "single fixed implementation" a
+        redundancy-based flow would pick (the paper's type-2 adder and
+        multiplier): fast enough for tight latency bounds and cheap
+        enough to leave area for replicas.
+        """
+        return min(self.versions_of(rtype),
+                   key=lambda v: (v.delay, v.area, -v.reliability))
+
+    def smallest(self, rtype: str) -> ResourceVersion:
+        """Lowest-area version of *rtype* (ties: higher reliability)."""
+        return min(self.versions_of(rtype),
+                   key=lambda v: (v.area, -v.reliability, v.delay))
+
+    def faster_than(self, version: ResourceVersion) -> List[ResourceVersion]:
+        """Versions of the same type with strictly smaller delay,
+        ordered by the reliability cost of switching (best first)."""
+        candidates = [v for v in self.versions_of(version.rtype)
+                      if v.delay < version.delay]
+        return sorted(candidates,
+                      key=lambda v: (-v.reliability, v.area, v.delay))
+
+    def smaller_than(self, version: ResourceVersion,
+                     max_delay: Optional[int] = None) -> List[ResourceVersion]:
+        """Versions of the same type with strictly smaller area, ordered
+        by reliability (best first).  ``max_delay`` optionally filters
+        out versions slower than the given delay."""
+        candidates = [v for v in self.versions_of(version.rtype)
+                      if v.area < version.area]
+        if max_delay is not None:
+            candidates = [v for v in candidates if v.delay <= max_delay]
+        return sorted(candidates,
+                      key=lambda v: (-v.reliability, v.area, v.delay))
+
+    def min_delay(self, rtype: str) -> int:
+        """Delay of the fastest version of *rtype*."""
+        return self.fastest(rtype).delay
+
+    def pareto_front(self, rtype: str) -> List[ResourceVersion]:
+        """Versions of *rtype* not dominated on (area, delay, reliability)."""
+        versions = self.versions_of(rtype)
+        return [v for v in versions
+                if not any(other.dominates(v) for other in versions)]
+
+    def restricted_to(self, names: Iterable[str],
+                      name: Optional[str] = None) -> "ResourceLibrary":
+        """A sub-library containing only the named versions.
+
+        This is how the single-version baseline of the paper's
+        Section 7 is expressed: restrict the library to one version per
+        type and run the same flow.
+        """
+        return ResourceLibrary((self.version(n) for n in names),
+                               name=name or f"{self.name}|restricted")
+
+    # ------------------------------------------------------------------
+    # serialization / display
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly dictionary."""
+        return {
+            "name": self.name,
+            "versions": [v.to_dict() for v in self._by_name.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceLibrary":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            versions = [ResourceVersion.from_dict(v) for v in data["versions"]]
+            return cls(versions, name=str(data.get("name", "library")))
+        except (KeyError, TypeError) as exc:
+            raise LibraryError(f"malformed library dict: {exc}") from exc
+
+    def as_table(self) -> str:
+        """Render the library in the style of the paper's Table 1."""
+        header = (f"{'Resource':<14}{'Area (Unit)':>12}{'Delay (cc)':>12}"
+                  f"{'Reliability':>13}")
+        rows = [header, "-" * len(header)]
+        for version in self._by_name.values():
+            rows.append(f"{version.name:<14}{version.area:>12}"
+                        f"{version.delay:>12}{version.reliability:>13.3f}")
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:
+        return (f"ResourceLibrary(name={self.name!r}, "
+                f"versions={len(self._by_name)}, rtypes={self.rtypes()})")

@@ -1,0 +1,66 @@
+"""The paper's Table 1 resource library and characterization anchors.
+
+Table 1 of the paper (area, delay, reliability per version):
+
+=============  ===========  ==========  ===========
+Resource       Area (Unit)  Delay (cc)  Reliability
+=============  ===========  ==========  ===========
+Adder 1        1            2           0.999
+Adder 2        2            1           0.969
+Adder 3        4            1           0.987
+Multiplier 1   2            2           0.999
+Multiplier 2   4            1           0.969
+=============  ===========  ==========  ===========
+
+The paper maps Adder 1 to a ripple-carry adder, Adder 2 to a
+Brent-Kung adder, Adder 3 to a Kogge-Stone adder, Multiplier 1 to a
+carry-save multiplier and Multiplier 2 to a leap-frog multiplier, and
+anchors the ripple-carry adder at reliability 0.999.
+"""
+
+from __future__ import annotations
+
+from repro.library.library import ResourceLibrary
+from repro.library.version import ResourceVersion
+
+#: Qcritical values (Coulomb) reported in Section 4 for the adders.
+PAPER_QCRITICAL = {
+    "adder1": 59.460e-21,   # ripple-carry
+    "adder2": 29.701e-21,   # Brent-Kung
+    "adder3": 37.291e-21,   # Kogge-Stone
+}
+
+#: Reliability anchor: the ripple-carry adder is defined to be 0.999.
+ANCHOR_VERSION = "adder1"
+ANCHOR_RELIABILITY = 0.999
+
+ADDER1 = ResourceVersion("add", "adder1", area=1, delay=2,
+                         reliability=0.999, description="ripple-carry")
+ADDER2 = ResourceVersion("add", "adder2", area=2, delay=1,
+                         reliability=0.969, description="Brent-Kung")
+ADDER3 = ResourceVersion("add", "adder3", area=4, delay=1,
+                         reliability=0.987, description="Kogge-Stone")
+MULT1 = ResourceVersion("mul", "mult1", area=2, delay=2,
+                        reliability=0.999, description="carry-save")
+MULT2 = ResourceVersion("mul", "mult2", area=4, delay=1,
+                        reliability=0.969, description="leap-frog")
+
+_ALL = (ADDER1, ADDER2, ADDER3, MULT1, MULT2)
+
+
+def paper_library() -> ResourceLibrary:
+    """A fresh copy of the paper's Table 1 library."""
+    return ResourceLibrary(_ALL, name="tosun2005-table1")
+
+
+def single_version_library(adder: str = "adder2",
+                           multiplier: str = "mult2") -> ResourceLibrary:
+    """The restricted library used by the redundancy baseline.
+
+    The paper's reference [3] assumes one fixed implementation per
+    operation type; its Table 2 numbers are consistent with the type-2
+    (fast) versions, which are the defaults here.
+    """
+    full = paper_library()
+    return full.restricted_to([adder, multiplier],
+                              name=f"single({adder},{multiplier})")

@@ -1,0 +1,53 @@
+"""Reliability calculus: composition, redundancy and the SER chain."""
+
+from repro.reliability.basic import (
+    failure_rate_from_reliability,
+    mission_reliability,
+    mttf,
+    parallel_redundant,
+    reliability_from_failure_rate,
+    serial,
+)
+from repro.reliability.composition import (
+    design_reliability,
+    operation_reliability,
+    reliability_improvement,
+)
+from repro.reliability.nmr import (
+    duplex_reliability,
+    majority_threshold,
+    nmr_breakeven,
+    nmr_reliability,
+    redundant_reliability,
+    tmr_reliability,
+)
+from repro.reliability.ser import (
+    DEFAULT_QS,
+    SerScale,
+    fit_qs,
+    hazucha_ser,
+    relative_ser,
+)
+
+__all__ = [
+    "serial",
+    "parallel_redundant",
+    "reliability_from_failure_rate",
+    "failure_rate_from_reliability",
+    "mission_reliability",
+    "mttf",
+    "nmr_reliability",
+    "tmr_reliability",
+    "duplex_reliability",
+    "redundant_reliability",
+    "majority_threshold",
+    "nmr_breakeven",
+    "hazucha_ser",
+    "relative_ser",
+    "SerScale",
+    "fit_qs",
+    "DEFAULT_QS",
+    "design_reliability",
+    "operation_reliability",
+    "reliability_improvement",
+]

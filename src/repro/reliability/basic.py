@@ -1,0 +1,79 @@
+"""Elementary reliability mathematics (paper Section 5).
+
+Reliability is the probability that a component performs its intended
+function over a reference interval, related to the (constant) failure
+rate λ by R(t) = exp(−λ t).  Designs compose serially — every
+component must succeed — so design reliability is a product, and the
+paper deliberately applies the serial product to "parallel" structures
+too (all data-path components must work for the computation to be
+correct).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+def check_probability(value: float, what: str = "reliability") -> float:
+    """Validate that *value* is a probability in [0, 1]."""
+    if not (0.0 <= value <= 1.0) or math.isnan(value):
+        raise ReproError(f"{what} must be in [0, 1], got {value}")
+    return value
+
+
+def reliability_from_failure_rate(rate: float, time: float = 1.0) -> float:
+    """R(t) = exp(−λ t) — step 3 of the paper's Figure 2."""
+    if rate < 0:
+        raise ReproError(f"failure rate must be non-negative, got {rate}")
+    if time < 0:
+        raise ReproError(f"time must be non-negative, got {time}")
+    return math.exp(-rate * time)
+
+
+def failure_rate_from_reliability(reliability: float,
+                                  time: float = 1.0) -> float:
+    """Invert R(t) = exp(−λ t) for λ (reliability must be positive)."""
+    check_probability(reliability)
+    if reliability == 0.0:
+        raise ReproError("zero reliability has no finite failure rate")
+    if time <= 0:
+        raise ReproError(f"time must be positive, got {time}")
+    return -math.log(reliability) / time
+
+
+def serial(reliabilities: Iterable[float]) -> float:
+    """Serial composition: all components must succeed (product)."""
+    product = 1.0
+    for value in reliabilities:
+        product *= check_probability(value)
+    return product
+
+
+def parallel_redundant(reliabilities: Iterable[float]) -> float:
+    """Classical parallel composition: any one success suffices.
+
+    This is the textbook 1 − Π(1 − Ri) formula the paper quotes for
+    reference, *not* what it uses for data-path composition — see
+    :func:`serial` and the module docstring.
+    """
+    product = 1.0
+    for value in reliabilities:
+        product *= 1.0 - check_probability(value)
+    return 1.0 - product
+
+
+def mission_reliability(rate: float, missions: int) -> float:
+    """Reliability over *missions* consecutive reference intervals."""
+    if missions < 0:
+        raise ReproError(f"missions must be non-negative, got {missions}")
+    return reliability_from_failure_rate(rate, float(missions))
+
+
+def mttf(rate: float) -> float:
+    """Mean time to failure of an exponential lifetime: 1 / λ."""
+    if rate <= 0:
+        raise ReproError(f"failure rate must be positive, got {rate}")
+    return 1.0 / rate

@@ -1,0 +1,76 @@
+"""Composing a design's reliability from its operations (Section 5).
+
+The paper evaluates a scheduled, bound data-flow graph as a *serial*
+system over its operations: every operation's execution must be
+soft-error free, so
+
+    R_design = Π_ops R(version bound to op),
+
+and redundancy replaces an operation's term with the NMR/duplex
+expression of its replica group (see :mod:`repro.reliability.nmr`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import ReproError
+from repro.library.version import ResourceVersion
+from repro.reliability.basic import check_probability
+from repro.reliability.nmr import redundant_reliability
+
+
+def operation_reliability(version: ResourceVersion, copies: int = 1) -> float:
+    """Reliability of one operation executed on *copies* replicas of
+    *version* (1 = no redundancy)."""
+    return redundant_reliability(version.reliability, copies)
+
+
+def design_reliability(graph: DataFlowGraph,
+                       allocation: Mapping[str, ResourceVersion],
+                       copies: Optional[Mapping[str, int]] = None) -> float:
+    """Serial reliability of a design under an allocation.
+
+    Parameters
+    ----------
+    graph:
+        The data-flow graph being synthesized.
+    allocation:
+        Operation id → resource version executing it.
+    copies:
+        Optional operation id → replica count (defaults to 1 for every
+        operation not listed).
+
+    Raises
+    ------
+    ReproError
+        If any operation lacks an allocation, or an allocated version's
+        type does not match the operation's resource type.
+    """
+    copies = copies or {}
+    product = 1.0
+    for op in graph:
+        version = allocation.get(op.op_id)
+        if version is None:
+            raise ReproError(
+                f"operation {op.op_id!r} has no allocated version")
+        if version.rtype != op.rtype:
+            raise ReproError(
+                f"operation {op.op_id!r} (type {op.rtype!r}) allocated a "
+                f"{version.rtype!r} version {version.name!r}")
+        product *= operation_reliability(version, copies.get(op.op_id, 1))
+    return product
+
+
+def reliability_improvement(ours: float, reference: float) -> float:
+    """Percentage improvement of *ours* over *reference*.
+
+    This is the "% Imprv" column of the paper's Table 2; negative
+    values mean the reference wins.
+    """
+    check_probability(ours, "ours")
+    check_probability(reference, "reference")
+    if reference == 0.0:
+        raise ReproError("reference reliability must be positive")
+    return 100.0 * (ours - reference) / reference

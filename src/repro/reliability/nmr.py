@@ -1,0 +1,102 @@
+"""N-modular redundancy (paper Section 5).
+
+NMR is a majority-voting arrangement of N identical modules: the
+system succeeds while at least k = (N + 1) / 2 modules succeed,
+
+    R_NMR = Σ_{i=k}^{N}  C(N, i) · R^i · (1 − R)^(N − i).
+
+Duplication (N = 2) cannot out-vote a fault, but paired with fault
+detection and rollback recovery it masks single faults; its effective
+reliability is that of "at least one replica correct":
+1 − (1 − R)².  These expressions assume a perfect voter/checker — the
+paper excludes the checking circuitry from both area and reliability.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.errors import ReproError
+from repro.reliability.basic import check_probability
+
+
+def majority_threshold(modules: int) -> int:
+    """Minimum number of correct modules for an NMR majority.
+
+    The paper gives the relationship N = 2k − 1, i.e. k = (N + 1) / 2.
+    """
+    if modules < 1 or modules % 2 == 0:
+        raise ReproError(
+            f"NMR majority voting needs an odd module count, got {modules}")
+    return (modules + 1) // 2
+
+
+def nmr_reliability(reliability: float, modules: int) -> float:
+    """Reliability of an *modules*-way majority-voted replica group."""
+    check_probability(reliability)
+    k = majority_threshold(modules)
+    total = 0.0
+    for i in range(k, modules + 1):
+        total += (comb(modules, i) * reliability ** i
+                  * (1.0 - reliability) ** (modules - i))
+    return total
+
+
+def tmr_reliability(reliability: float) -> float:
+    """Triple modular redundancy: 3R² − 2R³."""
+    return nmr_reliability(reliability, 3)
+
+
+def duplex_reliability(reliability: float) -> float:
+    """Duplication with detection + rollback: 1 − (1 − R)²."""
+    check_probability(reliability)
+    return 1.0 - (1.0 - reliability) ** 2
+
+
+def redundant_reliability(reliability: float, copies: int) -> float:
+    """Effective reliability of a *copies*-replica group.
+
+    ``copies == 1`` is the bare module; even counts use the
+    detect-and-rollback model 1 − (1 − R)^copies; odd counts ≥ 3 use
+    majority voting.  This is the dispatch rule used when inserting
+    redundancy in the baseline and combined approaches.
+    """
+    check_probability(reliability)
+    if copies < 1:
+        raise ReproError(f"copies must be >= 1, got {copies}")
+    if copies == 1:
+        return reliability
+    if copies % 2 == 0:
+        return 1.0 - (1.0 - reliability) ** copies
+    return nmr_reliability(reliability, copies)
+
+
+def nmr_with_voter(reliability: float, modules: int,
+                   voter_reliability: float = 1.0) -> float:
+    """NMR reliability including an imperfect voter.
+
+    The paper (like its reference [3]) assumes a perfect voter; real
+    voters fail too, and because the voter is a serial single point of
+    failure the group reliability is ``R_voter · R_NMR``.  This
+    extension quantifies how quickly an imperfect voter erodes the
+    redundancy benefit (with R_voter < R the NMR group can be *worse*
+    than a bare module).
+    """
+    check_probability(voter_reliability, "voter reliability")
+    return voter_reliability * nmr_reliability(reliability, modules)
+
+
+def redundancy_worthwhile(reliability: float,
+                          voter_reliability: float = 1.0) -> bool:
+    """True when voter-aware TMR still beats a bare module."""
+    return nmr_with_voter(reliability, 3, voter_reliability) > reliability
+
+
+def nmr_breakeven(reliability: float) -> bool:
+    """True when TMR actually improves on a bare module.
+
+    Majority voting only helps when R > 0.5; below that threshold the
+    redundant system is *less* reliable than a single module.
+    """
+    check_probability(reliability)
+    return reliability > 0.5

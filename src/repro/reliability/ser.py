@@ -1,0 +1,130 @@
+"""The Qcritical → SER → failure-rate → reliability chain (Figure 2).
+
+The paper estimates a component's soft-error rate with Hazucha and
+Svensson's empirical model,
+
+    SER ∝ N_flux · CS · exp(−Q_critical / Q_s),
+
+where ``N_flux`` is the neutron-flux intensity, ``CS`` the sensitive
+cross-section area and ``Q_s`` the charge-collection efficiency.  For
+two circuits in the same technology, flux/cross-section/efficiency
+cancel and the SERs relate as
+
+    SER2 = SER1 · exp((Q_critical1 − Q_critical2) / Q_s).
+
+Treating every soft error as a failure makes SER the failure rate λ,
+and R = exp(−λ) over the reference interval.  Absolute SER values are
+process-dependent, so — exactly like the paper — the chain is anchored:
+the ripple-carry adder is pinned at R = 0.999 and everything else is
+scaled relative to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ReproError
+from repro.reliability.basic import (
+    failure_rate_from_reliability,
+    reliability_from_failure_rate,
+)
+
+#: Charge-collection efficiency (Coulomb).  Chosen so the paper's three
+#: adder Qcritical values map to reliability ratios of Table 1's order
+#: of magnitude; see :class:`SerScale` for the anchored calibration.
+DEFAULT_QS = 8.5e-21
+
+
+def hazucha_ser(qcritical: float,
+                qs: float = DEFAULT_QS,
+                flux: float = 1.0,
+                cross_section: float = 1.0,
+                scale: float = 1.0) -> float:
+    """Absolute SER from the Hazucha–Svensson model (arbitrary units)."""
+    if qcritical < 0:
+        raise ReproError(f"Qcritical must be non-negative, got {qcritical}")
+    if qs <= 0:
+        raise ReproError(f"Qs must be positive, got {qs}")
+    if flux < 0 or cross_section < 0 or scale < 0:
+        raise ReproError("flux, cross_section and scale must be non-negative")
+    return scale * flux * cross_section * math.exp(-qcritical / qs)
+
+
+def relative_ser(ser_reference: float,
+                 qcritical_reference: float,
+                 qcritical_target: float,
+                 qs: float = DEFAULT_QS) -> float:
+    """SER of a target circuit from a reference circuit's SER.
+
+    Implements SER2 = SER1 · exp((Qc1 − Qc2) / Qs) for two circuits in
+    the same technology generation.
+    """
+    if qs <= 0:
+        raise ReproError(f"Qs must be positive, got {qs}")
+    if ser_reference < 0:
+        raise ReproError("reference SER must be non-negative")
+    return ser_reference * math.exp(
+        (qcritical_reference - qcritical_target) / qs)
+
+
+@dataclass(frozen=True)
+class SerScale:
+    """An anchored SER→reliability conversion.
+
+    The anchor fixes one component's reliability (the paper sets the
+    ripple-carry adder to 0.999); every other component's reliability
+    follows from its Qcritical through the relative-SER expression.
+    """
+
+    anchor_qcritical: float
+    anchor_reliability: float = 0.999
+    qs: float = DEFAULT_QS
+
+    def __post_init__(self):
+        if self.anchor_qcritical <= 0:
+            raise ReproError("anchor Qcritical must be positive")
+        if not (0.0 < self.anchor_reliability < 1.0):
+            raise ReproError("anchor reliability must be in (0, 1)")
+        if self.qs <= 0:
+            raise ReproError("Qs must be positive")
+
+    @property
+    def anchor_ser(self) -> float:
+        """Failure rate (= SER) implied by the anchor reliability."""
+        return failure_rate_from_reliability(self.anchor_reliability)
+
+    def ser_for(self, qcritical: float) -> float:
+        """SER of a component with the given Qcritical."""
+        return relative_ser(self.anchor_ser, self.anchor_qcritical,
+                            qcritical, self.qs)
+
+    def reliability_for(self, qcritical: float) -> float:
+        """Reliability of a component with the given Qcritical."""
+        return reliability_from_failure_rate(self.ser_for(qcritical))
+
+    def reliability_table(self,
+                          qcriticals: Mapping[str, float]) -> Dict[str, float]:
+        """Reliabilities for a whole set of components at once."""
+        return {name: self.reliability_for(qc)
+                for name, qc in qcriticals.items()}
+
+
+def fit_qs(qcritical_a: float, reliability_a: float,
+           qcritical_b: float, reliability_b: float) -> float:
+    """Charge-collection efficiency that maps two (Qc, R) pairs exactly.
+
+    Solving SER_b = SER_a · exp((Qc_a − Qc_b)/Qs) for Qs given both
+    reliabilities.  Used to calibrate the characterization pipeline to
+    the paper's published anchor points.
+    """
+    rate_a = failure_rate_from_reliability(reliability_a)
+    rate_b = failure_rate_from_reliability(reliability_b)
+    if rate_a <= 0 or rate_b <= 0:
+        raise ReproError("both reliabilities must be strictly below 1")
+    if math.isclose(qcritical_a, qcritical_b):
+        raise ReproError("Qcritical values must differ to fit Qs")
+    if math.isclose(rate_a, rate_b):
+        raise ReproError("reliabilities must differ to fit Qs")
+    return (qcritical_a - qcritical_b) / math.log(rate_b / rate_a)

@@ -1,0 +1,68 @@
+"""Tests for the extra benchmarks (EWF-34 and AR lattice)."""
+
+import pytest
+
+from repro.bench import ar_lattice, ewf34, get_benchmark
+from repro.dfg import depth
+from repro.errors import NoSolutionError
+from repro.library import paper_library
+from repro.core import baseline_design, find_design
+
+
+class TestEwf34:
+    def test_canonical_counts(self):
+        g = ewf34()
+        assert len(g) == 34
+        assert g.counts_by_rtype() == {"add": 26, "mul": 8}
+
+    def test_canonical_depth(self):
+        assert depth(ewf34()) == 14
+
+    def test_single_sink(self):
+        assert len(ewf34().sinks()) == 1
+
+    def test_synthesizable_at_textbook_bounds(self):
+        # the classic EWF schedules in 16-19 steps with 2-3 adders
+        lib = paper_library()
+        result = find_design(ewf34(), lib, 16, 12)
+        assert result.meets_bounds()
+        baseline = baseline_design(ewf34(), lib, 16, 12)
+        assert result.reliability > baseline.reliability
+
+    def test_minimum_latency_infeasible_below_depth(self):
+        with pytest.raises(NoSolutionError):
+            find_design(ewf34(), paper_library(), 13, 40)
+
+
+class TestArLattice:
+    def test_counts(self):
+        g = ar_lattice()
+        assert len(g) == 28
+        assert g.counts_by_rtype() == {"mul": 16, "add": 12}
+
+    def test_depth(self):
+        assert depth(ar_lattice()) == 11
+
+    def test_synthesis_end_to_end(self):
+        lib = paper_library()
+        result = find_design(ar_lattice(), lib, 14, 14)
+        result.schedule.validate()
+        result.binding.validate()
+        assert result.meets_bounds()
+
+    def test_mult_heavy_profile_prefers_mult1_at_loose_latency(self):
+        # with latency slack, the search moves multiplications onto
+        # the reliable 2-cycle multiplier
+        lib = paper_library()
+        tight = find_design(ar_lattice(), lib, 12, 14)
+        loose = find_design(ar_lattice(), lib, 24, 14)
+        assert loose.reliability > tight.reliability
+        assert loose.version_histogram().get("mult1", 0) >= \
+            tight.version_histogram().get("mult1", 0)
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name,ops", [("ewf34", 34), ("ar", 28),
+                                          ("AR28", 28)])
+    def test_lookup(self, name, ops):
+        assert len(get_benchmark(name)) == ops

@@ -1,0 +1,94 @@
+"""Structural tests for the paper's benchmark graphs."""
+
+import pytest
+
+from repro.bench import benchmark_names, diffeq, ewf, fir16, get_benchmark
+from repro.dfg import critical_path_length, depth, unit_delays
+from repro.errors import ReproError
+from repro.library import paper_library
+
+
+class TestFir:
+    def test_operation_counts(self):
+        g = fir16()
+        assert len(g) == 23
+        assert g.counts_by_rtype() == {"add": 15, "mul": 8}
+
+    def test_unit_critical_path(self):
+        g = fir16()
+        assert depth(g) == 9  # pre-add, multiply, 7-add chain
+
+    def test_type1_latency_is_paper_18(self):
+        # the paper: with adder1+mult1 only, minimum latency is 18
+        g = fir16()
+        lib = paper_library()
+        delays = {op.op_id: lib.most_reliable(op.rtype).delay for op in g}
+        assert critical_path_length(g, delays) == 18
+
+    def test_reliability_product_type2(self):
+        assert 0.969 ** 23 == pytest.approx(0.48467, abs=5e-5)
+
+    def test_single_sink(self):
+        assert len(fir16().sinks()) == 1
+
+
+class TestEwf:
+    def test_operation_counts(self):
+        g = ewf()
+        assert len(g) == 25
+        assert g.counts_by_rtype() == {"add": 17, "mul": 8}
+
+    def test_unit_critical_path_matches_paper_grid(self):
+        # Table 2(b)'s latency grid starts at 13
+        assert depth(ewf()) == 13
+
+    def test_reliability_product_type2(self):
+        assert 0.969 ** 25 == pytest.approx(0.45509, abs=1e-4)
+
+    def test_validates(self):
+        ewf().validate()
+
+
+class TestDiffeq:
+    def test_operation_counts(self):
+        g = diffeq()
+        counts = {}
+        for op in g:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        assert counts == {"mul": 6, "sub": 2, "add": 2, "cmp": 1}
+        assert g.counts_by_rtype() == {"mul": 6, "add": 5}
+
+    def test_unit_critical_path_matches_paper_grid(self):
+        # Table 2(c)'s latency grid starts at 5
+        assert depth(diffeq()) == 5
+
+    def test_reliability_product_type2(self):
+        assert 0.969 ** 11 == pytest.approx(0.70723, abs=5e-5)
+
+    def test_critical_chain(self):
+        g = diffeq()
+        from repro.dfg import critical_path
+
+        _, path = critical_path(g, unit_delays(g))
+        assert path == ["*1", "*4", "*6", "-1", "-2"]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert benchmark_names() == ["ar", "diffeq", "ew", "ewf34", "fir"]
+
+    @pytest.mark.parametrize("name,ops", [
+        ("fir", 23), ("FIR16", 23), ("ew", 25), ("ewf", 25), ("EWF25", 25),
+        ("diffeq", 11), ("hal", 11),
+    ])
+    def test_lookup_with_aliases(self, name, ops):
+        assert len(get_benchmark(name)) == ops
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            get_benchmark("aes")
+
+    def test_fresh_copies(self):
+        a = get_benchmark("fir")
+        b = get_benchmark("fir")
+        assert a is not b

@@ -1,0 +1,135 @@
+"""Functional-correctness tests for the adder and multiplier generators.
+
+Every generated netlist is exercised with random operands (bit-
+parallel, so hundreds of vectors per pass) and compared against
+Python integer arithmetic.
+"""
+
+import random
+
+import pytest
+
+from repro.charlib import (
+    brent_kung_adder,
+    bus,
+    carry_save_multiplier,
+    carry_skip_adder,
+    drive_bus,
+    kogge_stone_adder,
+    leapfrog_multiplier,
+    output_values,
+    read_bus,
+    ripple_carry_adder,
+)
+from repro.errors import NetlistError
+
+ADDERS = [ripple_carry_adder, brent_kung_adder, kogge_stone_adder,
+          carry_skip_adder]
+MULTIPLIERS = [carry_save_multiplier, leapfrog_multiplier]
+
+
+def check_adder(netlist, bits, seed=0, vectors=128, cin=None):
+    rng = random.Random(seed)
+    avals = [rng.randrange(2 ** bits) for _ in range(vectors)]
+    bvals = [rng.randrange(2 ** bits) for _ in range(vectors)]
+    stimulus = {}
+    drive_bus(stimulus, "a", bits, avals, vectors)
+    drive_bus(stimulus, "b", bits, bvals, vectors)
+    carry_in = 0
+    if "cin" in netlist.inputs:
+        carry_in = cin if cin is not None else 0
+        stimulus["cin"] = (2 ** vectors - 1) if carry_in else 0
+    out = output_values(netlist, stimulus, vectors)
+    sums = read_bus(out, bus("sum", bits) + ["cout"], vectors)
+    for got, x, y in zip(sums, avals, bvals):
+        assert got == x + y + carry_in, f"{netlist.name}: {x}+{y}"
+
+
+def check_multiplier(netlist, bits, seed=0, vectors=128):
+    rng = random.Random(seed)
+    avals = [rng.randrange(2 ** bits) for _ in range(vectors)]
+    bvals = [rng.randrange(2 ** bits) for _ in range(vectors)]
+    stimulus = {}
+    drive_bus(stimulus, "a", bits, avals, vectors)
+    drive_bus(stimulus, "b", bits, bvals, vectors)
+    out = output_values(netlist, stimulus, vectors)
+    prods = read_bus(out, [f"prod{i}" for i in range(2 * bits)], vectors)
+    for got, x, y in zip(prods, avals, bvals):
+        assert got == x * y, f"{netlist.name}: {x}*{y}"
+
+
+class TestAdders:
+    @pytest.mark.parametrize("builder", ADDERS)
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 8, 16])
+    def test_random_operands(self, builder, bits):
+        check_adder(builder(bits), bits, seed=bits)
+
+    def test_corner_vectors(self):
+        bits, vectors = 8, 4
+        top = 2 ** bits - 1
+        pairs = [(0, 0), (top, top), (top, 1), (0b10101010, 0b01010101)]
+        for builder in ADDERS:
+            netlist = builder(bits)
+            stimulus = {}
+            drive_bus(stimulus, "a", bits, [p[0] for p in pairs], vectors)
+            drive_bus(stimulus, "b", bits, [p[1] for p in pairs], vectors)
+            if "cin" in netlist.inputs:
+                stimulus["cin"] = 0
+            out = output_values(netlist, stimulus, vectors)
+            sums = read_bus(out, bus("sum", bits) + ["cout"], vectors)
+            assert sums == [x + y for x, y in pairs]
+
+    def test_ripple_with_carry_in(self):
+        check_adder(ripple_carry_adder(8, with_cin=True), 8, cin=1)
+
+    def test_relative_depths(self):
+        # Kogge-Stone is the shallowest, ripple-carry the deepest.
+        rca = ripple_carry_adder(8)
+        bk = brent_kung_adder(8)
+        ks = kogge_stone_adder(8)
+        assert ks.depth() < bk.depth() < rca.depth()
+
+    def test_relative_sizes(self):
+        # prefix adders trade area for speed
+        rca = ripple_carry_adder(8)
+        ks = kogge_stone_adder(8)
+        assert rca.gate_count() < ks.gate_count()
+
+    def test_bad_width(self):
+        with pytest.raises(NetlistError):
+            ripple_carry_adder(0)
+        with pytest.raises(NetlistError):
+            carry_skip_adder(8, block=0)
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("builder", MULTIPLIERS)
+    @pytest.mark.parametrize("bits", [2, 3, 4, 6, 8])
+    def test_random_operands(self, builder, bits):
+        check_multiplier(builder(bits), bits, seed=bits)
+
+    def test_corner_vectors(self):
+        bits, vectors = 6, 4
+        top = 2 ** bits - 1
+        pairs = [(0, 0), (top, top), (1, top), (top, 0)]
+        for builder in MULTIPLIERS:
+            netlist = builder(bits)
+            stimulus = {}
+            drive_bus(stimulus, "a", bits, [p[0] for p in pairs], vectors)
+            drive_bus(stimulus, "b", bits, [p[1] for p in pairs], vectors)
+            out = output_values(netlist, stimulus, vectors)
+            prods = read_bus(out, [f"prod{i}" for i in range(2 * bits)],
+                             vectors)
+            assert prods == [x * y for x, y in pairs]
+
+    def test_leapfrog_is_faster_and_larger(self):
+        # the leap-frog stand-in must show Table 1's qualitative
+        # profile: lower depth (faster), more gates (larger)
+        csm = carry_save_multiplier(8)
+        leap = leapfrog_multiplier(8)
+        assert leap.depth() < csm.depth()
+        assert leap.gate_count() > csm.gate_count()
+
+    def test_bad_width(self):
+        with pytest.raises(NetlistError):
+            carry_save_multiplier(1)

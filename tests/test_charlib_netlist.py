@@ -1,0 +1,139 @@
+"""Unit tests for repro.charlib.gates and repro.charlib.netlist."""
+
+import pytest
+
+from repro.charlib import GATE_TYPES, Netlist, gate_type, simulate
+from repro.errors import CharacterizationError, NetlistError
+
+
+def tiny() -> Netlist:
+    n = Netlist("tiny")
+    n.add_input("a")
+    n.add_input("b")
+    x = n.add_gate("and2", ["a", "b"], output="x")
+    n.add_gate("inv", [x], output="y")
+    n.add_output("y")
+    return n
+
+
+class TestGateTypes:
+    def test_all_types_present(self):
+        expected = {"inv", "buf", "and2", "or2", "nand2", "nor2", "xor2",
+                    "xnor2", "and3", "or3", "xor3", "maj3", "aoi21"}
+        assert expected <= set(GATE_TYPES)
+
+    def test_unknown_type(self):
+        with pytest.raises(NetlistError):
+            gate_type("nand9")
+
+    @pytest.mark.parametrize("name,inputs,expected", [
+        ("inv", (0b01,), 0b10),
+        ("buf", (0b01,), 0b01),
+        ("and2", (0b0011, 0b0101), 0b0001),
+        ("or2", (0b0011, 0b0101), 0b0111),
+        ("nand2", (0b0011, 0b0101), 0b1110),
+        ("nor2", (0b0011, 0b0101), 0b1000),
+        ("xor2", (0b0011, 0b0101), 0b0110),
+        ("xnor2", (0b0011, 0b0101), 0b1001),
+        ("xor3", (0b00001111, 0b00110011, 0b01010101), 0b01101001),
+        ("maj3", (0b00001111, 0b00110011, 0b01010101), 0b00010111),
+        ("aoi21", (0b0011, 0b0101, 0b0000), 0b1110),
+    ])
+    def test_truth_tables(self, name, inputs, expected):
+        gate = gate_type(name)
+        width = 8 if len(bin(expected)) > 6 else (2 if name in
+                                                  ("inv", "buf") else 4)
+        mask = (1 << width) - 1
+        assert gate.evaluate(inputs, mask) == expected & mask
+
+
+class TestNetlist:
+    def test_construction_and_stats(self):
+        n = tiny()
+        stats = n.stats()
+        assert stats["gates"] == 2
+        assert stats["inputs"] == 2
+        assert stats["depth"] == 2
+        assert stats["by_type"] == {"and2": 1, "inv": 1}
+
+    def test_duplicate_input_rejected(self):
+        n = Netlist("n")
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_input("a")
+
+    def test_double_driver_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_gate("inv", ["a"], output="x")
+
+    def test_driving_an_input_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_gate("inv", ["b"], output="a")
+
+    def test_wrong_arity_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_gate("and2", ["a"])
+
+    def test_undriven_net_detected(self):
+        n = Netlist("n")
+        n.add_input("a")
+        n.add_gate("and2", ["a", "ghost"], output="x")
+        n.add_output("x")
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_undriven_output_detected(self):
+        n = tiny()
+        n.add_output("nowhere")
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("empty").validate()
+
+    def test_fanout(self):
+        n = Netlist("f")
+        n.add_input("a")
+        x = n.add_gate("inv", ["a"], output="x")
+        n.add_gate("and2", [x, x], output="y")
+        n.add_output("y")
+        assert n.fanout()["x"] == 2
+        assert n.fanout()["a"] == 1
+
+    def test_logic_depth(self):
+        n = tiny()
+        depths = n.logic_depth()
+        assert depths["a"] == 0 and depths["x"] == 1 and depths["y"] == 2
+
+    def test_levels_to_output(self):
+        n = tiny()
+        levels = n.levels_to_output()
+        assert levels["y"] == 0
+        assert levels["x"] == 1
+
+    def test_gate_lookup(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.gate("g99")
+
+
+class TestSimulate:
+    def test_and_inv(self):
+        n = tiny()
+        values = simulate(n, {"a": 0b0011, "b": 0b0101}, 4)
+        assert values["x"] == 0b0001
+        assert values["y"] == 0b1110
+
+    def test_missing_stimulus(self):
+        n = tiny()
+        with pytest.raises(CharacterizationError):
+            simulate(n, {"a": 0}, 4)
+
+    def test_bad_vector_count(self):
+        n = tiny()
+        with pytest.raises(CharacterizationError):
+            simulate(n, {"a": 0, "b": 0}, 0)

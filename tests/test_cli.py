@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dfg import DFGBuilder
+from repro.dfg import textio
+from repro.library import io as library_io
+from repro.library import paper_library
+
+
+class TestSynth:
+    def test_ours(self, capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "reliability" in out
+        assert "find_design" in out
+
+    def test_baseline(self, capsys):
+        assert main(["synth", "fir", "-l", "10", "-a", "9",
+                     "--method", "baseline"]) == 0
+        assert "baseline-nmr" in capsys.readouterr().out
+
+    def test_schedule_flag(self, capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--schedule"]) == 0
+        assert "Step" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"] == "diffeq"
+        assert 0 < payload["reliability"] < 1
+
+    def test_infeasible_returns_2(self, capsys):
+        assert main(["synth", "fir", "-l", "3", "-a", "9"]) == 2
+        assert "no solution" in capsys.readouterr().err
+
+    def test_unknown_benchmark_returns_1(self, capsys):
+        assert main(["synth", "aes", "-l", "5", "-a", "9"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_graph_from_file(self, tmp_path, capsys):
+        builder = DFGBuilder("mini")
+        a = builder.adder()
+        builder.mul(deps=[a])
+        path = tmp_path / "mini.dfg"
+        textio.save(builder.build(), path)
+        assert main(["synth", str(path), "-l", "6", "-a", "8"]) == 0
+        assert "mini" in capsys.readouterr().out
+
+    def test_library_from_file(self, tmp_path, capsys):
+        path = tmp_path / "lib.json"
+        library_io.save(paper_library(), path)
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--library", str(path)]) == 0
+
+    def test_versions_area_model(self, capsys):
+        assert main(["synth", "fir", "-l", "11", "-a", "8",
+                     "--area-model", "versions"]) == 0
+
+
+class TestBench:
+    def test_list(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fir", "ew", "diffeq"):
+            assert name in out
+
+    def test_inspect(self, capsys):
+        assert main(["bench", "fir"]) == 0
+        out = capsys.readouterr().out
+        assert "operations: 23" in out
+
+
+class TestCharacterize:
+    def test_calibrated_only(self, capsys):
+        assert main(["characterize", "--calibrated-only"]) == 0
+        out = capsys.readouterr().out
+        assert "0.98702" in out  # predicted Kogge-Stone point
+
+    def test_full(self, capsys):
+        assert main(["characterize", "--bits", "4"]) == 0
+        assert "characterized" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "0.82783" in capsys.readouterr().out
+
+    def test_table2c(self, capsys):
+        assert main(["experiment", "table2c"]) == 0
+        assert "0.70723" in capsys.readouterr().out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])
+
+
+class TestExplore:
+    def test_sweep(self, capsys):
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out

@@ -1,0 +1,113 @@
+"""Unit tests for exploration sweeps and alternate objectives."""
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.errors import NoSolutionError
+from repro.library import paper_library
+from repro.core import (
+    minimize_area,
+    minimize_latency,
+    pareto_frontier,
+    reliability_vs_area,
+    reliability_vs_latency,
+    sweep_bounds,
+    synthesize,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+class TestSweeps:
+    def test_grid_shape(self, lib):
+        points = sweep_bounds(diffeq(), lib, [5, 6], [11, 13], "ours")
+        assert len(points) == 4
+        assert {(p.latency_bound, p.area_bound) for p in points} == {
+            (5, 11), (5, 13), (6, 11), (6, 13)}
+
+    def test_infeasible_points_are_none(self, lib):
+        points = sweep_bounds(diffeq(), lib, [3], [11], "ours")
+        assert points[0].result is None
+        assert points[0].reliability is None
+
+    def test_reliability_vs_latency_monotone(self, lib):
+        curve = reliability_vs_latency(fir16(), lib, [10, 11, 12], 8)
+        values = [r for _, r in curve if r is not None]
+        assert values == sorted(values)
+
+    def test_reliability_vs_area_monotone(self, lib):
+        curve = reliability_vs_area(fir16(), lib, 10, [8, 10, 12])
+        values = [r for _, r in curve if r is not None]
+        assert values == sorted(values)
+
+    def test_synthesize_dispatch(self, lib):
+        ours = synthesize("ours", diffeq(), lib, 6, 11)
+        base = synthesize("baseline", diffeq(), lib, 6, 11)
+        combined = synthesize("combined", diffeq(), lib, 6, 11)
+        assert ours.method == "find_design"
+        assert base.method == "baseline-nmr"
+        assert combined.method == "combined"
+
+    def test_unknown_method(self, lib):
+        with pytest.raises(NoSolutionError):
+            synthesize("theirs", diffeq(), lib, 6, 11)
+
+
+class TestPareto:
+    def test_frontier_nonempty_and_nondominated(self, lib):
+        points = sweep_bounds(diffeq(), lib, [5, 6, 7], [9, 11, 13], "ours")
+        frontier = pareto_frontier(points)
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominated = (b.result.latency <= a.result.latency
+                             and b.result.area <= a.result.area
+                             and b.result.reliability >= a.result.reliability
+                             and (b.result.latency < a.result.latency
+                                  or b.result.area < a.result.area
+                                  or b.result.reliability
+                                  > a.result.reliability))
+                assert not dominated
+
+    def test_frontier_empty_when_all_infeasible(self, lib):
+        points = sweep_bounds(diffeq(), lib, [3], [2], "ours")
+        assert pareto_frontier(points) == []
+
+
+class TestObjectives:
+    def test_minimize_area_meets_floor(self, lib):
+        result = minimize_area(diffeq(), lib, 7, 0.75)
+        assert result.reliability >= 0.75
+        assert result.method == "minimize_area"
+
+    def test_minimize_area_is_minimal(self, lib):
+        result = minimize_area(diffeq(), lib, 7, 0.75)
+        # one unit less area must be infeasible or below the floor
+        try:
+            from repro.core import find_design
+
+            tighter = find_design(diffeq(), lib, 7, result.area - 1)
+            assert tighter.reliability < 0.75
+        except NoSolutionError:
+            pass
+
+    def test_minimize_latency_meets_floor(self, lib):
+        result = minimize_latency(diffeq(), lib, 11, 0.75)
+        assert result.reliability >= 0.75
+        assert result.area <= 11
+        assert result.method == "minimize_latency"
+
+    def test_unreachable_reliability(self, lib):
+        with pytest.raises(NoSolutionError):
+            minimize_area(diffeq(), lib, 7, 0.9999)
+
+    def test_bad_target_rejected(self, lib):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            minimize_area(diffeq(), lib, 7, 1.5)

@@ -1,0 +1,73 @@
+"""End-to-end validation of the analytic reliability model by
+behavioural Monte-Carlo fault injection."""
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.errors import ReproError
+from repro.library import paper_library
+from repro.core import (
+    baseline_design,
+    combined_design,
+    find_design,
+    simulate_design,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+class TestMonteCarloAgreement:
+    def test_plain_design(self, lib):
+        result = find_design(diffeq(), lib, 6, 11)
+        report = simulate_design(result, trials=40_000, seed=1)
+        assert report.consistent(sigmas=4.0), (
+            f"analytic {report.analytic:.5f} vs simulated "
+            f"{report.estimate:.5f} ± {report.stderr:.5f}")
+
+    def test_redundant_design(self, lib):
+        # redundancy semantics (duplex / voting) must also agree
+        result = baseline_design(fir16(), lib, 10, 13)
+        assert any(c > 1 for c in result.instance_copies.values())
+        report = simulate_design(result, trials=40_000, seed=2)
+        assert report.consistent(sigmas=4.0)
+
+    def test_combined_design(self, lib):
+        result = combined_design(diffeq(), lib, 6, 14)
+        report = simulate_design(result, trials=40_000, seed=3)
+        assert report.consistent(sigmas=4.0)
+
+    def test_estimate_bounds(self, lib):
+        result = find_design(diffeq(), lib, 6, 11)
+        report = simulate_design(result, trials=2_000, seed=4)
+        assert 0.0 <= report.estimate <= 1.0
+        assert report.stderr > 0
+
+    def test_deterministic_per_seed(self, lib):
+        result = find_design(diffeq(), lib, 6, 11)
+        a = simulate_design(result, trials=5_000, seed=7)
+        b = simulate_design(result, trials=5_000, seed=7)
+        assert a.successes == b.successes
+
+    def test_bad_trials(self, lib):
+        result = find_design(diffeq(), lib, 6, 11)
+        with pytest.raises(ReproError):
+            simulate_design(result, trials=0)
+
+
+class TestConsistencyHelper:
+    def test_consistent_accepts_exact_match(self, lib):
+        from repro.core import MonteCarloReport
+
+        report = MonteCarloReport(trials=1000, successes=800,
+                                  analytic=0.8)
+        assert report.consistent()
+
+    def test_consistent_rejects_gross_mismatch(self):
+        from repro.core import MonteCarloReport
+
+        report = MonteCarloReport(trials=100_000, successes=50_000,
+                                  analytic=0.9)
+        assert not report.consistent()

@@ -1,0 +1,75 @@
+"""Tests for the exhaustive oracle and greedy-vs-optimal quality."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, random_dag
+from repro.errors import NoSolutionError, ReproError
+from repro.library import paper_library
+from repro.core import find_design, optimal_design
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+def small_mixed():
+    b = DFGBuilder("small")
+    a1 = b.adder()
+    m1 = b.mul(deps=[a1])
+    a2 = b.adder(deps=[m1])
+    b.adder(deps=[a2])
+    return b.build()
+
+
+class TestOptimal:
+    def test_small_graph_solved(self, lib):
+        result = optimal_design(small_mixed(), lib, 6, 8)
+        assert result.method == "optimal"
+        assert result.meets_bounds()
+        result.schedule.validate()
+        result.binding.validate()
+
+    def test_rejects_large_graphs(self, lib):
+        from repro.bench import fir16
+
+        with pytest.raises(ReproError):
+            optimal_design(fir16(), lib, 11, 9)
+
+    def test_infeasible(self, lib):
+        with pytest.raises(NoSolutionError):
+            optimal_design(small_mixed(), lib, 2, 8)
+
+    def test_loose_bounds_give_all_most_reliable(self, lib):
+        result = optimal_design(small_mixed(), lib, 20, 40)
+        assert result.reliability == pytest.approx(0.999 ** 4, rel=1e-9)
+
+
+class TestGreedyVsOptimal:
+    """The oracle checks: greedy never beats optimal, and stays close."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_bounded_by_optimal(self, lib, seed):
+        graph = random_dag(6, seed=seed)
+        bounds = (8, 10)
+        try:
+            best = optimal_design(graph, lib, *bounds)
+        except NoSolutionError:
+            with pytest.raises(NoSolutionError):
+                find_design(graph, lib, *bounds)
+            return
+        greedy = find_design(graph, lib, *bounds)
+        assert greedy.reliability <= best.reliability + 1e-12
+        # quality: the greedy is within 5% of the optimum on these
+        assert greedy.reliability >= 0.95 * best.reliability
+
+    @pytest.mark.parametrize("bounds", [(4, 6), (5, 8), (8, 12)])
+    def test_structured_graph(self, lib, bounds):
+        graph = small_mixed()
+        try:
+            best = optimal_design(graph, lib, *bounds)
+        except NoSolutionError:
+            return
+        greedy = find_design(graph, lib, *bounds)
+        assert greedy.reliability <= best.reliability + 1e-12
+        assert greedy.reliability >= 0.97 * best.reliability

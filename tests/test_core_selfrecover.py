@@ -1,0 +1,86 @@
+"""Tests for the self-recovery (ref [5]) baseline and voter modelling."""
+
+import pytest
+
+from repro.bench import diffeq
+from repro.errors import NoSolutionError, ReproError
+from repro.library import paper_library
+from repro.core import (
+    duplication_overhead,
+    find_design,
+    self_recovery_design,
+)
+from repro.reliability import duplex_reliability
+from repro.reliability.nmr import nmr_with_voter, redundancy_worthwhile
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+class TestSelfRecovery:
+    def test_reliability_uses_duplex_semantics(self, lib):
+        result = self_recovery_design(diffeq(), lib, 12, 30,
+                                      method="single")
+        # single-version duplication: every op pair is 1-(1-r)^2
+        per_op = {op.op_id: result.allocation[op.op_id].reliability
+                  for op in result.graph if not op.op_id.startswith("d2_")}
+        expected = 1.0
+        for op_id, r in per_op.items():
+            r_copy = result.allocation["d2_" + op_id].reliability
+            expected *= 1 - (1 - r) * (1 - r_copy)
+        assert result.reliability == pytest.approx(expected)
+
+    def test_duplication_beats_single_copy_reliability(self, lib):
+        plain = find_design(diffeq(), lib, 10, 30)
+        doubled = self_recovery_design(diffeq(), lib, 10, 30)
+        assert doubled.reliability > plain.reliability
+
+    def test_schedules_both_copies(self, lib):
+        result = self_recovery_design(diffeq(), lib, 12, 30)
+        assert len(result.allocation) == 22
+        result.schedule.validate()
+        result.binding.validate()
+
+    def test_interleaving_saves_area(self, lib):
+        # scheduling both copies together costs < 2x the single design
+        report = duplication_overhead(diffeq(), lib, 12, 40)
+        assert report["overhead_ratio"] < 2.0
+        assert report["duplicated_reliability"] > \
+            report["single_reliability"]
+
+    def test_bad_method(self, lib):
+        with pytest.raises(ReproError):
+            self_recovery_design(diffeq(), lib, 12, 30, method="magic")
+
+    def test_infeasible_bounds_propagate(self, lib):
+        with pytest.raises(NoSolutionError):
+            self_recovery_design(diffeq(), lib, 3, 30)
+
+
+class TestVoterModel:
+    def test_perfect_voter_matches_plain_nmr(self):
+        from repro.reliability import tmr_reliability
+
+        assert nmr_with_voter(0.9, 3, 1.0) == pytest.approx(
+            tmr_reliability(0.9))
+
+    def test_imperfect_voter_scales(self):
+        assert nmr_with_voter(0.9, 3, 0.99) == pytest.approx(
+            0.99 * nmr_with_voter(0.9, 3, 1.0))
+
+    def test_bad_voter_kills_the_benefit(self):
+        # with a flaky voter, TMR is worse than a bare module
+        assert not redundancy_worthwhile(0.969, voter_reliability=0.9)
+        assert redundancy_worthwhile(0.969, voter_reliability=0.9999)
+
+    def test_voter_probability_validated(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            nmr_with_voter(0.9, 3, 1.5)
+
+    def test_duplex_is_voterless(self):
+        # sanity anchor used throughout the paper comparisons
+        assert duplex_reliability(0.969) == pytest.approx(0.999039)

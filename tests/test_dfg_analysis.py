@@ -1,0 +1,111 @@
+"""Unit tests for repro.dfg.analysis."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    chain,
+    critical_path,
+    critical_path_length,
+    depth,
+    earliest_starts,
+    is_connected,
+    max_parallelism,
+    summarize,
+    unit_delays,
+    width_profile,
+)
+from repro.errors import DFGError
+
+
+def diamond() -> DataFlowGraph:
+    g = DataFlowGraph("diamond")
+    g.add("a", "add")
+    g.add("b", "mul", deps=["a"])
+    g.add("c", "add", deps=["a"])
+    g.add("d", "add", deps=["b", "c"])
+    return g
+
+
+class TestEarliestStarts:
+    def test_unit_delay_levels(self):
+        starts = earliest_starts(diamond(), unit_delays(diamond()))
+        assert starts == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_multicycle_delays_shift_consumers(self):
+        g = diamond()
+        delays = {"a": 2, "b": 3, "c": 1, "d": 1}
+        starts = earliest_starts(g, delays)
+        assert starts["b"] == 2 and starts["c"] == 2
+        assert starts["d"] == 5  # waits for b finishing at 2+3
+
+    def test_missing_delay_rejected(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            earliest_starts(g, {"a": 1})
+
+    def test_nonpositive_delay_rejected(self):
+        g = diamond()
+        bad = unit_delays(g)
+        bad["b"] = 0
+        with pytest.raises(DFGError):
+            earliest_starts(g, bad)
+
+
+class TestCriticalPath:
+    def test_unit_delays(self):
+        length, path = critical_path(diamond(), unit_delays(diamond()))
+        assert length == 3
+        assert path[0] == "a" and path[-1] == "d"
+
+    def test_weighted(self):
+        g = diamond()
+        delays = {"a": 1, "b": 5, "c": 1, "d": 1}
+        length, path = critical_path(g, delays)
+        assert length == 7
+        assert path == ["a", "b", "d"]
+
+    def test_chain_length(self):
+        g = chain("add", 6)
+        assert critical_path_length(g, unit_delays(g)) == 6
+
+    def test_depth(self):
+        assert depth(diamond()) == 3
+        assert depth(chain("mul", 4)) == 4
+
+
+class TestProfiles:
+    def test_width_profile_counts(self):
+        profile = width_profile(diamond(), unit_delays(diamond()))
+        assert profile[0] == {"add": 1}
+        assert profile[1] == {"mul": 1, "add": 1}
+        assert profile[2] == {"add": 1}
+
+    def test_max_parallelism(self):
+        peaks = max_parallelism(diamond(), unit_delays(diamond()))
+        assert peaks == {"add": 1, "mul": 1}
+
+    def test_multicycle_occupancy(self):
+        g = diamond()
+        delays = {"a": 1, "b": 2, "c": 2, "d": 1}
+        profile = width_profile(g, delays)
+        # b (mul) and c (add) both occupy steps 1 and 2
+        assert profile[1] == {"mul": 1, "add": 1}
+        assert profile[2] == {"mul": 1, "add": 1}
+
+
+class TestSummaries:
+    def test_connected(self):
+        assert is_connected(diamond())
+
+    def test_disconnected(self):
+        g = diamond()
+        g.add("lone", "mul")
+        assert not is_connected(g)
+
+    def test_summarize_keys(self):
+        report = summarize(diamond())
+        assert report["operations"] == 4
+        assert report["depth"] == 3
+        assert report["by_rtype"] == {"add": 3, "mul": 1}
+        assert report["connected"] is True

@@ -1,0 +1,67 @@
+"""Unit tests for repro.dfg.builder."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, chain, depth, reduction_tree
+
+
+class TestBuilder:
+    def test_auto_naming_by_kind(self):
+        b = DFGBuilder()
+        assert b.adder() == "+1"
+        assert b.adder() == "+2"
+        assert b.mul() == "*1"
+        assert b.sub() == "-1"
+        assert b.cmp() == "<1"
+
+    def test_dependencies_wired(self):
+        b = DFGBuilder("t")
+        a = b.adder()
+        m = b.mul(deps=[a])
+        g = b.build()
+        assert g.predecessors(m) == [a]
+
+    def test_explicit_ids(self):
+        b = DFGBuilder()
+        assert b.add("add", op_id="sum") == "sum"
+
+    def test_depend_chains(self):
+        b = DFGBuilder()
+        x = b.adder()
+        y = b.adder()
+        b.depend(x, y)
+        assert b.build().predecessors(y) == [x]
+
+    def test_build_validates(self):
+        with pytest.raises(Exception):
+            DFGBuilder("empty").build()
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain("add", 5)
+        assert len(g) == 5
+        assert depth(g) == 5
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+
+class TestReductionTree:
+    @pytest.mark.parametrize("leaves,expected_ops", [(2, 1), (3, 2), (4, 3),
+                                                     (5, 4), (8, 7), (16, 15),
+                                                     (9, 8)])
+    def test_op_count(self, leaves, expected_ops):
+        g = reduction_tree("add", leaves)
+        assert len(g) == expected_ops
+
+    def test_single_sink(self):
+        for leaves in range(2, 12):
+            g = reduction_tree("add", leaves)
+            assert len(g.sinks()) == 1, f"leaves={leaves}"
+
+    def test_log_depth(self):
+        g = reduction_tree("add", 16)
+        assert depth(g) == 4
+
+    def test_too_few_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_tree("add", 1)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.dfg.generators and repro.dfg.transforms."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    chain,
+    depth,
+    duplicate_graph,
+    fir_like,
+    layered_dag,
+    random_dag,
+    rebalance_reduction,
+)
+from repro.errors import DFGError
+
+
+class TestRandomDag:
+    def test_deterministic_for_seed(self):
+        a = random_dag(20, seed=7)
+        b = random_dag(20, seed=7)
+        assert a.op_ids() == b.op_ids()
+        assert a.edges() == b.edges()
+
+    def test_seed_changes_graph(self):
+        a = random_dag(20, seed=1)
+        b = random_dag(20, seed=2)
+        assert a.edges() != b.edges()
+
+    def test_size_and_validity(self):
+        g = random_dag(40, seed=3)
+        assert len(g) == 40
+        g.validate()
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_dag(0)
+
+
+class TestLayeredDag:
+    def test_depth_equals_layers(self):
+        g = layered_dag(5, 3, seed=0)
+        assert depth(g) == 5
+
+    def test_size(self):
+        assert len(layered_dag(4, 6, seed=1)) == 24
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            layered_dag(0, 3)
+
+
+class TestFirLike:
+    def test_counts(self):
+        g = fir_like(8)
+        counts = g.counts_by_rtype()
+        assert counts == {"mul": 8, "add": 7}
+
+    def test_accumulation_depth(self):
+        # chain of 7 adds after the first product
+        assert depth(fir_like(8)) == 8
+
+    def test_too_few_taps(self):
+        with pytest.raises(ValueError):
+            fir_like(1)
+
+
+class TestDuplicateGraph:
+    def test_two_copies(self):
+        g = fir_like(4)
+        doubled = duplicate_graph(g)
+        assert len(doubled) == 2 * len(g)
+        assert len(doubled.edges()) == 2 * len(g.edges())
+
+    def test_copies_are_disconnected(self):
+        doubled = duplicate_graph(chain("add", 3))
+        originals = {i for i in doubled.op_ids() if not i.startswith("d2_")}
+        for producer, consumer in doubled.edges():
+            assert ((producer in originals) == (consumer in originals))
+
+    def test_three_copies(self):
+        tripled = duplicate_graph(chain("add", 3), copies=3)
+        assert len(tripled) == 9
+
+    def test_bad_copy_count(self):
+        with pytest.raises(DFGError):
+            duplicate_graph(chain("add", 2), copies=0)
+
+
+class TestRebalance:
+    def test_chain_becomes_shallower(self):
+        g = fir_like(8)  # 7-add accumulation chain
+        balanced = rebalance_reduction(g, "add")
+        assert len(balanced) == len(g)
+        assert depth(balanced) < depth(g)
+
+    def test_short_chains_untouched(self):
+        g = chain("add", 2)
+        balanced = rebalance_reduction(g, "add")
+        assert sorted(balanced.edges()) == sorted(g.edges())
+
+    def test_still_a_dag(self):
+        balanced = rebalance_reduction(fir_like(12), "add")
+        balanced.validate()
+
+    def test_op_multiset_preserved(self):
+        g = fir_like(10)
+        balanced = rebalance_reduction(g, "add")
+        assert balanced.counts_by_rtype() == g.counts_by_rtype()

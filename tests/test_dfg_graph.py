@@ -1,0 +1,140 @@
+"""Unit tests for repro.dfg.graph and repro.dfg.node."""
+
+import pytest
+
+from repro.dfg import DataFlowGraph, Operation
+from repro.errors import DFGError
+
+
+def diamond() -> DataFlowGraph:
+    g = DataFlowGraph("diamond")
+    g.add("a", "add")
+    g.add("b", "mul", deps=["a"])
+    g.add("c", "add", deps=["a"])
+    g.add("d", "add", deps=["b", "c"])
+    return g
+
+
+class TestOperation:
+    def test_rtype_derived_from_kind(self):
+        assert Operation("x", "add").rtype == "add"
+        assert Operation("x", "sub").rtype == "add"
+        assert Operation("x", "cmp").rtype == "add"
+        assert Operation("x", "mul").rtype == "mul"
+
+    def test_explicit_rtype_wins(self):
+        op = Operation("x", "add", rtype="alu")
+        assert op.rtype == "alu"
+
+    def test_unknown_kind_without_rtype_rejected(self):
+        with pytest.raises(DFGError):
+            Operation("x", "fft")
+
+    def test_unknown_kind_with_rtype_accepted(self):
+        assert Operation("x", "fft", rtype="dsp").rtype == "dsp"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DFGError):
+            Operation("", "add")
+
+    def test_glyphs(self):
+        assert Operation("x", "add").glyph == "+"
+        assert Operation("x", "mul").glyph == "*"
+        assert Operation("x", "sub").glyph == "-"
+
+    def test_display_name_prefers_label(self):
+        assert Operation("x", "add", label="sum0").display_name() == "sum0"
+        assert Operation("x", "add").display_name() == "x"
+
+    def test_dict_roundtrip(self):
+        op = Operation("n1", "mul", label="prod")
+        assert Operation.from_dict(op.to_dict()) == op
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(DFGError):
+            Operation.from_dict({"id": "x"})
+
+
+class TestDataFlowGraph:
+    def test_len_and_contains(self):
+        g = diamond()
+        assert len(g) == 4
+        assert "a" in g and "z" not in g
+
+    def test_duplicate_id_rejected(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            g.add("a", "add")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            g.add_edge("a", "nope")
+
+    def test_self_edge_rejected(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            g.add_edge("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            g.add_edge("d", "a")
+        # graph must still validate after the failed insertion
+        g.validate()
+        assert ("d", "a") not in g.edges()
+
+    def test_predecessors_successors(self):
+        g = diamond()
+        assert set(g.predecessors("d")) == {"b", "c"}
+        assert set(g.successors("a")) == {"b", "c"}
+
+    def test_sources_sinks(self):
+        g = diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_topological_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        for producer, consumer in g.edges():
+            assert order.index(producer) < order.index(consumer)
+
+    def test_counts_by_rtype(self):
+        assert diamond().counts_by_rtype() == {"add": 3, "mul": 1}
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        clone = g.copy()
+        clone.add("e", "add", deps=["d"])
+        assert len(g) == 4 and len(clone) == 5
+
+    def test_relabeled(self):
+        g = diamond().relabeled("p_")
+        assert set(g.op_ids()) == {"p_a", "p_b", "p_c", "p_d"}
+        assert ("p_a", "p_b") in g.edges()
+
+    def test_merged_with_disjoint(self):
+        g = diamond()
+        merged = g.merged_with(g.relabeled("q_"))
+        assert len(merged) == 8
+
+    def test_merged_with_collision_rejected(self):
+        g = diamond()
+        with pytest.raises(DFGError):
+            g.merged_with(g)
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(DFGError):
+            DataFlowGraph("empty").validate()
+
+    def test_dict_roundtrip(self):
+        g = diamond()
+        restored = DataFlowGraph.from_dict(g.to_dict())
+        assert restored.op_ids() == g.op_ids()
+        assert sorted(restored.edges()) == sorted(g.edges())
+        assert restored.name == g.name
+
+    def test_unknown_operation_lookup(self):
+        with pytest.raises(DFGError):
+            diamond().operation("zz")

@@ -1,0 +1,95 @@
+"""Unit tests for repro.dfg.textio and repro.dfg.dot."""
+
+import pytest
+
+from repro.dfg import DataFlowGraph, to_dot
+from repro.dfg import textio
+from repro.errors import DFGError
+
+
+def sample() -> DataFlowGraph:
+    g = DataFlowGraph("sample")
+    g.add("+A", "add")
+    g.add("*1", "mul", deps=["+A"])
+    g.add("+B", "add", deps=["+A", "*1"])
+    return g
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        g = sample()
+        restored = textio.loads(textio.dumps(g))
+        assert restored.name == "sample"
+        assert restored.op_ids() == g.op_ids()
+        assert sorted(restored.edges()) == sorted(g.edges())
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # leading comment
+        dfg t
+
+        node a add   # trailing comment
+        node b mul
+        edge a b
+        """
+        g = textio.loads(text)
+        assert len(g) == 2 and g.edges() == [("a", "b")]
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(DFGError):
+            textio.loads("frob a b\n")
+
+    def test_bad_node_arity_rejected(self):
+        with pytest.raises(DFGError):
+            textio.loads("node onlyid\n")
+
+    def test_bad_edge_arity_rejected(self):
+        with pytest.raises(DFGError):
+            textio.loads("node a add\nedge a\n")
+
+    def test_edge_before_node_declaration(self):
+        # edges are applied after all nodes, so order doesn't matter
+        text = "dfg t\nnode b mul\nnode a add\nedge a b\n"
+        g = textio.loads(text)
+        assert g.edges() == [("a", "b")]
+
+    def test_explicit_rtype_preserved(self):
+        g = textio.loads("node x add alu\n")
+        assert g.operation("x").rtype == "alu"
+
+
+class TestFiles:
+    def test_text_file_roundtrip(self, tmp_path):
+        path = tmp_path / "g.dfg"
+        textio.save(sample(), path)
+        assert textio.load(path).op_ids() == sample().op_ids()
+
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "g.json"
+        textio.save(sample(), path)
+        restored = textio.load(path)
+        assert restored.name == "sample"
+        assert sorted(restored.edges()) == sorted(sample().edges())
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DFGError):
+            textio.load(path)
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        dot = to_dot(sample())
+        assert '"+A"' in dot and '"*1"' in dot
+        assert '"+A" -> "*1";' in dot
+
+    def test_schedule_ranks(self):
+        dot = to_dot(sample(), start_steps={"+A": 1, "*1": 2, "+B": 3})
+        assert "rank=same" in dot
+        assert "@1" in dot and "@3" in dot
+
+    def test_mul_shape_differs(self):
+        dot = to_dot(sample())
+        assert "doublecircle" in dot  # multipliers
+        assert "shape=circle" in dot  # adders

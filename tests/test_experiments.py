@@ -1,0 +1,118 @@
+"""Unit tests for the experiments package (drivers + plumbing)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentTable,
+    example_dfg,
+    improvement,
+    mean,
+    run_fig5,
+    run_table1_calibrated,
+    run_table2,
+    run_voter_sensitivity,
+)
+from repro.experiments import paper_data
+
+
+class TestExperimentTable:
+    def test_add_row_arity_checked(self):
+        table = ExperimentTable("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_rendering(self):
+        table = ExperimentTable("Title", ("name", "value"))
+        table.add_row("x", 0.5)
+        table.add_row("none", None)
+        table.add_note("a note")
+        text = table.as_text()
+        assert "Title" in text
+        assert "0.50000" in text
+        assert "-" in text
+        assert "note: a note" in text
+
+    def test_tiny_floats_use_scientific(self):
+        table = ExperimentTable("t", ("q",))
+        table.add_row(5.946e-20)
+        assert "e-20" in table.as_text()
+
+    def test_column_access(self):
+        table = ExperimentTable("t", ("a", "b"))
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            table.column("z")
+
+    def test_to_dict(self):
+        table = ExperimentTable("t", ("a",))
+        table.add_row(1)
+        payload = table.to_dict()
+        assert payload["rows"] == [[1]]
+
+
+class TestHelpers:
+    def test_improvement(self):
+        assert improvement(0.6, 0.5) == pytest.approx(20.0)
+        assert improvement(None, 0.5) is None
+        assert improvement(0.5, None) is None
+        assert improvement(0.5, 0.0) is None
+
+    def test_mean(self):
+        assert mean([1.0, None, 3.0]) == pytest.approx(2.0)
+        assert mean([None, None]) is None
+
+
+class TestPaperData:
+    def test_table2_grids_have_nine_cells(self):
+        for benchmark in ("fir", "ew", "diffeq"):
+            assert len(paper_data.table2_grid(benchmark)) == 9
+
+    def test_table1_matches_library(self):
+        from repro.library import paper_library
+
+        lib = paper_library()
+        for name, (area, delay, reliability) in paper_data.TABLE1.items():
+            version = lib.version(name)
+            assert (version.area, version.delay,
+                    version.reliability) == (area, delay, reliability)
+
+    def test_qcritical_matches_library_constant(self):
+        from repro.library import PAPER_QCRITICAL
+
+        assert paper_data.QCRITICAL == PAPER_QCRITICAL
+
+    def test_no_redundancy_cells_are_powers(self):
+        # internal consistency of the transcription: the tightest ref3
+        # cell per benchmark equals 0.969^ops
+        assert paper_data.TABLE2_FIR[(10, 9)][0] == pytest.approx(
+            0.969 ** 23, abs=5e-5)
+        assert paper_data.TABLE2_EW[(13, 7)][0] == pytest.approx(
+            0.969 ** 25, abs=1e-4)
+        assert paper_data.TABLE2_DIFFEQ[(5, 11)][0] == pytest.approx(
+            0.969 ** 11, abs=5e-5)
+
+
+class TestDrivers:
+    def test_example_dfg_is_fig4a(self):
+        graph = example_dfg()
+        assert len(graph) == 6
+        assert graph.counts_by_rtype() == {"add": 6}
+
+    def test_fig5_runs(self):
+        table = run_fig5()
+        assert len(table.rows) == 3
+
+    def test_table1_calibrated_runs(self):
+        table = run_table1_calibrated()
+        assert len(table.rows) == 3
+
+    def test_table2_custom_grid(self):
+        table = run_table2("diffeq", grid=[(6, 11)])
+        assert len(table.rows) == 1
+        assert table.rows[0][0] == 6
+
+    def test_voter_sensitivity_runs(self):
+        table = run_voter_sensitivity(voters=(1.0, 0.9))
+        assert len(table.rows) == 2

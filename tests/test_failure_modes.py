@@ -1,0 +1,143 @@
+"""Failure-injection tests: malformed inputs must fail loudly.
+
+Errors should never pass silently — every layer is fed adversarial
+input and must raise its documented exception type, not crash with an
+arbitrary one or return garbage.
+"""
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.charlib import Netlist
+from repro.dfg import DataFlowGraph, unit_delays
+from repro.errors import (
+    BindingError,
+    DFGError,
+    LibraryError,
+    NetlistError,
+    ReproError,
+    SchedulingError,
+)
+from repro.hls import Schedule, density_schedule, left_edge_bind
+from repro.library import ResourceLibrary, ResourceVersion, paper_library
+from repro.core import baseline_design, find_design
+from repro.core.evaluate import evaluate_allocation
+
+
+class TestGraphFailures:
+    def test_missing_rtype_in_library(self):
+        graph = diffeq()  # needs add + mul
+        adders_only = paper_library().restricted_to(["adder1", "adder2"])
+        with pytest.raises(LibraryError):
+            find_design(graph, adders_only, 10, 10)
+
+    def test_unvalidated_empty_graph(self):
+        with pytest.raises(DFGError):
+            find_design(DataFlowGraph("empty"), paper_library(), 5, 5)
+
+    def test_foreign_rtype_operation(self):
+        graph = DataFlowGraph("g")
+        graph.add("f", "fft", rtype="dsp")
+        with pytest.raises(LibraryError):
+            find_design(graph, paper_library(), 5, 5)
+
+
+class TestScheduleFailures:
+    def test_corrupted_delays_detected(self):
+        graph = fir16()
+        schedule = density_schedule(graph, unit_delays(graph))
+        schedule.delays["+1"] = 5  # lie about a delay
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_partial_schedule_latency(self):
+        with pytest.raises(SchedulingError):
+            Schedule(fir16(), {}, {}).latency
+
+    def test_binding_with_stale_allocation(self):
+        graph = diffeq()
+        library = paper_library()
+        allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                      for op in graph}
+        schedule = density_schedule(
+            graph, {o: v.delay for o, v in allocation.items()})
+        allocation.pop("*1")
+        with pytest.raises(BindingError):
+            left_edge_bind(schedule, allocation)
+
+    def test_evaluate_infeasible_latency_is_none(self):
+        graph = fir16()
+        library = paper_library()
+        allocation = {op.op_id: library.most_reliable(op.rtype)
+                      for op in graph}
+        assert evaluate_allocation(graph, allocation, 5) is None
+
+    def test_evaluate_bad_scheduler_name(self):
+        graph = diffeq()
+        library = paper_library()
+        allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                      for op in graph}
+        with pytest.raises(ReproError):
+            evaluate_allocation(graph, allocation, 10, scheduler="magic")
+
+
+class TestLibraryFailures:
+    def test_degenerate_single_version_library_still_works(self):
+        library = ResourceLibrary([
+            ResourceVersion("add", "a", 1, 1, 0.9),
+            ResourceVersion("mul", "m", 2, 1, 0.9),
+        ])
+        result = find_design(diffeq(), library, 8, 10)
+        baseline = baseline_design(diffeq(), library, 8, 10,
+                                   redundancy=False)
+        # with one version per type both flows land on the same design
+        assert result.reliability == pytest.approx(baseline.reliability)
+
+    def test_all_versions_too_slow(self):
+        library = ResourceLibrary([
+            ResourceVersion("add", "a", 1, 4, 0.9),
+            ResourceVersion("mul", "m", 2, 4, 0.9),
+        ])
+        from repro.errors import NoSolutionError
+
+        with pytest.raises(NoSolutionError):
+            find_design(diffeq(), library, 6, 100)
+
+
+class TestNetlistFailures:
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist("loopy")
+        netlist.add_input("a")
+        netlist.add_gate("and2", ["a", "y"], output="x")
+        netlist.add_gate("inv", ["x"], output="y")
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_fault_injection_on_input_rejected(self):
+        from repro.charlib import inject, ripple_carry_adder, simulate
+        from repro.charlib import random_stimulus
+        from repro.errors import CharacterizationError
+
+        netlist = ripple_carry_adder(2)
+        stimulus = random_stimulus(netlist, 8, seed=0)
+        baseline = simulate(netlist, stimulus, 8)
+        with pytest.raises(CharacterizationError):
+            inject(netlist, "no_such_node", baseline, 8)
+
+
+class TestCliFailures:
+    def test_malformed_dfg_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.dfg"
+        path.write_text("frobnicate a b\n")
+        assert main(["synth", str(path), "-l", "5", "-a", "5"]) == 1
+
+    def test_malformed_library_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--library", str(path)]) == 1

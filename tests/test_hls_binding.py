@@ -1,0 +1,142 @@
+"""Unit tests for repro.hls.binding and repro.hls.metrics."""
+
+import pytest
+
+from repro.bench import fir16
+from repro.dfg import DataFlowGraph, unit_delays
+from repro.errors import BindingError
+from repro.hls import (
+    AREA_INSTANCES,
+    AREA_VERSIONS,
+    average_utilization,
+    density_schedule,
+    instance_summary,
+    left_edge_bind,
+    schedule_from_starts,
+    total_area,
+)
+from repro.library import paper_library
+
+
+def small_graph():
+    g = DataFlowGraph("g")
+    g.add("a1", "add")
+    g.add("a2", "add")
+    g.add("a3", "add", deps=["a1", "a2"])
+    return g
+
+
+def alloc(graph, adder="adder2", mult="mult2"):
+    lib = paper_library()
+    return {op.op_id: lib.version(adder if op.rtype == "add" else mult)
+            for op in graph}
+
+
+class TestLeftEdge:
+    def test_parallel_ops_need_two_instances(self):
+        g = small_graph()
+        allocation = alloc(g)
+        s = schedule_from_starts(g, {"a1": 0, "a2": 0, "a3": 1},
+                                 unit_delays(g))
+        binding = left_edge_bind(s, allocation)
+        assert binding.instance_counts() == {"adder2": 2}
+
+    def test_serial_ops_share_one_instance(self):
+        g = small_graph()
+        allocation = alloc(g)
+        s = schedule_from_starts(g, {"a1": 0, "a2": 1, "a3": 2},
+                                 unit_delays(g))
+        binding = left_edge_bind(s, allocation)
+        assert binding.instance_counts() == {"adder2": 1}
+
+    def test_different_versions_never_share(self):
+        g = small_graph()
+        lib = paper_library()
+        allocation = {"a1": lib.version("adder1"),
+                      "a2": lib.version("adder2"),
+                      "a3": lib.version("adder2")}
+        delays = {o: v.delay for o, v in allocation.items()}
+        s = schedule_from_starts(g, {"a1": 0, "a2": 0, "a3": 2}, delays)
+        binding = left_edge_bind(s, allocation)
+        assert binding.instance_counts() == {"adder1": 1, "adder2": 1}
+        assert binding.instance_of("a1").version.name == "adder1"
+
+    def test_missing_allocation_rejected(self):
+        g = small_graph()
+        allocation = alloc(g)
+        allocation.pop("a2")
+        s = schedule_from_starts(g, {"a1": 0, "a2": 0, "a3": 1},
+                                 unit_delays(g))
+        with pytest.raises(BindingError):
+            left_edge_bind(s, allocation)
+
+    def test_binding_is_minimal_for_intervals(self):
+        # left-edge is optimal on interval graphs: instance count must
+        # equal the peak concurrency of the schedule
+        g = fir16()
+        allocation = alloc(g)
+        delays = {o: v.delay for o, v in allocation.items()}
+        s = density_schedule(g, delays, 11)
+        binding = left_edge_bind(s, allocation)
+        for version_name, count in binding.instance_counts().items():
+            peak = 0
+            for step in range(s.latency):
+                busy = sum(
+                    1 for op in s.ops_busy_at(step)
+                    if allocation[op].name == version_name)
+                peak = max(peak, busy)
+            assert count == peak
+
+    def test_validate_catches_overlap(self):
+        g = small_graph()
+        allocation = alloc(g)
+        s = schedule_from_starts(g, {"a1": 0, "a2": 1, "a3": 2},
+                                 unit_delays(g))
+        binding = left_edge_bind(s, allocation)
+        # corrupt the schedule behind the binding's back
+        s.starts["a2"] = 0
+        with pytest.raises(BindingError):
+            binding.validate()
+
+    def test_unknown_instance_lookup(self):
+        g = small_graph()
+        s = schedule_from_starts(g, {"a1": 0, "a2": 1, "a3": 2},
+                                 unit_delays(g))
+        binding = left_edge_bind(s, alloc(g))
+        with pytest.raises(BindingError):
+            binding.instance("nope#0")
+        with pytest.raises(BindingError):
+            binding.instance_of("ghost")
+
+
+class TestMetrics:
+    def _binding(self):
+        g = small_graph()
+        allocation = alloc(g)
+        s = schedule_from_starts(g, {"a1": 0, "a2": 0, "a3": 1},
+                                 unit_delays(g))
+        return left_edge_bind(s, allocation)
+
+    def test_instance_area(self):
+        binding = self._binding()
+        assert total_area(binding, AREA_INSTANCES) == 4  # two adder2
+
+    def test_versions_area(self):
+        binding = self._binding()
+        assert total_area(binding, AREA_VERSIONS) == 2  # adder2 once
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(BindingError):
+            total_area(self._binding(), "bogus")
+
+    def test_instance_summary(self):
+        summary = instance_summary(self._binding())
+        assert summary["adder2"] == {"count": 2, "unit_area": 2,
+                                     "total_area": 4}
+
+    def test_utilization(self):
+        binding = self._binding()
+        utils = binding.utilization()
+        # one instance runs a1+a3 (2 of 2 steps), the other only a2
+        assert sorted(utils.values()) == [0.5, 1.0]
+        assert average_utilization(binding) == pytest.approx(0.75)

@@ -1,0 +1,90 @@
+"""Unit tests for register allocation (repro.hls.registers)."""
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.dfg import DataFlowGraph, chain, unit_delays
+from repro.hls import (
+    allocate_registers,
+    density_schedule,
+    min_register_bound,
+    schedule_from_starts,
+    value_lifetimes,
+)
+
+
+def diamond():
+    g = DataFlowGraph("diamond")
+    g.add("a", "add")
+    g.add("b", "mul", deps=["a"])
+    g.add("c", "add", deps=["a"])
+    g.add("d", "add", deps=["b", "c"])
+    return g
+
+
+class TestLifetimes:
+    def test_chain_lifetimes(self):
+        g = chain("add", 3)
+        s = density_schedule(g, unit_delays(g))
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(s)}
+        # op k finishes at k+1, is read at step k+1 -> lives [k+1, k+2)
+        assert lifetimes["+1"].birth == 1
+        assert lifetimes["+1"].death == 2
+        assert lifetimes["+3"].death == lifetimes["+3"].birth + 1  # sink
+
+    def test_long_lived_value(self):
+        g = diamond()
+        s = schedule_from_starts(
+            g, {"a": 0, "b": 1, "c": 3, "d": 4}, unit_delays(g))
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(s)}
+        # 'a' must survive until c reads it at step 3
+        assert lifetimes["a"].birth == 1
+        assert lifetimes["a"].death == 4
+
+    def test_lengths_positive(self):
+        g = fir16()
+        s = density_schedule(g, unit_delays(g), 11)
+        assert all(lt.length >= 1 for lt in value_lifetimes(s))
+
+
+class TestAllocation:
+    def test_chain_needs_one_register(self):
+        g = chain("add", 5)
+        s = density_schedule(g, unit_delays(g))
+        allocation = allocate_registers(s)
+        assert allocation.count == 1
+
+    def test_diamond_needs_two(self):
+        g = diamond()
+        s = density_schedule(g, unit_delays(g))
+        allocation = allocate_registers(s)
+        # a's value and b's (or c's) overlap
+        assert allocation.count == 2
+
+    def test_left_edge_matches_peak_liveness(self):
+        for builder, latency in ((fir16, 11), (diffeq, 6)):
+            g = builder()
+            s = density_schedule(g, unit_delays(g), latency)
+            allocation = allocate_registers(s)
+            assert allocation.count == min_register_bound(s)
+
+    def test_no_register_shared_by_overlapping_values(self):
+        g = fir16()
+        s = density_schedule(g, unit_delays(g), 11)
+        allocation = allocate_registers(s)
+        lifetimes = {lt.op_id: lt for lt in value_lifetimes(s)}
+        for values in allocation.registers:
+            spans = sorted((lifetimes[v].birth, lifetimes[v].death)
+                           for v in values)
+            for (b1, d1), (b2, _) in zip(spans, spans[1:]):
+                assert b2 >= d1
+
+    def test_register_lookup(self):
+        g = chain("add", 2)
+        s = density_schedule(g, unit_delays(g))
+        allocation = allocate_registers(s)
+        assert allocation.register_of("+1") == 0
+        from repro.errors import BindingError
+
+        with pytest.raises(BindingError):
+            allocation.register_of("ghost")

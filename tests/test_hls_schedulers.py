@@ -1,0 +1,119 @@
+"""Unit tests for the density and list schedulers."""
+
+import pytest
+
+from repro.bench import diffeq, ewf, fir16
+from repro.dfg import DataFlowGraph, random_dag, unit_delays
+from repro.errors import SchedulingError
+from repro.hls import (
+    asap_schedule,
+    density_schedule,
+    left_edge_bind,
+    list_schedule,
+    min_latency_with_counts,
+)
+from repro.library import paper_library
+
+
+def fast_allocation(graph):
+    lib = paper_library()
+    return {op.op_id: lib.fastest_smallest(op.rtype) for op in graph}
+
+
+class TestDensityScheduler:
+    def test_validates_dependencies(self):
+        g = fir16()
+        s = density_schedule(g, unit_delays(g))
+        s.validate()
+
+    def test_minimum_latency_default(self):
+        g = fir16()
+        s = density_schedule(g, unit_delays(g))
+        assert s.latency == 9  # FIR unit critical path
+
+    def test_respects_latency_budget(self):
+        g = fir16()
+        s = density_schedule(g, unit_delays(g), latency=12)
+        assert s.latency <= 12
+
+    def test_below_critical_path_rejected(self):
+        g = fir16()
+        with pytest.raises(SchedulingError):
+            density_schedule(g, unit_delays(g), latency=8)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SchedulingError):
+            density_schedule(DataFlowGraph("empty"), {})
+
+    def test_balancing_reduces_instances_vs_asap(self):
+        # On FIR at a loose latency the density scheduler should use
+        # no more adder instances than plain ASAP (usually fewer).
+        g = fir16()
+        allocation = fast_allocation(g)
+        delays = {o: v.delay for o, v in allocation.items()}
+        dense = left_edge_bind(density_schedule(g, delays, 11), allocation)
+        eager = left_edge_bind(asap_schedule(g, delays), allocation)
+        assert dense.area <= eager.area
+
+    def test_multicycle_operations(self):
+        g = diffeq()
+        lib = paper_library()
+        allocation = {op.op_id: lib.most_reliable(op.rtype) for op in g}
+        delays = {o: v.delay for o, v in allocation.items()}
+        s = density_schedule(g, delays)
+        s.validate()
+        assert s.latency == 10  # critical path with 2cc ops
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_dag(30, seed=seed)
+        s = density_schedule(g, unit_delays(g), latency=20)
+        s.validate()
+
+
+class TestListScheduler:
+    def test_single_instance_serializes(self):
+        g = diffeq()
+        allocation = fast_allocation(g)
+        s = list_schedule(g, allocation, {"adder2": 1, "mult2": 1})
+        s.validate()
+        # six multiplications on one multiplier need at least 6 steps
+        assert s.latency >= 6
+
+    def test_more_instances_never_slower(self):
+        g = ewf()
+        allocation = fast_allocation(g)
+        lat1 = min_latency_with_counts(g, allocation,
+                                       {"adder2": 1, "mult2": 1})
+        lat2 = min_latency_with_counts(g, allocation,
+                                       {"adder2": 2, "mult2": 2})
+        assert lat2 <= lat1
+
+    def test_reaches_critical_path_with_enough_instances(self):
+        g = fir16()
+        allocation = fast_allocation(g)
+        latency = min_latency_with_counts(g, allocation,
+                                          {"adder2": 8, "mult2": 8})
+        assert latency == 9
+
+    def test_missing_budget_rejected(self):
+        g = diffeq()
+        allocation = fast_allocation(g)
+        with pytest.raises(SchedulingError):
+            list_schedule(g, allocation, {"adder2": 1})
+
+    def test_missing_allocation_rejected(self):
+        g = diffeq()
+        allocation = fast_allocation(g)
+        allocation.pop("*1")
+        with pytest.raises(SchedulingError):
+            list_schedule(g, allocation, {"adder2": 1, "mult2": 1})
+
+    def test_binding_respects_counts(self):
+        g = fir16()
+        allocation = fast_allocation(g)
+        s = list_schedule(g, allocation, {"adder2": 2, "mult2": 1})
+        binding = left_edge_bind(s, allocation)
+        counts = binding.instance_counts()
+        assert counts["adder2"] <= 2
+        assert counts["mult2"] <= 1

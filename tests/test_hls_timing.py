@@ -1,0 +1,130 @@
+"""Unit tests for repro.hls.timing and repro.hls.schedule."""
+
+import pytest
+
+from repro.dfg import DataFlowGraph, unit_delays
+from repro.errors import SchedulingError
+from repro.hls import (
+    Schedule,
+    alap_starts,
+    asap_latency,
+    asap_starts,
+    mobility,
+    schedule_from_starts,
+    time_frames,
+)
+
+
+def diamond() -> DataFlowGraph:
+    g = DataFlowGraph("diamond")
+    g.add("a", "add")
+    g.add("b", "mul", deps=["a"])
+    g.add("c", "add", deps=["a"])
+    g.add("d", "add", deps=["b", "c"])
+    return g
+
+
+class TestAsapAlap:
+    def test_asap_unit(self):
+        g = diamond()
+        assert asap_starts(g, unit_delays(g)) == {"a": 0, "b": 1, "c": 1,
+                                                  "d": 2}
+
+    def test_asap_latency(self):
+        g = diamond()
+        assert asap_latency(g, unit_delays(g)) == 3
+
+    def test_alap_at_minimum(self):
+        g = diamond()
+        alap = alap_starts(g, unit_delays(g), 3)
+        assert alap == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_alap_with_slack(self):
+        g = diamond()
+        alap = alap_starts(g, unit_delays(g), 5)
+        assert alap == {"a": 2, "b": 3, "c": 3, "d": 4}
+
+    def test_alap_infeasible_latency(self):
+        g = diamond()
+        with pytest.raises(SchedulingError):
+            alap_starts(g, unit_delays(g), 2)
+
+    def test_asap_with_fixed(self):
+        g = diamond()
+        starts = asap_starts(g, unit_delays(g), fixed={"a": 2})
+        assert starts["a"] == 2 and starts["b"] == 3
+
+    def test_asap_fixed_violation(self):
+        g = diamond()
+        with pytest.raises(SchedulingError):
+            asap_starts(g, unit_delays(g), fixed={"a": 1, "b": 0})
+
+    def test_alap_fixed_violation(self):
+        g = diamond()
+        with pytest.raises(SchedulingError):
+            alap_starts(g, unit_delays(g), 3, fixed={"a": 1})
+
+    def test_multicycle(self):
+        g = diamond()
+        delays = {"a": 2, "b": 1, "c": 3, "d": 1}
+        assert asap_latency(g, delays) == 6
+        alap = alap_starts(g, delays, 6)
+        assert alap["b"] == 4  # can slide right up against d@5
+
+
+class TestFramesAndMobility:
+    def test_frames_at_min_latency_zero_mobility_on_cp(self):
+        g = diamond()
+        frames = time_frames(g, unit_delays(g), 3)
+        assert all(lo == hi for lo, hi in frames.values())
+
+    def test_mobility_with_slack(self):
+        g = diamond()
+        assert mobility(g, unit_delays(g), 5) == {"a": 2, "b": 2, "c": 2,
+                                                  "d": 2}
+
+
+class TestSchedule:
+    def test_latency_and_intervals(self):
+        g = diamond()
+        s = schedule_from_starts(g, {"a": 0, "b": 1, "c": 1, "d": 2},
+                                 unit_delays(g))
+        assert s.latency == 3
+        assert s.interval("b") == (1, 2)
+
+    def test_validate_detects_dependency_violation(self):
+        g = diamond()
+        sched = Schedule(g, {"a": 0, "b": 0, "c": 1, "d": 2}, unit_delays(g))
+        with pytest.raises(SchedulingError):
+            sched.validate()
+
+    def test_validate_detects_missing_op(self):
+        g = diamond()
+        sched = Schedule(g, {"a": 0, "b": 1, "c": 1}, unit_delays(g))
+        with pytest.raises(SchedulingError):
+            sched.validate()
+
+    def test_validate_detects_negative_start(self):
+        g = diamond()
+        sched = Schedule(g, {"a": -1, "b": 1, "c": 1, "d": 2}, unit_delays(g))
+        with pytest.raises(SchedulingError):
+            sched.validate()
+
+    def test_busy_and_starting(self):
+        g = diamond()
+        delays = {"a": 2, "b": 1, "c": 1, "d": 1}
+        s = schedule_from_starts(g, {"a": 0, "b": 2, "c": 2, "d": 3}, delays)
+        assert s.ops_busy_at(1) == ["a"]
+        assert s.ops_starting_at(2) == ["b", "c"]
+
+    def test_step_table_is_one_based(self):
+        g = diamond()
+        s = schedule_from_starts(g, {"a": 0, "b": 1, "c": 1, "d": 2},
+                                 unit_delays(g))
+        assert s.step_table() == {1: ["a"], 2: ["b", "c"], 3: ["d"]}
+
+    def test_as_text_marks_multicycle(self):
+        g = diamond()
+        delays = {"a": 2, "b": 1, "c": 1, "d": 1}
+        s = schedule_from_starts(g, {"a": 0, "b": 2, "c": 2, "d": 3}, delays)
+        assert "a[2cc]" in s.as_text()

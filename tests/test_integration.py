@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full flow, end to end."""
+
+import pytest
+
+from repro.bench import diffeq, ewf, fir16
+from repro.charlib import (
+    brent_kung_adder,
+    characterize_library,
+    kogge_stone_adder,
+    leapfrog_multiplier,
+    carry_save_multiplier,
+    ripple_carry_adder,
+)
+from repro.dfg import duplicate_graph, random_dag, rebalance_reduction
+from repro.errors import NoSolutionError
+from repro.library import paper_library
+from repro.core import baseline_design, combined_design, find_design
+from repro.reliability import design_reliability
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+class TestResultConsistency:
+    """Every DesignResult must be internally consistent."""
+
+    @pytest.mark.parametrize("builder,bounds", [
+        (fir16, (10, 9)), (fir16, (12, 13)),
+        (ewf, (13, 9)), (ewf, (15, 11)),
+        (diffeq, (5, 11)), (diffeq, (7, 9)),
+    ])
+    def test_find_design_consistency(self, lib, builder, bounds):
+        result = find_design(builder(), lib, *bounds)
+        result.schedule.validate()
+        result.binding.validate()
+        # the reported reliability equals the independent computation
+        assert result.reliability == pytest.approx(
+            design_reliability(result.graph, result.allocation,
+                               result.copies_by_op()))
+        # binding covers every operation with the allocated version
+        for op in result.graph:
+            instance = result.binding.instance_of(op.op_id)
+            assert instance.version == result.allocation[op.op_id]
+        # schedule delays equal the allocated delays
+        for op_id, version in result.allocation.items():
+            assert result.schedule.delays[op_id] == version.delay
+        assert result.meets_bounds()
+
+    @pytest.mark.parametrize("bounds", [(10, 11), (11, 13)])
+    def test_baseline_consistency(self, lib, bounds):
+        result = baseline_design(fir16(), lib, *bounds)
+        result.schedule.validate()
+        result.binding.validate()
+        assert result.area <= bounds[1]
+        for name, copies in result.instance_copies.items():
+            assert copies >= 1
+            result.binding.instance(name)  # must exist
+
+    def test_combined_consistency(self, lib):
+        result = combined_design(ewf(), lib, 14, 11)
+        assert result.area <= 11
+        assert result.reliability == pytest.approx(
+            design_reliability(result.graph, result.allocation,
+                               result.copies_by_op()))
+
+
+class TestCharacterizedLibraryFlow:
+    """Characterization output feeds synthesis directly."""
+
+    def test_synthesis_with_generated_library(self):
+        netlists = {
+            "rca": ("add", ripple_carry_adder(4)),
+            "bk": ("add", brent_kung_adder(4)),
+            "ks": ("add", kogge_stone_adder(4)),
+            "csm": ("mul", carry_save_multiplier(4)),
+            "leap": ("mul", leapfrog_multiplier(4)),
+        }
+        library, _ = characterize_library(netlists, anchor="rca")
+        graph = diffeq()
+        # generous bounds: the generated areas/delays differ from Table 1
+        max_area = sum(max(v.area for v in library.versions_of(op.rtype))
+                       for op in graph)
+        result = find_design(graph, library, 40, max_area)
+        assert 0 < result.reliability <= 1
+        result.schedule.validate()
+        result.binding.validate()
+
+
+class TestTransformsFlow:
+    def test_duplicated_graph_synthesizes(self, lib):
+        # reference [5]-style full duplication as a DFG transform
+        graph = duplicate_graph(diffeq(), copies=2)
+        result = find_design(graph, lib, 10, 24)
+        assert len(result.allocation) == 22
+        assert result.meets_bounds()
+
+    def test_rebalanced_graph_is_faster_or_equal(self, lib):
+        original = fir16()
+        balanced = rebalance_reduction(original, "add")
+        r_orig = find_design(original, lib, 12, 12)
+        r_bal = find_design(balanced, lib, 12, 12)
+        # rebalancing shortens the chain, giving the search at least
+        # as much room (never worse at equal bounds)
+        assert r_bal.reliability >= r_orig.reliability - 0.05
+
+    def test_random_graphs_end_to_end(self, lib):
+        for seed in range(3):
+            graph = random_dag(20, seed=seed)
+            try:
+                result = find_design(graph, lib, 15, 20)
+            except NoSolutionError:
+                continue
+            result.schedule.validate()
+            result.binding.validate()
+            assert result.meets_bounds()
+
+
+class TestMonotonicityMatrix:
+    """Reliability is monotone in both bounds across methods."""
+
+    @pytest.mark.parametrize("method", [find_design, combined_design])
+    def test_latency_monotone(self, lib, method):
+        values = []
+        for latency in (5, 6, 7):
+            values.append(method(diffeq(), lib, latency, 11).reliability)
+        assert values == sorted(values)
+
+    def test_baseline_area_monotone(self, lib):
+        values = []
+        for area in (9, 11, 13, 15):
+            values.append(
+                baseline_design(fir16(), lib, 10, area).reliability)
+        assert values == sorted(values)

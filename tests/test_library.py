@@ -1,0 +1,149 @@
+"""Unit tests for repro.library."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library import (
+    ResourceLibrary,
+    ResourceVersion,
+    paper_library,
+    single_version_library,
+)
+from repro.library import io as library_io
+
+
+class TestResourceVersion:
+    def test_valid_construction(self):
+        v = ResourceVersion("add", "a", area=2, delay=1, reliability=0.9)
+        assert v.failure_rate == pytest.approx(0.10536, abs=1e-4)
+
+    @pytest.mark.parametrize("field,value", [
+        ("area", 0), ("area", -1), ("delay", 0), ("delay", -3),
+    ])
+    def test_nonpositive_geometry_rejected(self, field, value):
+        kwargs = dict(rtype="add", name="a", area=1, delay=1, reliability=0.9)
+        kwargs[field] = value
+        with pytest.raises(LibraryError):
+            ResourceVersion(**kwargs)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_bad_reliability_rejected(self, bad):
+        with pytest.raises(LibraryError):
+            ResourceVersion("add", "a", area=1, delay=1, reliability=bad)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(LibraryError):
+            ResourceVersion("", "a", 1, 1, 0.9)
+        with pytest.raises(LibraryError):
+            ResourceVersion("add", "", 1, 1, 0.9)
+
+    def test_dominates(self):
+        better = ResourceVersion("add", "b", area=1, delay=1, reliability=0.99)
+        worse = ResourceVersion("add", "w", area=2, delay=1, reliability=0.9)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(better)  # not strictly better
+
+    def test_dominates_requires_same_rtype(self):
+        a = ResourceVersion("add", "a", 1, 1, 0.99)
+        m = ResourceVersion("mul", "m", 2, 2, 0.9)
+        assert not a.dominates(m)
+
+    def test_dict_roundtrip(self):
+        v = ResourceVersion("mul", "m2", 4, 1, 0.969, description="leap-frog")
+        assert ResourceVersion.from_dict(v.to_dict()) == v
+
+
+class TestPaperLibrary:
+    def test_table1_values(self):
+        lib = paper_library()
+        a1 = lib.version("adder1")
+        assert (a1.area, a1.delay, a1.reliability) == (1, 2, 0.999)
+        a2 = lib.version("adder2")
+        assert (a2.area, a2.delay, a2.reliability) == (2, 1, 0.969)
+        a3 = lib.version("adder3")
+        assert (a3.area, a3.delay, a3.reliability) == (4, 1, 0.987)
+        m1 = lib.version("mult1")
+        assert (m1.area, m1.delay, m1.reliability) == (2, 2, 0.999)
+        m2 = lib.version("mult2")
+        assert (m2.area, m2.delay, m2.reliability) == (4, 1, 0.969)
+
+    def test_rtypes(self):
+        assert paper_library().rtypes() == ["add", "mul"]
+
+    def test_selection_queries(self):
+        lib = paper_library()
+        assert lib.most_reliable("add").name == "adder1"
+        assert lib.fastest("add").name in ("adder2", "adder3")
+        # ties on delay resolved toward higher reliability
+        assert lib.fastest("add").name == "adder3"
+        assert lib.smallest("add").name == "adder1"
+        assert lib.most_reliable("mul").name == "mult1"
+        assert lib.fastest("mul").name == "mult2"
+
+    def test_faster_than(self):
+        lib = paper_library()
+        faster = lib.faster_than(lib.version("adder1"))
+        assert {v.name for v in faster} == {"adder2", "adder3"}
+        # best reliability first
+        assert faster[0].name == "adder3"
+
+    def test_smaller_than(self):
+        lib = paper_library()
+        smaller = lib.smaller_than(lib.version("adder3"))
+        assert {v.name for v in smaller} == {"adder1", "adder2"}
+        constrained = lib.smaller_than(lib.version("adder3"), max_delay=1)
+        assert {v.name for v in constrained} == {"adder2"}
+
+    def test_pareto_front_drops_dominated(self):
+        lib = paper_library()
+        front = {v.name for v in lib.pareto_front("add")}
+        # adder3 (area 4, delay 1, R .987) vs adder2 (area 2, delay 1,
+        # R .969): neither dominates (adder3 more reliable but bigger)
+        assert front == {"adder1", "adder2", "adder3"}
+
+    def test_single_version_library(self):
+        lib = single_version_library()
+        assert len(lib) == 2
+        assert lib.versions_of("add")[0].name == "adder2"
+        assert lib.versions_of("mul")[0].name == "mult2"
+
+
+class TestResourceLibrary:
+    def test_duplicate_name_rejected(self):
+        v = ResourceVersion("add", "a", 1, 1, 0.9)
+        with pytest.raises(LibraryError):
+            ResourceLibrary([v, v])
+
+    def test_unknown_lookup(self):
+        with pytest.raises(LibraryError):
+            paper_library().version("zz")
+        with pytest.raises(LibraryError):
+            paper_library().versions_of("fft")
+
+    def test_restricted_to(self):
+        lib = paper_library().restricted_to(["adder1", "mult1"])
+        assert len(lib) == 2
+        assert lib.min_delay("add") == 2
+
+    def test_dict_roundtrip(self):
+        lib = paper_library()
+        restored = ResourceLibrary.from_dict(lib.to_dict())
+        assert {v.name for v in restored} == {v.name for v in lib}
+
+    def test_as_table_mentions_all_versions(self):
+        table = paper_library().as_table()
+        for name in ("adder1", "adder2", "adder3", "mult1", "mult2"):
+            assert name in table
+
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "lib.json"
+        library_io.save(paper_library(), path)
+        restored = library_io.load(path)
+        assert restored.version("mult2").reliability == 0.969
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("oops")
+        with pytest.raises(LibraryError):
+            library_io.load(path)

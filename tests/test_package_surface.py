@@ -1,0 +1,60 @@
+"""Tests for the top-level package surface and lazy exports."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_eager_exports(self):
+        assert repro.DataFlowGraph is not None
+        assert repro.ResourceLibrary is not None
+        assert callable(repro.paper_library)
+
+    def test_lazy_core_exports(self):
+        # these import repro.core on first access
+        assert callable(repro.find_design)
+        assert callable(repro.baseline_design)
+        assert callable(repro.combined_design)
+        assert repro.DesignResult is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.frobnicate
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.DFGError, repro.ReproError)
+        assert issubclass(repro.LibraryError, repro.ReproError)
+        assert issubclass(repro.SchedulingError, repro.ReproError)
+        assert issubclass(repro.BindingError, repro.ReproError)
+        assert issubclass(repro.NoSolutionError, repro.ReproError)
+        assert issubclass(repro.CharacterizationError, repro.ReproError)
+
+    def test_docstring_quickstart_runs(self):
+        # the snippet in the package docstring must actually work
+        from repro import paper_library, find_design
+        from repro.bench import fir16
+
+        design = find_design(fir16(), paper_library(),
+                             latency_bound=11, area_bound=8)
+        assert 0 < design.reliability < 1
+        assert design.area <= 8
+        assert design.latency <= 11
+
+    def test_subpackages_import(self):
+        import repro.bench
+        import repro.charlib
+        import repro.core
+        import repro.dfg
+        import repro.experiments
+        import repro.hls
+        import repro.library
+        import repro.reliability
+
+        for module in (repro.bench, repro.charlib, repro.core, repro.dfg,
+                       repro.experiments, repro.hls, repro.library,
+                       repro.reliability):
+            assert module.__doc__

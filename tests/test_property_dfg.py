@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the DFG and timing layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfg import (
+    DataFlowGraph,
+    critical_path,
+    critical_path_length,
+    earliest_starts,
+    random_dag,
+    rebalance_reduction,
+    unit_delays,
+)
+from repro.dfg.textio import dumps, loads
+
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=40),   # size
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.floats(min_value=0.05, max_value=0.95),   # edge probability
+)
+
+
+def build(params) -> DataFlowGraph:
+    size, seed, prob = params
+    return random_dag(size, seed=seed, edge_prob=prob)
+
+
+delay_choices = st.sampled_from([1, 2, 3])
+
+
+@st.composite
+def graph_and_delays(draw):
+    graph = build(draw(graph_params))
+    delays = {op.op_id: draw(delay_choices) for op in graph}
+    return graph, delays
+
+
+class TestDagProperties:
+    @given(graph_params)
+    @settings(max_examples=50, deadline=None)
+    def test_random_dag_is_valid(self, params):
+        build(params).validate()
+
+    @given(graph_params)
+    @settings(max_examples=50, deadline=None)
+    def test_topological_order_consistent(self, params):
+        graph = build(params)
+        order = {op_id: i for i, op_id in enumerate(graph.topological_order())}
+        for producer, consumer in graph.edges():
+            assert order[producer] < order[consumer]
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_text_roundtrip(self, params):
+        graph = build(params)
+        restored = loads(dumps(graph))
+        assert sorted(restored.op_ids()) == sorted(graph.op_ids())
+        assert sorted(restored.edges()) == sorted(graph.edges())
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_dict_roundtrip(self, params):
+        graph = build(params)
+        restored = DataFlowGraph.from_dict(graph.to_dict())
+        assert sorted(restored.edges()) == sorted(graph.edges())
+
+
+class TestTimingProperties:
+    @given(graph_and_delays())
+    @settings(max_examples=50, deadline=None)
+    def test_asap_respects_dependencies(self, pair):
+        graph, delays = pair
+        starts = earliest_starts(graph, delays)
+        for producer, consumer in graph.edges():
+            assert starts[consumer] >= starts[producer] + delays[producer]
+
+    @given(graph_and_delays())
+    @settings(max_examples=50, deadline=None)
+    def test_critical_path_is_max_finish(self, pair):
+        graph, delays = pair
+        starts = earliest_starts(graph, delays)
+        expected = max(starts[o] + delays[o] for o in starts)
+        assert critical_path_length(graph, delays) == expected
+
+    @given(graph_and_delays())
+    @settings(max_examples=50, deadline=None)
+    def test_critical_path_witness_length(self, pair):
+        graph, delays = pair
+        length, path = critical_path(graph, delays)
+        assert sum(delays[o] for o in path) == length
+        # the witness is a real dependency chain
+        for earlier, later in zip(path, path[1:]):
+            assert later in graph.successors(earlier)
+
+    @given(graph_and_delays())
+    @settings(max_examples=30, deadline=None)
+    def test_faster_delays_never_lengthen(self, pair):
+        graph, delays = pair
+        faster = {o: max(1, d - 1) for o, d in delays.items()}
+        assert (critical_path_length(graph, faster)
+                <= critical_path_length(graph, delays))
+
+
+class TestRebalanceProperties:
+    @given(st.integers(min_value=3, max_value=16),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_rebalance_preserves_ops_and_never_deepens(self, taps, seed):
+        from repro.dfg import fir_like, depth
+
+        graph = fir_like(max(2, taps))
+        balanced = rebalance_reduction(graph, "add")
+        balanced.validate()
+        assert balanced.counts_by_rtype() == graph.counts_by_rtype()
+        assert depth(balanced) <= depth(graph)

@@ -1,0 +1,156 @@
+"""Property-based tests for schedulers, binding and reliability math."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfg import random_dag
+from repro.hls import (
+    asap_latency,
+    density_schedule,
+    left_edge_bind,
+    list_schedule,
+)
+from repro.library import ResourceVersion, paper_library
+from repro.reliability import (
+    duplex_reliability,
+    nmr_reliability,
+    redundant_reliability,
+    serial,
+)
+
+probability = st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+graph_params = st.tuples(st.integers(1, 30), st.integers(0, 5_000))
+
+
+def build(params):
+    size, seed = params
+    return random_dag(size, seed=seed)
+
+
+def paper_allocation(graph, seed):
+    import random
+
+    library = paper_library()
+    rng = random.Random(seed)
+    return {op.op_id: rng.choice(library.versions_of(op.rtype))
+            for op in graph}
+
+
+class TestSchedulerProperties:
+    @given(graph_params, st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_density_schedule_valid_at_any_slack(self, params, slack):
+        graph = build(params)
+        allocation = paper_allocation(graph, params[1])
+        delays = {o: v.delay for o, v in allocation.items()}
+        budget = asap_latency(graph, delays) + slack
+        schedule = density_schedule(graph, delays, budget)
+        schedule.validate()
+        assert schedule.latency <= budget
+
+    @given(graph_params, st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_binding_never_overlaps(self, params, slack):
+        graph = build(params)
+        allocation = paper_allocation(graph, params[1] + 1)
+        delays = {o: v.delay for o, v in allocation.items()}
+        schedule = density_schedule(
+            graph, delays, asap_latency(graph, delays) + slack)
+        binding = left_edge_bind(schedule, allocation)
+        binding.validate()  # raises on overlap
+
+    @given(graph_params, st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_list_schedule_valid_and_counts_respected(self, params,
+                                                      adders, mults):
+        graph = build(params)
+        library = paper_library()
+        allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                      for op in graph}
+        counts = {"adder2": adders, "mult2": mults}
+        schedule = list_schedule(graph, allocation, counts)
+        schedule.validate()
+        binding = left_edge_bind(schedule, allocation)
+        for version_name, used in binding.instance_counts().items():
+            assert used <= counts[version_name]
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_list_schedule_reaches_critical_path_with_many_instances(
+            self, params):
+        graph = build(params)
+        library = paper_library()
+        allocation = {op.op_id: library.fastest_smallest(op.rtype)
+                      for op in graph}
+        delays = {o: v.delay for o, v in allocation.items()}
+        counts = {"adder2": len(graph), "mult2": len(graph)}
+        schedule = list_schedule(graph, allocation, counts)
+        assert schedule.latency == asap_latency(graph, delays)
+
+
+class TestReliabilityProperties:
+    @given(st.lists(probability, min_size=0, max_size=20))
+    @settings(max_examples=100)
+    def test_serial_bounded_by_weakest_component(self, values):
+        result = serial(values)
+        assert 0.0 <= result <= 1.0
+        if values:
+            assert result <= min(values) + 1e-12
+
+    @given(probability, st.integers(1, 9))
+    @settings(max_examples=100)
+    def test_redundant_reliability_is_probability(self, r, copies):
+        assert 0.0 <= redundant_reliability(r, copies) <= 1.0
+
+    @given(probability)
+    @settings(max_examples=100)
+    def test_duplex_never_hurts(self, r):
+        assert duplex_reliability(r) >= r - 1e-12
+
+    @given(st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=100)
+    def test_nmr_helps_above_half(self, r):
+        assert nmr_reliability(r, 3) >= r - 1e-12
+        assert nmr_reliability(r, 5) >= nmr_reliability(r, 3) - 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=100)
+    def test_nmr_hurts_below_half(self, r):
+        assert nmr_reliability(r, 3) <= r + 1e-12
+
+    @given(st.floats(min_value=0.01, max_value=0.999999),
+           st.integers(1, 7))
+    @settings(max_examples=100)
+    def test_even_copies_monotone(self, r, k):
+        # the detection+rollback family 1-(1-r)^n is monotone in n
+        assert (redundant_reliability(r, 2 * k)
+                <= redundant_reliability(r, 2 * k + 2) + 1e-12)
+
+
+class TestVersionProperties:
+    versions = st.builds(
+        ResourceVersion,
+        rtype=st.just("add"),
+        name=st.text(alphabet="abcdef", min_size=1, max_size=6),
+        area=st.integers(1, 10),
+        delay=st.integers(1, 5),
+        reliability=st.floats(min_value=0.01, max_value=1.0),
+    )
+
+    @given(versions, versions)
+    @settings(max_examples=100)
+    def test_dominance_is_antisymmetric(self, a, b):
+        if a.dominates(b):
+            assert not b.dominates(a)
+
+    @given(versions)
+    @settings(max_examples=50)
+    def test_dominance_is_irreflexive(self, v):
+        assert not v.dominates(v)
+
+    @given(versions)
+    @settings(max_examples=50)
+    def test_roundtrip(self, v):
+        assert ResourceVersion.from_dict(v.to_dict()) == v

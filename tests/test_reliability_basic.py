@@ -1,0 +1,130 @@
+"""Unit tests for repro.reliability.basic and nmr."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reliability import (
+    duplex_reliability,
+    failure_rate_from_reliability,
+    majority_threshold,
+    mission_reliability,
+    mttf,
+    nmr_breakeven,
+    nmr_reliability,
+    parallel_redundant,
+    redundant_reliability,
+    reliability_from_failure_rate,
+    serial,
+    tmr_reliability,
+)
+
+
+class TestExponentialModel:
+    def test_roundtrip(self):
+        for r in (0.999, 0.969, 0.5, 0.987):
+            rate = failure_rate_from_reliability(r)
+            assert reliability_from_failure_rate(rate) == pytest.approx(r)
+
+    def test_zero_rate_is_perfect(self):
+        assert reliability_from_failure_rate(0.0) == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ReproError):
+            reliability_from_failure_rate(-1.0)
+
+    def test_zero_reliability_rejected(self):
+        with pytest.raises(ReproError):
+            failure_rate_from_reliability(0.0)
+
+    def test_time_scaling(self):
+        rate = failure_rate_from_reliability(0.9)
+        assert reliability_from_failure_rate(rate, 2.0) == pytest.approx(0.81)
+
+    def test_mission_reliability(self):
+        rate = failure_rate_from_reliability(0.99)
+        assert mission_reliability(rate, 3) == pytest.approx(0.99 ** 3)
+
+    def test_mttf(self):
+        assert mttf(0.5) == 2.0
+        with pytest.raises(ReproError):
+            mttf(0.0)
+
+
+class TestComposition:
+    def test_serial_product(self):
+        assert serial([0.9, 0.9, 0.9]) == pytest.approx(0.729)
+
+    def test_serial_empty(self):
+        assert serial([]) == 1.0
+
+    def test_serial_rejects_bad_probability(self):
+        with pytest.raises(ReproError):
+            serial([0.9, 1.2])
+
+    def test_parallel_redundant(self):
+        assert parallel_redundant([0.9, 0.9]) == pytest.approx(0.99)
+
+    def test_paper_fig5a_product(self):
+        # six additions on type-2 adders
+        assert serial([0.969] * 6) == pytest.approx(0.82783, abs=5e-5)
+
+    def test_paper_fig5b_product(self):
+        # three ops on adder1, three on adder2
+        value = serial([0.999] * 3 + [0.969] * 3)
+        assert value == pytest.approx(0.90713, abs=5e-5)
+
+
+class TestNMR:
+    def test_majority_threshold(self):
+        assert majority_threshold(3) == 2
+        assert majority_threshold(5) == 3
+        assert majority_threshold(1) == 1
+
+    def test_even_count_rejected(self):
+        with pytest.raises(ReproError):
+            majority_threshold(2)
+
+    def test_tmr_formula(self):
+        r = 0.969
+        assert tmr_reliability(r) == pytest.approx(3 * r**2 - 2 * r**3)
+
+    def test_nmr_n1_is_identity(self):
+        assert nmr_reliability(0.9, 1) == pytest.approx(0.9)
+
+    def test_nmr_5way(self):
+        # exact binomial for N=5, k=3
+        r = 0.9
+        expected = sum(
+            math.comb(5, i) * r**i * (1 - r) ** (5 - i) for i in range(3, 6))
+        assert nmr_reliability(r, 5) == pytest.approx(expected)
+
+    def test_tmr_improves_above_half(self):
+        assert tmr_reliability(0.9) > 0.9
+        assert nmr_breakeven(0.9)
+
+    def test_tmr_hurts_below_half(self):
+        assert tmr_reliability(0.4) < 0.4
+        assert not nmr_breakeven(0.4)
+
+    def test_duplex(self):
+        assert duplex_reliability(0.969) == pytest.approx(0.999039)
+
+    def test_redundant_dispatch(self):
+        r = 0.969
+        assert redundant_reliability(r, 1) == r
+        assert redundant_reliability(r, 2) == pytest.approx(
+            duplex_reliability(r))
+        assert redundant_reliability(r, 3) == pytest.approx(
+            tmr_reliability(r))
+        assert redundant_reliability(r, 4) == pytest.approx(
+            1 - (1 - r) ** 4)
+
+    def test_redundant_bad_count(self):
+        with pytest.raises(ReproError):
+            redundant_reliability(0.9, 0)
+
+    def test_perfect_module_stays_perfect(self):
+        assert nmr_reliability(1.0, 3) == pytest.approx(1.0)
+        assert duplex_reliability(1.0) == pytest.approx(1.0)

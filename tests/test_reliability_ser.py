@@ -1,0 +1,154 @@
+"""Unit tests for repro.reliability.ser and composition."""
+
+import math
+
+import pytest
+
+from repro.dfg import DataFlowGraph
+from repro.errors import ReproError
+from repro.library import PAPER_QCRITICAL, paper_library
+from repro.reliability import (
+    SerScale,
+    design_reliability,
+    fit_qs,
+    hazucha_ser,
+    operation_reliability,
+    relative_ser,
+    reliability_improvement,
+)
+
+
+class TestHazucha:
+    def test_monotone_decreasing_in_qcritical(self):
+        assert hazucha_ser(10e-21, qs=5e-21) > hazucha_ser(20e-21, qs=5e-21)
+
+    def test_scales_with_flux_and_cross_section(self):
+        base = hazucha_ser(10e-21, qs=5e-21)
+        assert hazucha_ser(10e-21, qs=5e-21, flux=2.0) == pytest.approx(2 * base)
+        assert hazucha_ser(10e-21, qs=5e-21,
+                           cross_section=3.0) == pytest.approx(3 * base)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            hazucha_ser(-1.0)
+        with pytest.raises(ReproError):
+            hazucha_ser(1.0, qs=0.0)
+
+    def test_relative_ser_identity(self):
+        assert relative_ser(2.0, 10e-21, 10e-21) == pytest.approx(2.0)
+
+    def test_relative_ser_larger_qcrit_means_smaller_ser(self):
+        assert relative_ser(1.0, 10e-21, 30e-21, qs=10e-21) < 1.0
+
+    def test_relative_ser_consistent_with_hazucha(self):
+        qs = 7e-21
+        ser_a = hazucha_ser(10e-21, qs=qs, scale=5.0)
+        ser_b = hazucha_ser(25e-21, qs=qs, scale=5.0)
+        assert relative_ser(ser_a, 10e-21, 25e-21, qs=qs) == pytest.approx(ser_b)
+
+
+class TestSerScale:
+    def test_anchor_maps_to_itself(self):
+        scale = SerScale(anchor_qcritical=PAPER_QCRITICAL["adder1"],
+                         anchor_reliability=0.999)
+        assert scale.reliability_for(
+            PAPER_QCRITICAL["adder1"]) == pytest.approx(0.999)
+
+    def test_lower_qcritical_lower_reliability(self):
+        scale = SerScale(anchor_qcritical=PAPER_QCRITICAL["adder1"])
+        r_bk = scale.reliability_for(PAPER_QCRITICAL["adder2"])
+        r_ks = scale.reliability_for(PAPER_QCRITICAL["adder3"])
+        # Brent-Kung has the smallest Qcritical -> least reliable;
+        # Kogge-Stone sits between Brent-Kung and ripple-carry.
+        assert r_bk < r_ks < 0.999
+
+    def test_fitted_qs_reproduces_table1_adders(self):
+        # Fit Qs on (ripple-carry, Brent-Kung) and check the ordering of
+        # the predicted Kogge-Stone reliability against Table 1 (0.987).
+        qs = fit_qs(PAPER_QCRITICAL["adder1"], 0.999,
+                    PAPER_QCRITICAL["adder2"], 0.969)
+        scale = SerScale(anchor_qcritical=PAPER_QCRITICAL["adder1"],
+                         anchor_reliability=0.999, qs=qs)
+        assert scale.reliability_for(
+            PAPER_QCRITICAL["adder2"]) == pytest.approx(0.969, abs=1e-6)
+        r_ks = scale.reliability_for(PAPER_QCRITICAL["adder3"])
+        assert 0.969 < r_ks < 0.999
+
+    def test_reliability_table(self):
+        scale = SerScale(anchor_qcritical=PAPER_QCRITICAL["adder1"])
+        table = scale.reliability_table(PAPER_QCRITICAL)
+        assert set(table) == set(PAPER_QCRITICAL)
+
+    def test_invalid_anchor(self):
+        with pytest.raises(ReproError):
+            SerScale(anchor_qcritical=0.0)
+        with pytest.raises(ReproError):
+            SerScale(anchor_qcritical=1e-21, anchor_reliability=1.0)
+
+
+class TestFitQs:
+    def test_roundtrip(self):
+        qs = fit_qs(50e-21, 0.999, 25e-21, 0.95)
+        assert relative_ser(
+            -math.log(0.999), 50e-21, 25e-21, qs
+        ) == pytest.approx(-math.log(0.95))
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            fit_qs(10e-21, 0.99, 10e-21, 0.95)
+        with pytest.raises(ReproError):
+            fit_qs(10e-21, 0.99, 20e-21, 0.99)
+
+
+class TestDesignReliability:
+    def _graph(self):
+        g = DataFlowGraph("g")
+        g.add("a", "add")
+        g.add("m", "mul", deps=["a"])
+        return g
+
+    def test_product_over_operations(self):
+        lib = paper_library()
+        g = self._graph()
+        allocation = {"a": lib.version("adder2"), "m": lib.version("mult1")}
+        assert design_reliability(g, allocation) == pytest.approx(
+            0.969 * 0.999)
+
+    def test_redundancy_copies(self):
+        lib = paper_library()
+        g = self._graph()
+        allocation = {"a": lib.version("adder2"), "m": lib.version("mult1")}
+        value = design_reliability(g, allocation, copies={"a": 2})
+        assert value == pytest.approx((1 - (1 - 0.969) ** 2) * 0.999)
+
+    def test_missing_allocation_rejected(self):
+        g = self._graph()
+        lib = paper_library()
+        with pytest.raises(ReproError):
+            design_reliability(g, {"a": lib.version("adder2")})
+
+    def test_rtype_mismatch_rejected(self):
+        g = self._graph()
+        lib = paper_library()
+        allocation = {"a": lib.version("mult1"), "m": lib.version("mult1")}
+        with pytest.raises(ReproError):
+            design_reliability(g, allocation)
+
+    def test_operation_reliability(self):
+        v = paper_library().version("adder2")
+        assert operation_reliability(v) == 0.969
+        assert operation_reliability(v, 3) > 0.969
+
+
+class TestImprovement:
+    def test_positive(self):
+        assert reliability_improvement(0.59998, 0.48467) == pytest.approx(
+            23.79, abs=0.01)
+
+    def test_negative(self):
+        assert reliability_improvement(0.69516, 0.76572) == pytest.approx(
+            -9.22, abs=0.01)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ReproError):
+            reliability_improvement(0.5, 0.0)
