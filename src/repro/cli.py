@@ -5,8 +5,14 @@ Subcommands::
     synth BENCH --latency L --area A [--method ...]   synthesize a design
     bench [NAME]                                      list / inspect benchmarks
     characterize [--bits N]                           regenerate Table 1
-    experiment NAME                                   regenerate a table/figure
+    experiment NAME [--workers N]                     regenerate a table/figure
     explore BENCH --latencies .. --areas ..           Pareto sweep
+
+``synth`` and ``explore`` accept ``--stats`` to print the evaluation
+engine's cache statistics (evaluations requested, memo hits, schedules
+run, wall time) after the result; ``explore`` and ``experiment``
+accept ``--workers N`` to fan independent grid points / tables out
+across processes.
 """
 
 from __future__ import annotations
@@ -46,6 +52,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also print the step-by-step schedule")
     synth.add_argument("--json", action="store_true",
                        help="emit the result summary as JSON")
+    synth.add_argument("--stats", action="store_true",
+                       help="print evaluation-engine statistics afterwards")
 
     bench = sub.add_parser("bench", help="list or inspect benchmarks")
     bench.add_argument("name", nargs="?", help="benchmark to inspect")
@@ -62,6 +70,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--area-model", default="instances",
                             choices=("instances", "versions"))
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="run independent tables across N processes")
 
     explore = sub.add_parser("explore", help="Pareto sweep over bounds")
     explore.add_argument("benchmark")
@@ -69,7 +79,18 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--areas", type=int, nargs="+", required=True)
     explore.add_argument("--method", default="ours",
                          choices=("ours", "baseline", "combined"))
+    explore.add_argument("--workers", type=int, default=None,
+                         help="fan grid points out across N processes")
+    explore.add_argument("--stats", action="store_true",
+                         help="print evaluation-engine statistics afterwards")
     return parser
+
+
+def _print_engine_stats() -> None:
+    from repro.core import default_engine
+
+    print(file=sys.stderr)
+    print(default_engine().stats.as_text(), file=sys.stderr)
 
 
 def _load_graph(spec: str):
@@ -108,6 +129,8 @@ def _cmd_synth(args) -> int:
         if args.schedule:
             print("\nschedule:")
             print(result.schedule.as_text())
+    if args.stats:
+        _print_engine_stats()
     return 0
 
 
@@ -141,36 +164,38 @@ def _cmd_characterize(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro import experiments
+    from repro.experiments import run_tasks
 
+    model = args.area_model
     runs = {
-        "table1": lambda: [experiments.run_table1_calibrated(),
-                           experiments.run_table1_characterized()],
-        "fig5": lambda: [experiments.run_fig5()],
-        "fig7": lambda: [experiments.run_fig7()],
-        "fig8": lambda: [experiments.run_fig8a(args.area_model),
-                         experiments.run_fig8b(args.area_model)],
-        "fig9": lambda: [experiments.run_fig9(args.area_model)],
-        "table2a": lambda: [experiments.run_table2("fir",
-                                                   area_model=args.area_model)],
-        "table2b": lambda: [experiments.run_table2("ew",
-                                                   area_model=args.area_model)],
-        "table2c": lambda: [experiments.run_table2("diffeq",
-                                                   area_model=args.area_model)],
-        "ablations": lambda: [experiments.run_repair_ablation(),
-                              experiments.run_refine_ablation(),
-                              experiments.run_sweep_ablation(),
-                              experiments.run_scheduler_ablation(),
-                              experiments.run_baseline_ablation()],
-        "extensions": lambda: [experiments.run_pipeline_tradeoff(),
-                               experiments.run_self_recovery_comparison(),
-                               experiments.run_voter_sensitivity(),
-                               experiments.run_extra_benchmarks()],
+        "table1": [(experiments.run_table1_calibrated, (), {}),
+                   (experiments.run_table1_characterized, (), {})],
+        "fig5": [(experiments.run_fig5, (), {})],
+        "fig7": [(experiments.run_fig7, (), {})],
+        "fig8": [(experiments.run_fig8a, (model,), {}),
+                 (experiments.run_fig8b, (model,), {})],
+        "fig9": [(experiments.run_fig9, (model,), {})],
+        "table2a": [(experiments.run_table2, ("fir",),
+                     {"area_model": model})],
+        "table2b": [(experiments.run_table2, ("ew",),
+                     {"area_model": model})],
+        "table2c": [(experiments.run_table2, ("diffeq",),
+                     {"area_model": model})],
+        "ablations": [(experiments.run_repair_ablation, (), {}),
+                      (experiments.run_refine_ablation, (), {}),
+                      (experiments.run_sweep_ablation, (), {}),
+                      (experiments.run_scheduler_ablation, (), {}),
+                      (experiments.run_baseline_ablation, (), {})],
+        "extensions": [(experiments.run_pipeline_tradeoff, (), {}),
+                       (experiments.run_self_recovery_comparison, (), {}),
+                       (experiments.run_voter_sensitivity, (), {}),
+                       (experiments.run_extra_benchmarks, (), {})],
     }
     names = list(runs) if args.name == "all" else [args.name]
     for index, name in enumerate(names):
         if index:
             print()
-        for table in runs[name]():
+        for table in run_tasks(runs[name], workers=args.workers):
             print(table.as_text())
             print()
     return 0
@@ -182,7 +207,7 @@ def _cmd_explore(args) -> int:
     graph = _load_graph(args.benchmark)
     library = _load_library(None)
     points = sweep_bounds(graph, library, args.latencies, args.areas,
-                          args.method)
+                          args.method, workers=args.workers)
     print(f"{'Ld':>4} {'Ad':>4} {'latency':>8} {'area':>5} {'reliability':>12}")
     for point in points:
         if point.result is None:
@@ -199,6 +224,15 @@ def _cmd_explore(args) -> int:
         result = point.result
         print(f"  latency {result.latency}  area {result.area}  "
               f"reliability {result.reliability:.5f}")
+    if args.stats:
+        from repro.core.explore import uses_workers
+
+        if uses_workers(args.workers, len(args.latencies) * len(args.areas)):
+            print("\nengine statistics: unavailable with --workers "
+                  "(each worker process keeps its own engine)",
+                  file=sys.stderr)
+        else:
+            _print_engine_stats()
     return 0
 
 

@@ -3,6 +3,13 @@
 from repro.core.baseline import baseline_design
 from repro.core.combined import combined_design
 from repro.core.design import DesignResult
+from repro.core.engine import (
+    EngineStats,
+    EvaluationEngine,
+    allocation_signature,
+    default_engine,
+    set_default_engine,
+)
 from repro.core.evaluate import evaluate_allocation, min_latency
 from repro.core.explore import (
     METHODS,
@@ -26,6 +33,11 @@ from repro.core.selfrecover import (
 
 __all__ = [
     "DesignResult",
+    "EvaluationEngine",
+    "EngineStats",
+    "allocation_signature",
+    "default_engine",
+    "set_default_engine",
     "find_design",
     "baseline_design",
     "combined_design",

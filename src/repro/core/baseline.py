@@ -28,7 +28,7 @@ from repro.hls.metrics import AREA_INSTANCES
 from repro.library.library import ResourceLibrary
 from repro.library.version import ResourceVersion
 from repro.core.design import DesignResult, check_area_model
-from repro.core.evaluate import evaluate_allocation
+from repro.core.engine import EvaluationEngine, default_engine
 from repro.core.redundancy import apply_greedy_redundancy
 
 VERSION_CHOICES = ("fastest", "adaptive")
@@ -37,10 +37,11 @@ VERSION_CHOICES = ("fastest", "adaptive")
 def _uniform_result(graph: DataFlowGraph,
                     per_type: Dict[str, ResourceVersion],
                     latency_bound: int, area_bound: int,
-                    area_model: str) -> Optional[DesignResult]:
+                    area_model: str,
+                    engine: EvaluationEngine) -> Optional[DesignResult]:
     allocation = {op.op_id: per_type[op.rtype] for op in graph}
-    evaluation = evaluate_allocation(graph, allocation, latency_bound,
-                                     area_model)
+    evaluation = engine.evaluate(graph, allocation, latency_bound,
+                                 area_model=area_model)
     if evaluation is None:
         return None
     result = DesignResult(
@@ -67,7 +68,8 @@ def baseline_design(graph: DataFlowGraph,
                     version_choice: str = "fastest",
                     redundancy: bool = True,
                     max_copies: int = 7,
-                    area_model: str = AREA_INSTANCES) -> DesignResult:
+                    area_model: str = AREA_INSTANCES,
+                    engine: Optional[EvaluationEngine] = None) -> DesignResult:
     """Synthesize with the single-version + NMR baseline.
 
     Parameters
@@ -81,6 +83,9 @@ def baseline_design(graph: DataFlowGraph,
     redundancy:
         Apply greedy NMR insertion after the base design (paper
         behaviour); disable to measure the bare single-version design.
+    engine:
+        Evaluation engine serving the realizations (default: the
+        process-wide shared engine).
 
     Raises
     ------
@@ -95,7 +100,6 @@ def baseline_design(graph: DataFlowGraph,
             f"use one of {VERSION_CHOICES}")
 
     rtypes = graph.rtypes()
-    candidates = []
     if versions is not None:
         named = [library.version(name) for name in versions]
         per_type = {v.rtype: v for v in named}
@@ -104,20 +108,21 @@ def baseline_design(graph: DataFlowGraph,
             raise ReproError(
                 f"versions {list(versions)} do not cover resource types "
                 f"{missing}")
-        candidates.append(per_type)
+        candidates = [per_type]
     elif version_choice == "fastest":
-        candidates.append({t: library.fastest_smallest(t) for t in rtypes})
-    else:  # adaptive
+        candidates = [{t: library.fastest_smallest(t) for t in rtypes}]
+    else:  # adaptive: enumerate the cross-product lazily
         import itertools
 
         pools = [library.versions_of(t) for t in rtypes]
-        for combo in itertools.product(*pools):
-            candidates.append(dict(zip(rtypes, combo)))
+        candidates = (dict(zip(rtypes, combo))
+                      for combo in itertools.product(*pools))
 
+    engine = engine if engine is not None else default_engine()
     best: Optional[DesignResult] = None
     for per_type in candidates:
         result = _uniform_result(graph, per_type, latency_bound, area_bound,
-                                 area_model)
+                                 area_model, engine)
         if result is None:
             continue
         if redundancy:

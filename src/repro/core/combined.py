@@ -9,10 +9,13 @@ selected by our reliability-centric approach as duplicate(s)").
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.dfg.graph import DataFlowGraph
 from repro.hls.metrics import AREA_INSTANCES
 from repro.library.library import ResourceLibrary
 from repro.core.design import DesignResult
+from repro.core.engine import EvaluationEngine
 from repro.core.find_design import find_design
 from repro.core.redundancy import apply_greedy_redundancy
 
@@ -25,14 +28,16 @@ def combined_design(graph: DataFlowGraph,
                     area_model: str = AREA_INSTANCES,
                     repair: str = "generalized",
                     refine: bool = True,
-                    max_copies: int = 7) -> DesignResult:
+                    max_copies: int = 7,
+                    engine: Optional[EvaluationEngine] = None) -> DesignResult:
     """Reliability-centric synthesis followed by greedy redundancy.
 
     Raises :class:`~repro.errors.NoSolutionError` when even the
     redundancy-free problem is infeasible.
     """
     base = find_design(graph, library, latency_bound, area_bound,
-                       area_model=area_model, repair=repair, refine=refine)
+                       area_model=area_model, repair=repair, refine=refine,
+                       engine=engine)
     result = apply_greedy_redundancy(base, area_bound, max_copies)
     result.method = "combined"
     return result

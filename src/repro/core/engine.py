@@ -1,0 +1,532 @@
+"""Shared evaluation engine: memoized scheduling and incremental timing.
+
+Every synthesis entry point in this package bottoms out in the same
+question — "schedule + bind + measure this allocation under this
+latency bound" — and the searches ask it with massive redundancy: the
+latency-sweep horizons of :func:`repro.core.find_design.find_design`
+replay near-identical greedy trajectories, the refinement hill climb
+re-realizes neighbouring allocations, and a
+:func:`repro.core.explore.sweep_bounds` grid revisits the same
+allocations at bound after bound.  The :class:`EvaluationEngine`
+centralizes that question behind content-addressed caches so repeated
+work is answered from memory, while staying *behaviourally identical*
+to the uncached algorithms (the test suite asserts byte-identical
+``DesignResult``\\ s with the cache on and off).
+
+Cache layers, from coarse to fine:
+
+``evaluation``
+    ``(graph, allocation, bound, area model, scheduler, stop_at_area)``
+    → the final :class:`~repro.core.evaluate.Evaluation`.  Exact-key
+    memo; hits skip all scheduling.
+``density point``
+    ``(graph, allocation, latency)`` → one density schedule + binding.
+    Because the density realization at bound ``L`` is the min-area
+    point of the scan over ``[critical, L]``, these per-latency points
+    make a realization found at a looser bound reusable at any tighter
+    bound it fits: the tighter scan is a prefix of the looser one.
+``list realization / probe``
+    ``(graph, allocation, bound)`` → the count-driven list realization,
+    and ``(graph, allocation, counts)`` → one list-schedule probe.  The
+    count-increment loop re-probes overlapping count vectors constantly
+    (the winning probe of one round *is* the schedule of the next); the
+    probe cache makes both the intra- and inter-call repeats free.
+``timing``
+    ``(graph, delays)`` → ASAP starts and the critical-path latency,
+    plus :meth:`EvaluationEngine.latency_with_delay`, an incremental
+    single-op re-timing that only relaxes the changed operation's
+    descendants instead of re-running a full ASAP pass (victim
+    selection probes every critical operation this way).
+
+Graphs are identified by *content* (name, operations, edges in
+insertion order), not object identity, so rebuilding a benchmark graph
+— as every experiment driver does — still hits the cache.  Allocation
+signatures embed the full :class:`~repro.library.version.ResourceVersion`
+(not just its name), so same-named versions from different libraries
+never collide.
+
+A module-level default engine backs the
+:func:`repro.core.evaluate.evaluate_allocation` compatibility wrapper;
+pass ``engine=`` to any synthesis entry point to use a private one
+(e.g. per worker process, or with ``cache=False`` for the reference
+behaviour).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import ReproError, SchedulingError
+from repro.hls.binding import Binding, left_edge_bind
+from repro.hls.density import density_schedule
+from repro.hls.listsched import list_schedule
+from repro.hls.metrics import AREA_INSTANCES, total_area
+from repro.hls.schedule import Schedule
+from repro.hls.timing import asap_starts
+from repro.library.version import ResourceVersion
+from repro.core.design import check_area_model
+from repro.core.evaluate import (
+    SCHEDULERS,
+    Evaluation,
+    _count_lower_bounds,
+)
+
+AllocationSignature = Tuple[Tuple[str, ResourceVersion], ...]
+
+
+def allocation_signature(allocation: Mapping[str, ResourceVersion]
+                         ) -> AllocationSignature:
+    """Canonical, hashable identity of an allocation.
+
+    Includes the full version objects (area, delay, reliability), so
+    two libraries that reuse a version name cannot alias each other.
+    """
+    return tuple(sorted(allocation.items()))
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated by one :class:`EvaluationEngine`."""
+
+    requests: int = 0             # evaluate() calls
+    hits: int = 0                 # exact evaluation-memo hits
+    density_points: int = 0       # density latencies examined
+    density_hits: int = 0         # ... served from the point cache
+    density_schedules: int = 0    # density_schedule executions
+    list_realizations: int = 0    # list realizations requested
+    list_hits: int = 0            # ... served from the realization cache
+    list_schedules: int = 0       # list_schedule executions
+    list_probe_hits: int = 0      # probes served from the probe cache
+    bindings: int = 0             # left_edge_bind executions
+    timing_requests: int = 0      # critical-path latency queries
+    timing_hits: int = 0          # ... served from the timing cache
+    incremental_timings: int = 0  # single-op partial re-timings
+    wall_time: float = 0.0        # seconds spent inside evaluate()
+
+    @property
+    def schedules_run(self) -> int:
+        """Total scheduler executions (density + list)."""
+        return self.density_schedules + self.list_schedules
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of evaluate() calls answered from the exact memo."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Evaluation throughput over the accumulated wall time."""
+        return self.requests / self.wall_time if self.wall_time else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, type(getattr(self, name))())
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly snapshot including the derived rates."""
+        snapshot: Dict[str, float] = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        snapshot["schedules_run"] = self.schedules_run
+        snapshot["hit_rate"] = self.hit_rate
+        snapshot["evaluations_per_second"] = self.evaluations_per_second
+        return snapshot
+
+    def as_text(self) -> str:
+        """Multi-line human-readable report (the CLI's ``--stats``)."""
+        return "\n".join([
+            "engine statistics:",
+            f"  evaluations requested : {self.requests}"
+            f" (memo hits {self.hits}, hit rate {self.hit_rate:.1%})",
+            f"  schedules run         : {self.schedules_run}"
+            f" (density {self.density_schedules}, list {self.list_schedules})",
+            f"  density points        : {self.density_points}"
+            f" (cache hits {self.density_hits})",
+            f"  list probes cached    : {self.list_probe_hits} hits;"
+            f" realizations {self.list_realizations}"
+            f" (cache hits {self.list_hits})",
+            f"  bindings run          : {self.bindings}",
+            f"  timing queries        : {self.timing_requests}"
+            f" (cache hits {self.timing_hits},"
+            f" incremental {self.incremental_timings})",
+            f"  evaluation wall time  : {self.wall_time:.3f}s"
+            f" ({self.evaluations_per_second:.0f} evaluations/s)",
+        ])
+
+
+class _GraphRecord:
+    """Cached structural view of one live DataFlowGraph object."""
+
+    __slots__ = ("graph", "n_ops", "n_edges", "key", "topo", "topo_index",
+                 "preds", "succs", "descendants")
+
+    def __init__(self, graph: DataFlowGraph, key: int):
+        self.graph = graph
+        self.n_ops = len(graph)
+        edges = graph.edges()
+        self.n_edges = len(edges)
+        self.key = key
+        self.topo = graph.topological_order()
+        self.topo_index = {op_id: i for i, op_id in enumerate(self.topo)}
+        self.preds = {op_id: tuple(graph.predecessors(op_id))
+                      for op_id in self.topo}
+        self.succs = {op_id: tuple(graph.successors(op_id))
+                      for op_id in self.topo}
+        self.descendants: Dict[str, Tuple[str, ...]] = {}
+
+    def descendants_of(self, op_id: str) -> Tuple[str, ...]:
+        """Strict descendants of *op_id* in topological order."""
+        cached = self.descendants.get(op_id)
+        if cached is None:
+            reached = set()
+            frontier = list(self.succs[op_id])
+            while frontier:
+                node = frontier.pop()
+                if node in reached:
+                    continue
+                reached.add(node)
+                frontier.extend(self.succs[node])
+            cached = tuple(sorted(reached, key=self.topo_index.__getitem__))
+            self.descendants[op_id] = cached
+        return cached
+
+
+class EvaluationEngine:
+    """Memoized allocation evaluation shared across searches and sweeps.
+
+    Parameters
+    ----------
+    area_model:
+        Default area accounting for :meth:`evaluate` (overridable per
+        call).
+    scheduler:
+        Default realization scheduler (``"auto"``, ``"density"`` or
+        ``"list"``); overridable per call.
+    cache:
+        Disable to force every request through the full algorithms —
+        the reference behaviour the cached path must reproduce exactly.
+    max_entries:
+        Soft bound on the total number of cached schedules; exceeding
+        it clears the caches (statistics are preserved).
+    """
+
+    def __init__(self, *, area_model: str = AREA_INSTANCES,
+                 scheduler: str = "auto", cache: bool = True,
+                 max_entries: int = 200_000):
+        check_area_model(area_model)
+        if scheduler not in SCHEDULERS:
+            raise ReproError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        self.area_model = area_model
+        self.scheduler = scheduler
+        self.cache_enabled = cache
+        self.max_entries = max_entries
+        self.stats = EngineStats()
+        self._graphs: Dict[int, _GraphRecord] = {}
+        self._graph_keys: Dict[tuple, int] = {}
+        self._evaluations: Dict[tuple, object] = {}
+        self._density: Dict[tuple, object] = {}
+        self._list_results: Dict[tuple, object] = {}
+        self._list_probes: Dict[tuple, Schedule] = {}
+        self._starts: Dict[tuple, Dict[str, int]] = {}
+        self._latencies: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # graph identity
+    # ------------------------------------------------------------------
+    #: soft bound on live graph-object records; records are cheap to
+    #: rebuild, so the registry is simply dropped when it fills up
+    #: (e.g. a long-lived service constructing a fresh graph per call).
+    MAX_GRAPH_RECORDS = 4096
+
+    def _record(self, graph: DataFlowGraph) -> _GraphRecord:
+        record = self._graphs.get(id(graph))
+        if (record is not None and record.graph is graph
+                and record.n_ops == len(graph)
+                and record.n_edges == len(graph.edges())):
+            return record
+        if len(self._graphs) >= self.MAX_GRAPH_RECORDS:
+            self._graphs.clear()
+        if len(self._graph_keys) > self.max_entries:
+            self.clear()  # keys must stay consistent with cache entries
+        content = (graph.name,
+                   tuple((op.op_id, op.rtype) for op in graph),
+                   tuple(graph.edges()))
+        key = self._graph_keys.setdefault(content, len(self._graph_keys))
+        record = _GraphRecord(graph, key)
+        self._graphs[id(graph)] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def _timing(self, graph: DataFlowGraph, delays: Mapping[str, int]
+                ) -> Tuple[Dict[str, int], int]:
+        """Cached ASAP starts and critical-path latency for *delays*."""
+        self.stats.timing_requests += 1
+        record = self._record(graph)
+        key = (record.key, tuple(sorted(delays.items())))
+        cached = self._latencies.get(key)
+        if cached is not None:
+            self.stats.timing_hits += 1
+            return self._starts[key], cached
+        starts = asap_starts(graph, delays)
+        latency = max(starts[op] + delays[op] for op in starts)
+        if self.cache_enabled:
+            self._starts[key] = starts
+            self._latencies[key] = latency
+        return starts, latency
+
+    def latency(self, graph: DataFlowGraph,
+                delays: Mapping[str, int]) -> int:
+        """Critical-path (ASAP) latency of *graph* under *delays*."""
+        return self._timing(graph, delays)[1]
+
+    def min_latency(self, graph: DataFlowGraph,
+                    allocation: Mapping[str, ResourceVersion]) -> int:
+        """Critical-path latency of *graph* under *allocation*."""
+        return self.latency(
+            graph, {op_id: v.delay for op_id, v in allocation.items()})
+
+    def latency_with_delay(self, graph: DataFlowGraph,
+                           delays: Mapping[str, int],
+                           op_id: str, new_delay: int) -> int:
+        """Critical-path latency if *op_id* took *new_delay* cycles.
+
+        Incremental: only the changed operation's descendants are
+        re-relaxed from the cached ASAP starts; everything else keeps
+        its start.  Exact — it returns precisely
+        ``asap_latency(graph, delays | {op_id: new_delay})``.
+        """
+        starts, base_latency = self._timing(graph, delays)
+        if new_delay == delays[op_id]:
+            return base_latency
+        record = self._record(graph)
+        self.stats.incremental_timings += 1
+        new_starts: Dict[str, int] = {}
+        for node in record.descendants_of(op_id):
+            earliest = 0
+            for pred in record.preds[node]:
+                start = new_starts.get(pred, starts[pred])
+                delay = new_delay if pred == op_id else delays[pred]
+                if start + delay > earliest:
+                    earliest = start + delay
+            new_starts[node] = earliest
+        latency = starts[op_id] + new_delay
+        for node, start in starts.items():
+            if node == op_id:
+                continue
+            finish = new_starts.get(node, start) + delays[node]
+            if finish > latency:
+                latency = finish
+        return latency
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: DataFlowGraph,
+                 allocation: Mapping[str, ResourceVersion],
+                 latency_bound: int,
+                 area_model: Optional[str] = None,
+                 stop_at_area: Optional[int] = None,
+                 scheduler: Optional[str] = None):
+        """Best (minimum-area) realization of an allocation within a bound.
+
+        Drop-in equivalent of the historical
+        :func:`repro.core.evaluate.evaluate_allocation`; returns an
+        :class:`~repro.core.evaluate.Evaluation` or ``None`` when even
+        the critical path exceeds the bound.
+        """
+        area_model = area_model if area_model is not None else self.area_model
+        scheduler = scheduler if scheduler is not None else self.scheduler
+        if scheduler not in SCHEDULERS:
+            raise ReproError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        started = time.perf_counter()
+        self.stats.requests += 1
+        try:
+            return self._evaluate(graph, allocation, latency_bound,
+                                  area_model, stop_at_area, scheduler)
+        finally:
+            self.stats.wall_time += time.perf_counter() - started
+
+    def _evaluate(self, graph, allocation, latency_bound, area_model,
+                  stop_at_area, scheduler):
+        delays = {op_id: v.delay for op_id, v in allocation.items()}
+        critical = self.latency(graph, delays)
+        if critical > latency_bound:
+            return None
+        record = self._record(graph)
+        signature = allocation_signature(allocation)
+        memo_key = (record.key, signature, latency_bound, area_model,
+                    scheduler, stop_at_area)
+        if self.cache_enabled and memo_key in self._evaluations:
+            self.stats.hits += 1
+            return self._evaluations[memo_key]
+
+        candidates = []
+        if scheduler in ("auto", "density"):
+            candidates.append(self._density_best(
+                graph, record, signature, allocation, delays, critical,
+                latency_bound, area_model, stop_at_area))
+        if scheduler in ("auto", "list"):
+            candidates.append(self._list_best(
+                graph, record, signature, allocation, latency_bound,
+                area_model))
+        feasible = [c for c in candidates if c is not None]
+        result = min(feasible, key=lambda e: e.area) if feasible else None
+        if self.cache_enabled:
+            self._evaluations[memo_key] = result
+            self._maybe_evict()
+        return result
+
+    # -- density -------------------------------------------------------
+    def _density_best(self, graph, record, signature, allocation, delays,
+                      critical, latency_bound, area_model, stop_at_area):
+        best = None
+        for latency in range(critical, latency_bound + 1):
+            pair = self._density_point(graph, record, signature, allocation,
+                                       delays, latency)
+            if pair is None:
+                continue
+            schedule, binding = pair
+            area = total_area(binding, area_model)
+            if best is None or area < best.area:
+                best = Evaluation(schedule, binding, schedule.latency, area)
+            if stop_at_area is not None and area <= stop_at_area:
+                break
+        return best
+
+    def _density_point(self, graph, record, signature, allocation, delays,
+                       latency) -> Optional[Tuple[Schedule, Binding]]:
+        self.stats.density_points += 1
+        key = (record.key, signature, latency)
+        if self.cache_enabled and key in self._density:
+            self.stats.density_hits += 1
+            return self._density[key]
+        try:
+            self.stats.density_schedules += 1
+            schedule = density_schedule(graph, delays, latency)
+            self.stats.bindings += 1
+            binding = left_edge_bind(schedule, allocation)
+            pair: Optional[Tuple[Schedule, Binding]] = (schedule, binding)
+        except SchedulingError:
+            pair = None
+        if self.cache_enabled:
+            self._density[key] = pair
+        return pair
+
+    # -- list ----------------------------------------------------------
+    def _list_best(self, graph, record, signature, allocation, latency_bound,
+                   area_model):
+        self.stats.list_realizations += 1
+        key = (record.key, signature, latency_bound)
+        if self.cache_enabled and key in self._list_results:
+            self.stats.list_hits += 1
+            pair = self._list_results[key]
+        else:
+            pair = self._run_list_realization(graph, record, signature,
+                                              allocation, latency_bound)
+            if self.cache_enabled:
+                self._list_results[key] = pair
+        if pair is None:
+            return None
+        schedule, binding = pair
+        return Evaluation(schedule, binding, schedule.latency,
+                          total_area(binding, area_model))
+
+    def _run_list_realization(self, graph, record, signature, allocation,
+                              latency_bound):
+        """Count-driven list realization (see evaluate.py's docstring),
+        with every list-schedule probe served through the probe cache."""
+        unit_area = {allocation[op.op_id].name: allocation[op.op_id].area
+                     for op in graph}
+        counts = _count_lower_bounds(graph, allocation, latency_bound)
+        max_rounds = sum(counts.values()) + len(graph)
+        for _ in range(max_rounds):
+            schedule = self._list_probe(graph, record, signature, allocation,
+                                        counts)
+            if schedule.latency <= latency_bound:
+                self.stats.bindings += 1
+                binding = left_edge_bind(schedule, allocation)
+                return (schedule, binding)
+            best_name = None
+            best_key = None
+            for name in counts:
+                trial = dict(counts)
+                trial[name] += 1
+                latency = self._list_probe(graph, record, signature,
+                                           allocation, trial).latency
+                key = (latency, unit_area[name], name)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_name = name
+            counts[best_name] += 1
+        return None
+
+    def _list_probe(self, graph, record, signature, allocation,
+                    counts) -> Schedule:
+        key = (record.key, signature, tuple(sorted(counts.items())))
+        if self.cache_enabled and key in self._list_probes:
+            self.stats.list_probe_hits += 1
+            return self._list_probes[key]
+        self.stats.list_schedules += 1
+        schedule = list_schedule(graph, allocation, counts)
+        if self.cache_enabled:
+            self._list_probes[key] = schedule
+        return schedule
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def cache_size(self) -> int:
+        """Number of cached entries across all layers."""
+        return (len(self._evaluations) + len(self._density)
+                + len(self._list_results) + len(self._list_probes)
+                + len(self._starts))
+
+    def clear(self) -> None:
+        """Drop every cached entry (statistics are preserved).
+
+        Also releases the graph registry, so long-lived processes that
+        churn through many graph objects do not pin them in memory.
+        """
+        self._evaluations.clear()
+        self._density.clear()
+        self._list_results.clear()
+        self._list_probes.clear()
+        self._starts.clear()
+        self._latencies.clear()
+        self._graphs.clear()
+        self._graph_keys.clear()
+
+    def _maybe_evict(self) -> None:
+        if self.cache_size() > self.max_entries:
+            self.clear()
+
+
+_default_engine: Optional[EvaluationEngine] = None
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine backing ``evaluate_allocation``."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = EvaluationEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[EvaluationEngine]
+                       ) -> Optional[EvaluationEngine]:
+    """Replace the process-wide engine; returns the previous one.
+
+    Pass ``None`` to reset (a fresh default is created lazily).
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

@@ -7,6 +7,12 @@ schedule toward the latency bound can reduce peak concurrency and thus
 area (the paper's Figure 6, lines 15–21, exploits exactly this slack).
 :func:`evaluate_allocation` scans the feasible latency range and keeps
 the smallest-area realization.
+
+The realization algorithms themselves live in
+:mod:`repro.core.engine`, which memoizes them across searches and
+sweeps; this module keeps the historical call surface
+(:func:`evaluate_allocation` delegates to the process-wide default
+engine, or to an explicit ``engine=``).
 """
 
 from __future__ import annotations
@@ -16,11 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import ReproError, SchedulingError
-from repro.hls.binding import Binding, left_edge_bind
-from repro.hls.density import density_schedule
-from repro.hls.listsched import list_schedule
-from repro.hls.metrics import AREA_INSTANCES, total_area
+from repro.hls.binding import Binding
+from repro.hls.metrics import AREA_INSTANCES
 from repro.hls.schedule import Schedule
 from repro.hls.timing import asap_latency
 from repro.library.version import ResourceVersion
@@ -61,69 +64,13 @@ def _count_lower_bounds(graph: DataFlowGraph,
             for name, cycles in busy.items()}
 
 
-def _list_realization(graph: DataFlowGraph,
-                      allocation: Mapping[str, ResourceVersion],
-                      latency_bound: int,
-                      area_model: str) -> Optional[Evaluation]:
-    """Minimum-area realization via count-driven list scheduling.
-
-    Starts from the work-conservation lower bound on instance counts
-    and increments the count of whichever version buys the largest
-    latency reduction per unit area, until the schedule fits the bound.
-    """
-    unit_area = {allocation[op.op_id].name: allocation[op.op_id].area
-                 for op in graph}
-    counts = _count_lower_bounds(graph, allocation, latency_bound)
-    max_rounds = sum(counts.values()) + len(graph)
-    for _ in range(max_rounds):
-        schedule = list_schedule(graph, allocation, counts)
-        if schedule.latency <= latency_bound:
-            binding = left_edge_bind(schedule, allocation)
-            return Evaluation(schedule, binding, schedule.latency,
-                              total_area(binding, area_model))
-        best_name = None
-        best_key = None
-        for name in counts:
-            trial = dict(counts)
-            trial[name] += 1
-            latency = list_schedule(graph, allocation, trial).latency
-            key = (latency, unit_area[name], name)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_name = name
-        counts[best_name] += 1
-    return None
-
-
-def _density_realization(graph: DataFlowGraph,
-                         allocation: Mapping[str, ResourceVersion],
-                         latency_bound: int,
-                         area_model: str,
-                         stop_at_area: Optional[int]) -> Optional[Evaluation]:
-    """Minimum-area realization over the density scheduler's latency scan."""
-    critical = min_latency(graph, allocation)
-    delays = delays_of(allocation)
-    best: Optional[Evaluation] = None
-    for latency in range(critical, latency_bound + 1):
-        try:
-            schedule = density_schedule(graph, delays, latency)
-            binding = left_edge_bind(schedule, allocation)
-        except SchedulingError:
-            continue
-        area = total_area(binding, area_model)
-        if best is None or area < best.area:
-            best = Evaluation(schedule, binding, schedule.latency, area)
-        if stop_at_area is not None and area <= stop_at_area:
-            break
-    return best
-
-
 def evaluate_allocation(graph: DataFlowGraph,
                         allocation: Mapping[str, ResourceVersion],
                         latency_bound: int,
                         area_model: str = AREA_INSTANCES,
                         stop_at_area: Optional[int] = None,
-                        scheduler: str = "auto") -> Optional[Evaluation]:
+                        scheduler: str = "auto",
+                        engine=None) -> Optional[Evaluation]:
     """Best (minimum-area) realization of an allocation within a bound.
 
     Returns ``None`` when even the critical path exceeds the bound.
@@ -139,22 +86,13 @@ def evaluate_allocation(graph: DataFlowGraph,
         (ties: the density result, matching the paper's flow).
     stop_at_area:
         Optional early-exit threshold for the density latency scan.
+    engine:
+        The :class:`~repro.core.engine.EvaluationEngine` answering the
+        request; defaults to the process-wide shared engine.
     """
-    if scheduler not in SCHEDULERS:
-        raise ReproError(
-            f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
-    critical = min_latency(graph, allocation)
-    if critical > latency_bound:
-        return None
+    from repro.core.engine import default_engine
 
-    candidates = []
-    if scheduler in ("auto", "density"):
-        candidates.append(_density_realization(
-            graph, allocation, latency_bound, area_model, stop_at_area))
-    if scheduler in ("auto", "list"):
-        candidates.append(_list_realization(
-            graph, allocation, latency_bound, area_model))
-    feasible = [c for c in candidates if c is not None]
-    if not feasible:
-        return None
-    return min(feasible, key=lambda e: e.area)
+    engine = engine if engine is not None else default_engine()
+    return engine.evaluate(graph, allocation, latency_bound,
+                           area_model=area_model, stop_at_area=stop_at_area,
+                           scheduler=scheduler)

@@ -3,12 +3,21 @@
 These drivers generate the paper's Figure 8 trade-off curves and
 Table 2 grids, and additionally expose a three-dimensional
 (latency, area, reliability) Pareto frontier over swept bounds.
+
+Sweeps share one :class:`~repro.core.engine.EvaluationEngine` across
+all grid points by default, so a realization computed for one (Ld, Ad)
+pair is reused by every other pair that revisits the allocation.  Pass
+``workers=N`` to :func:`sweep_bounds` to fan the grid out across
+processes instead; each worker keeps its own engine for its share of
+the points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.parallel import run_tasks
 
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import NoSolutionError
@@ -17,6 +26,7 @@ from repro.library.library import ResourceLibrary
 from repro.core.baseline import baseline_design
 from repro.core.combined import combined_design
 from repro.core.design import DesignResult
+from repro.core.engine import EvaluationEngine, default_engine
 from repro.core.find_design import find_design
 
 METHODS: Dict[str, Callable] = {
@@ -52,24 +62,70 @@ def synthesize(method: str, graph: DataFlowGraph, library: ResourceLibrary,
     return func(graph, library, latency_bound, area_bound, **kwargs)
 
 
+def uses_workers(workers: Optional[int], points: int) -> bool:
+    """Whether a sweep of *points* grid points with this *workers*
+    setting fans out to worker processes (the single source of truth
+    for :func:`sweep_bounds` and the CLI's ``--stats`` gating)."""
+    return workers is not None and workers > 1 and points > 1
+
+
+def _sweep_point(task) -> Optional[DesignResult]:
+    """One grid point; module-level so process pools can pickle it."""
+    method, graph, library, latency_bound, area_bound, area_model, \
+        kwargs = task
+    try:
+        return synthesize(method, graph, library, latency_bound, area_bound,
+                          area_model=area_model, **kwargs)
+    except NoSolutionError:
+        return None
+
+
 def sweep_bounds(graph: DataFlowGraph,
                  library: ResourceLibrary,
                  latency_bounds: Sequence[int],
                  area_bounds: Sequence[int],
                  method: str = "ours",
                  area_model: str = AREA_INSTANCES,
+                 workers: Optional[int] = None,
+                 engine: Optional[EvaluationEngine] = None,
                  **kwargs) -> List[SweepPoint]:
-    """Synthesize at every (Ld, Ad) pair; infeasible points yield None."""
+    """Synthesize at every (Ld, Ad) pair; infeasible points yield None.
+
+    Parameters
+    ----------
+    workers:
+        Fan the grid out over this many worker processes (each reusing
+        its own engine across the points it serves).  ``None``/``0``/
+        ``1`` runs serially through a single shared engine — the right
+        choice for small grids, where cache reuse beats process
+        startup.
+    engine:
+        Engine for the serial path (default: the process-wide one).
+        Ignored when *workers* parallelism is active, since engines are
+        per-process.
+    """
+    pairs = [(latency_bound, area_bound)
+             for latency_bound in latency_bounds
+             for area_bound in area_bounds]
+    if uses_workers(workers, len(pairs)):
+        tasks = [(_sweep_point,
+                  ((method, graph, library, latency_bound, area_bound,
+                    area_model, kwargs),), {})
+                 for latency_bound, area_bound in pairs]
+        results = run_tasks(tasks, workers=workers)
+        return [SweepPoint(latency_bound, area_bound, result)
+                for (latency_bound, area_bound), result in zip(pairs, results)]
+
+    engine = engine if engine is not None else default_engine()
     points = []
-    for latency_bound in latency_bounds:
-        for area_bound in area_bounds:
-            try:
-                result = synthesize(method, graph, library, latency_bound,
-                                    area_bound, area_model=area_model,
-                                    **kwargs)
-            except NoSolutionError:
-                result = None
-            points.append(SweepPoint(latency_bound, area_bound, result))
+    for latency_bound, area_bound in pairs:
+        try:
+            result = synthesize(method, graph, library, latency_bound,
+                                area_bound, area_model=area_model,
+                                engine=engine, **kwargs)
+        except NoSolutionError:
+            result = None
+        points.append(SweepPoint(latency_bound, area_bound, result))
     return points
 
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import NoSolutionError, ReproError
@@ -45,7 +45,11 @@ from repro.hls.metrics import AREA_INSTANCES
 from repro.library.library import ResourceLibrary
 from repro.library.version import ResourceVersion
 from repro.core.design import DesignResult, check_area_model
-from repro.core.evaluate import evaluate_allocation, min_latency
+from repro.core.engine import (
+    EvaluationEngine,
+    allocation_signature,
+    default_engine,
+)
 from repro.core.victims import group_swaps, select_latency_victim
 
 REPAIR_POLICIES = ("generalized", "paper")
@@ -61,20 +65,22 @@ class _Search:
 
     def __init__(self, graph: DataFlowGraph, library: ResourceLibrary,
                  latency_bound: int, area_bound: int, area_model: str,
-                 method: str):
+                 method: str, engine: EvaluationEngine):
         self.graph = graph
         self.library = library
         self.latency_bound = latency_bound
         self.area_bound = area_bound
         self.area_model = area_model
         self.method = method
+        self.engine = engine
         self.best: Optional[DesignResult] = None
 
     def consider(self, allocation: Dict[str, ResourceVersion]
                  ) -> Optional[DesignResult]:
         """Realize *allocation*; record it if feasible; return result."""
-        evaluation = evaluate_allocation(
-            self.graph, allocation, self.latency_bound, self.area_model)
+        evaluation = self.engine.evaluate(
+            self.graph, allocation, self.latency_bound,
+            area_model=self.area_model)
         if evaluation is None:
             return None
         result = DesignResult(
@@ -102,7 +108,8 @@ def find_design(graph: DataFlowGraph,
                 repair: str = "generalized",
                 refine: bool = True,
                 fallback: bool = True,
-                latency_sweep: bool = True) -> DesignResult:
+                latency_sweep: bool = True,
+                engine: Optional[EvaluationEngine] = None) -> DesignResult:
     """Synthesize the most reliable design within the given bounds.
 
     Parameters
@@ -133,6 +140,12 @@ def find_design(graph: DataFlowGraph,
         can strand the search in a worse region — so the sweep both
         restores monotonicity and finds strictly better designs.
         Disable for the fastest, single-trajectory behaviour.
+    engine:
+        The :class:`~repro.core.engine.EvaluationEngine` serving every
+        allocation evaluation and timing query of this search; defaults
+        to the process-wide shared engine, so repeated searches over
+        the same graph (latency sweeps, bound grids) reuse each other's
+        schedules.
 
     Returns
     -------
@@ -151,11 +164,12 @@ def find_design(graph: DataFlowGraph,
     if latency_bound < 1 or area_bound < 1:
         raise ReproError("latency and area bounds must be positive")
 
+    engine = engine if engine is not None else default_engine()
     search = _Search(graph, library, latency_bound, area_bound, area_model,
-                     method="find_design")
+                     method="find_design", engine=engine)
 
     fastest = {op.op_id: library.fastest(op.rtype) for op in graph}
-    floor = min_latency(graph, fastest)
+    floor = engine.min_latency(graph, fastest)
     if latency_sweep:
         horizons = range(min(floor, latency_bound), latency_bound + 1)
     else:
@@ -171,7 +185,7 @@ def find_design(graph: DataFlowGraph,
 
     if search.best is None:
         achieved = search_achievements(graph, library, latency_bound,
-                                       area_model)
+                                       area_model, engine=engine)
         raise NoSolutionError(
             f"no design of {graph.name!r} meets latency <= {latency_bound} "
             f"and area <= {area_bound}",
@@ -193,15 +207,16 @@ def _trajectory(search: _Search, horizon: int, repair: str,
     }
 
     # 2. Latency loop (lines 7-12).
-    while min_latency(graph, allocation) > horizon:
-        victim = select_latency_victim(graph, library, allocation)
+    engine = search.engine
+    while engine.min_latency(graph, allocation) > horizon:
+        victim = select_latency_victim(graph, library, allocation,
+                                       timing=engine)
         if victim is None:
             return
         allocation[victim.op_id] = victim.new_version
 
     if seen_allocations is not None:
-        signature = tuple(sorted(
-            (op_id, version.name) for op_id, version in allocation.items()))
+        signature = allocation_signature(allocation)
         if signature in seen_allocations:
             return  # same start as a previous horizon's trajectory
         seen_allocations.add(signature)
@@ -296,24 +311,29 @@ def _refine_per_op(search: _Search,
 
 
 def uniform_allocations(graph: DataFlowGraph, library: ResourceLibrary
-                        ) -> List[Dict[str, ResourceVersion]]:
-    """Every allocation using one fixed version per resource type."""
+                        ) -> Iterator[Dict[str, ResourceVersion]]:
+    """Every allocation using one fixed version per resource type.
+
+    A generator: the cross-product over version pools is enumerated
+    lazily, so callers that stop early (or libraries with many
+    versions) never materialize the full combinatorial list.
+    """
     rtypes = graph.rtypes()
     choices = [library.versions_of(rtype) for rtype in rtypes]
-    allocations = []
     for combo in itertools.product(*choices):
         per_type = dict(zip(rtypes, combo))
-        allocations.append(
-            {op.op_id: per_type[op.rtype] for op in graph})
-    return allocations
+        yield {op.op_id: per_type[op.rtype] for op in graph}
 
 
 def search_achievements(graph: DataFlowGraph, library: ResourceLibrary,
-                        latency_bound: int, area_model: str) -> Dict[str, int]:
+                        latency_bound: int, area_model: str,
+                        engine: Optional[EvaluationEngine] = None
+                        ) -> Dict[str, int]:
     """Best latency and area reachable independently (for diagnostics)."""
+    engine = engine if engine is not None else default_engine()
     fastest = {op.op_id: library.fastest(op.rtype) for op in graph}
-    best_latency = min_latency(graph, fastest)
-    evaluation = evaluate_allocation(
+    best_latency = engine.min_latency(graph, fastest)
+    evaluation = engine.evaluate(
         graph,
         {op.op_id: library.smallest(op.rtype) for op in graph},
         max(latency_bound, best_latency) + len(graph),

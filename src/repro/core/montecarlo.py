@@ -20,7 +20,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.core.design import DesignResult
 from repro.errors import ReproError
@@ -69,6 +74,51 @@ def _group_survives(reliability: float, copies: int,
     return sum(outcomes) > copies // 2
 
 
+def _simulate_scalar(per_op: List[Tuple[float, int]], trials: int,
+                     rng: random.Random) -> int:
+    """Reference per-trial × per-op loop (used when a caller supplies
+    its own ``random.Random`` stream, or when numpy is unavailable)."""
+    successes = 0
+    for _ in range(trials):
+        for reliability, copies in per_op:
+            if not _group_survives(reliability, copies, rng):
+                break
+        else:
+            successes += 1
+    return successes
+
+
+def _simulate_batched(per_op: List[Tuple[float, int]], trials: int,
+                      seed: int) -> int:
+    """Vectorized campaign: binomial survivor draws per replica group.
+
+    For every distinct ``(reliability, copies)`` group shape the number
+    of surviving replicas of each operation execution is a binomial
+    draw; the group's detection/voting rule then becomes a threshold on
+    the survivor count (identical to :func:`_group_survives`):
+    a single module must survive outright, an even group recovers
+    unless every replica failed, an odd group majority-votes.  One
+    ``(trials × ops)`` draw per shape replaces the per-trial Python
+    loop.
+    """
+    rng = _np.random.default_rng(seed)
+    alive = _np.ones(trials, dtype=bool)
+    shapes: dict = {}
+    for reliability, copies in per_op:
+        shapes[(reliability, copies)] = shapes.get((reliability, copies),
+                                                   0) + 1
+    for (reliability, copies), ops in shapes.items():
+        survivors = rng.binomial(copies, reliability, size=(trials, ops))
+        if copies == 1:
+            surviving_groups = survivors == 1
+        elif copies % 2 == 0:
+            surviving_groups = survivors >= 1
+        else:
+            surviving_groups = survivors > copies // 2
+        alive &= surviving_groups.all(axis=1)
+    return int(alive.sum())
+
+
 def simulate_design(result: DesignResult,
                     trials: int = 20_000,
                     seed: int = 0,
@@ -79,21 +129,22 @@ def simulate_design(result: DesignResult,
     Each trial executes every operation of the design on its replica
     group; the trial succeeds when all groups deliver a correct
     result (the serial system of the paper's Section 5).
+
+    Runs as one batched binomial sampling pass per replica-group shape
+    (deterministic per *seed*).  Passing an explicit *rng* selects the
+    scalar reference loop driven by that stream instead.
     """
     if trials < 1:
         raise ReproError(f"trials must be positive, got {trials}")
-    rng = rng or random.Random(seed)
     copies_by_op = result.copies_by_op()
     per_op = [
         (result.allocation[op.op_id].reliability,
          copies_by_op.get(op.op_id, 1))
         for op in result.graph
     ]
-    successes = 0
-    for _ in range(trials):
-        for reliability, copies in per_op:
-            if not _group_survives(reliability, copies, rng):
-                break
-        else:
-            successes += 1
+    if rng is None and _np is not None:
+        successes = _simulate_batched(per_op, trials, seed)
+    else:
+        successes = _simulate_scalar(per_op, trials,
+                                     rng or random.Random(seed))
     return MonteCarloReport(trials, successes, result.reliability)

@@ -33,39 +33,61 @@ class LatencyVictim:
 
 
 def critical_operations(graph: DataFlowGraph,
-                        delays: Mapping[str, int]) -> List[str]:
+                        delays: Mapping[str, int],
+                        timing=None) -> List[str]:
     """Operations lying on some critical path (zero mobility at the
-    minimum latency)."""
-    latency = asap_latency(graph, delays)
+    minimum latency).
+
+    *timing*, when given, is an :class:`~repro.core.engine.EvaluationEngine`
+    (or anything with its ``latency`` method) answering the
+    critical-path query from its cache.
+    """
+    if timing is not None:
+        latency = timing.latency(graph, delays)
+    else:
+        latency = asap_latency(graph, delays)
     frames = time_frames(graph, delays, latency)
     return [op_id for op_id, (lo, hi) in frames.items() if lo == hi]
 
 
 def select_latency_victim(graph: DataFlowGraph,
                           library: ResourceLibrary,
-                          allocation: Mapping[str, ResourceVersion]
-                          ) -> Optional[LatencyVictim]:
+                          allocation: Mapping[str, ResourceVersion],
+                          timing=None) -> Optional[LatencyVictim]:
     """Choose the next operation to speed up, or ``None`` if no
     critical-path operation has a faster version.
 
     Selection key, in order: highest current delay (the paper's rule),
     largest critical-path reduction, smallest reliability loss, id.
     The replacement is the most reliable strictly-faster version.
+
+    With *timing* (an :class:`~repro.core.engine.EvaluationEngine`),
+    the baseline latency comes from the timing cache and each
+    candidate swap is probed by incremental re-timing of the victim's
+    descendants instead of a full ASAP pass.
     """
     delays = {op_id: version.delay for op_id, version in allocation.items()}
-    baseline = asap_latency(graph, delays)
+    if timing is not None:
+        baseline = timing.latency(graph, delays)
+    else:
+        baseline = asap_latency(graph, delays)
 
     best: Optional[LatencyVictim] = None
     best_key = None
-    for op_id in critical_operations(graph, delays):
+    for op_id in critical_operations(graph, delays, timing):
         current = allocation[op_id]
         faster = library.faster_than(current)
         if not faster:
             continue
         replacement = faster[0]  # most reliable among the faster ones
-        trial = dict(delays)
-        trial[op_id] = replacement.delay
-        benefit = baseline - asap_latency(graph, trial)
+        if timing is not None:
+            swapped = timing.latency_with_delay(graph, delays, op_id,
+                                                replacement.delay)
+        else:
+            trial = dict(delays)
+            trial[op_id] = replacement.delay
+            swapped = asap_latency(graph, trial)
+        benefit = baseline - swapped
         loss = current.reliability - replacement.reliability
         key = (-current.delay, -benefit, loss, op_id)
         if best_key is None or key < best_key:

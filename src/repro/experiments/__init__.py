@@ -17,7 +17,12 @@ from repro.experiments.fig5 import example_dfg, fig5_schedules, run_fig5
 from repro.experiments.fig7 import fig7_schedules, run_fig7
 from repro.experiments.fig8 import run_fig8a, run_fig8b
 from repro.experiments.fig9 import run_fig9
-from repro.experiments.runner import ExperimentTable, improvement, mean
+from repro.experiments.runner import (
+    ExperimentTable,
+    improvement,
+    mean,
+    run_tasks,
+)
 from repro.experiments.table1 import (
     run_table1_calibrated,
     run_table1_characterized,
@@ -28,6 +33,7 @@ __all__ = [
     "ExperimentTable",
     "improvement",
     "mean",
+    "run_tasks",
     "run_table1_calibrated",
     "run_table1_characterized",
     "run_table2",

@@ -1,9 +1,16 @@
-"""Shared experiment plumbing: result tables and formatting."""
+"""Shared experiment plumbing: result tables, formatting, and the
+parallel experiment executor."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from repro.parallel import Task as ExperimentTask
+from repro.parallel import run_tasks
+
+__all__ = ["ExperimentTable", "ExperimentTask", "improvement", "mean",
+           "run_tasks"]
 
 
 @dataclass

@@ -1,0 +1,34 @@
+"""Process fan-out for independent tasks (sweeps, experiment tables).
+
+One policy, shared by :func:`repro.core.explore.sweep_bounds` and the
+experiment drivers: tasks are ``(func, args, kwargs)`` triples with a
+module-level *func* (so they pickle), results come back in task order,
+and anything that cannot benefit from processes — ``workers`` ≤ 1 or a
+single task — runs in-process, where the shared evaluation engine's
+cache is worth more than parallelism.  Worker processes are reused
+across tasks, so each worker's default engine warms up over the tasks
+it serves.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+Task = Tuple[Callable, tuple, dict]
+
+
+def _run_task(task: Task):
+    """Execute one (func, args, kwargs) task; module-level for pickling."""
+    func, args, kwargs = task
+    return func(*args, **kwargs)
+
+
+def run_tasks(tasks: Sequence[Task],
+              workers: Optional[int] = None) -> List[object]:
+    """Run *tasks*, optionally fanned out across *workers* processes."""
+    tasks = [(func, tuple(args), dict(kwargs)) for func, args, kwargs in tasks]
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_task, tasks))
+    return [_run_task(task) for task in tasks]

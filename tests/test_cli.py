@@ -107,3 +107,33 @@ class TestExplore:
                      "--areas", "11"]) == 0
         out = capsys.readouterr().out
         assert "Pareto frontier" in out
+
+
+class TestEngineFlags:
+    def test_synth_stats(self, capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "engine statistics" in captured.err
+        assert "evaluations requested" in captured.err
+        assert "engine statistics" not in captured.out  # stdout stays clean
+
+    def test_explore_stats(self, capsys):
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "Pareto frontier" in captured.out
+        assert "engine statistics" in captured.err
+
+    def test_explore_workers_matches_serial(self, capsys):
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_experiment_workers(self, capsys):
+        assert main(["experiment", "fig5", "--workers", "2"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -147,3 +147,32 @@ class TestPolicies:
         assert summary["graph"] == "diffeq"
         assert 0 < summary["reliability"] < 1
         assert "reliability" in result.as_text()
+
+
+class TestUniformAllocations:
+    def test_is_a_lazy_generator(self, lib):
+        from repro.core import uniform_allocations
+
+        allocations = uniform_allocations(diffeq(), lib)
+        assert iter(allocations) is allocations  # generator, not a list
+        first = next(allocations)
+        assert set(first) == {op.op_id for op in diffeq()}
+
+    def test_enumerates_the_full_cross_product(self, lib):
+        from repro.core import uniform_allocations
+
+        graph = diffeq()  # add + mul resource types
+        pools = {rtype: len(lib.versions_of(rtype))
+                 for rtype in graph.rtypes()}
+        expected = 1
+        for size in pools.values():
+            expected *= size
+        combos = list(uniform_allocations(graph, lib))
+        assert len(combos) == expected
+        # each allocation is uniform: one version per resource type
+        for allocation in combos:
+            per_type = {}
+            for op in graph:
+                per_type.setdefault(op.rtype, set()).add(
+                    allocation[op.op_id].name)
+            assert all(len(names) == 1 for names in per_type.values())

@@ -71,3 +71,24 @@ class TestConsistencyHelper:
         report = MonteCarloReport(trials=100_000, successes=50_000,
                                   analytic=0.9)
         assert not report.consistent()
+
+
+class TestVectorizedCampaign:
+    def test_batched_and_scalar_paths_agree_statistically(self, lib):
+        import random
+
+        result = baseline_design(fir16(), lib, 10, 13)
+        batched = simulate_design(result, trials=40_000, seed=11)
+        scalar = simulate_design(result, trials=40_000, seed=11,
+                                 rng=random.Random(11))
+        # the two samplers draw differently but estimate the same value
+        assert batched.consistent(sigmas=4.0)
+        assert scalar.consistent(sigmas=4.0)
+        assert abs(batched.estimate - scalar.estimate) <= 4.0 * (
+            batched.stderr + scalar.stderr)
+
+    def test_batched_determinism_per_seed(self, lib):
+        result = find_design(diffeq(), lib, 6, 11)
+        runs = [simulate_design(result, trials=10_000, seed=42)
+                for _ in range(2)]
+        assert runs[0].successes == runs[1].successes
