@@ -12,7 +12,12 @@ Subcommands::
 engine's cache statistics (evaluations requested, memo hits, schedules
 run, wall time) after the result; ``explore`` and ``experiment``
 accept ``--workers N`` to fan independent grid points / tables out
-across processes.
+across processes.  ``synth``, ``explore`` and ``experiment`` accept
+``--cache-dir DIR`` to persist the evaluation engine's caches across
+invocations: the run pre-warms from ``DIR``'s snapshot (if any) and
+saves the merged caches back on exit.  A stale, corrupted, or
+version-mismatched snapshot is reported and ignored — the run simply
+starts cold.
 """
 
 from __future__ import annotations
@@ -54,6 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the result summary as JSON")
     synth.add_argument("--stats", action="store_true",
                        help="print evaluation-engine statistics afterwards")
+    synth.add_argument("--cache-dir",
+                       help="persist/reload engine caches in this directory")
 
     bench = sub.add_parser("bench", help="list or inspect benchmarks")
     bench.add_argument("name", nargs="?", help="benchmark to inspect")
@@ -72,6 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             choices=("instances", "versions"))
     experiment.add_argument("--workers", type=int, default=None,
                             help="run independent tables across N processes")
+    experiment.add_argument("--cache-dir",
+                            help="persist/reload engine caches in this "
+                                 "directory")
 
     explore = sub.add_parser("explore", help="Pareto sweep over bounds")
     explore.add_argument("benchmark")
@@ -83,6 +93,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="fan grid points out across N processes")
     explore.add_argument("--stats", action="store_true",
                          help="print evaluation-engine statistics afterwards")
+    explore.add_argument("--cache-dir",
+                         help="persist/reload engine caches in this directory")
     return parser
 
 
@@ -91,6 +103,42 @@ def _print_engine_stats() -> None:
 
     print(file=sys.stderr)
     print(default_engine().stats.as_text(), file=sys.stderr)
+
+
+def _load_engine_cache(cache_dir: Optional[str]) -> None:
+    """Pre-warm the default engine from *cache_dir*'s snapshot, if any.
+
+    Unreadable snapshots (corruption, a future format version) are
+    reported on stderr and skipped — a stale cache never fails a run.
+    """
+    if not cache_dir:
+        return
+    import os
+
+    from repro.core import cache_store, default_engine, merge_snapshot
+
+    path = cache_store.snapshot_path(cache_dir)
+    if not os.path.exists(path):
+        return
+    try:
+        merge_snapshot(default_engine(), cache_store.load(path))
+    except ReproError as exc:
+        print(f"warning: ignoring engine cache {path}: {exc}",
+              file=sys.stderr)
+
+
+def _save_engine_cache(cache_dir: Optional[str]) -> None:
+    """Persist the default engine's caches into *cache_dir*."""
+    if not cache_dir:
+        return
+    from repro.core import cache_store, default_engine, snapshot_engine
+
+    path = cache_store.snapshot_path(cache_dir)
+    try:
+        cache_store.save(snapshot_engine(default_engine()), path)
+    except OSError as exc:
+        print(f"warning: could not save engine cache {path}: {exc}",
+              file=sys.stderr)
 
 
 def _load_graph(spec: str):
@@ -116,12 +164,16 @@ def _cmd_synth(args) -> int:
 
     graph = _load_graph(args.benchmark)
     library = _load_library(args.library)
+    _load_engine_cache(args.cache_dir)
     try:
         result = synthesize(args.method, graph, library, args.latency,
                             args.area, area_model=args.area_model)
     except NoSolutionError as exc:
+        # the exploration is still worth keeping for the next run
+        _save_engine_cache(args.cache_dir)
         print(f"no solution: {exc}", file=sys.stderr)
         return 2
+    _save_engine_cache(args.cache_dir)
     if args.json:
         print(json.dumps(result.summary(), indent=2))
     else:
@@ -164,8 +216,10 @@ def _cmd_characterize(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro import experiments
+    from repro.core import default_engine
     from repro.experiments import run_tasks
 
+    _load_engine_cache(args.cache_dir)
     model = args.area_model
     runs = {
         "table1": [(experiments.run_table1_calibrated, (), {}),
@@ -195,9 +249,11 @@ def _cmd_experiment(args) -> int:
     for index, name in enumerate(names):
         if index:
             print()
-        for table in run_tasks(runs[name], workers=args.workers):
+        for table in run_tasks(runs[name], workers=args.workers,
+                               share_engine=default_engine()):
             print(table.as_text())
             print()
+    _save_engine_cache(args.cache_dir)
     return 0
 
 
@@ -206,8 +262,10 @@ def _cmd_explore(args) -> int:
 
     graph = _load_graph(args.benchmark)
     library = _load_library(None)
+    _load_engine_cache(args.cache_dir)
     points = sweep_bounds(graph, library, args.latencies, args.areas,
                           args.method, workers=args.workers)
+    _save_engine_cache(args.cache_dir)
     print(f"{'Ld':>4} {'Ad':>4} {'latency':>8} {'area':>5} {'reliability':>12}")
     for point in points:
         if point.result is None:

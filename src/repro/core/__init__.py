@@ -1,6 +1,12 @@
 """Core synthesis algorithms: the paper's contribution and baselines."""
 
+from repro.core import cache_store
 from repro.core.baseline import baseline_design
+from repro.core.cache_store import (
+    EngineSnapshot,
+    merge_snapshot,
+    snapshot_engine,
+)
 from repro.core.combined import combined_design
 from repro.core.design import DesignResult
 from repro.core.engine import (
@@ -35,6 +41,10 @@ __all__ = [
     "DesignResult",
     "EvaluationEngine",
     "EngineStats",
+    "EngineSnapshot",
+    "cache_store",
+    "snapshot_engine",
+    "merge_snapshot",
     "allocation_signature",
     "default_engine",
     "set_default_engine",

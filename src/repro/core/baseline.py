@@ -44,6 +44,11 @@ def _uniform_result(graph: DataFlowGraph,
                                  area_model=area_model)
     if evaluation is None:
         return None
+    if evaluation.area > area_bound:
+        # the realized area is the redundancy-free design area, so the
+        # bound check below could only reject — skip building (and
+        # computing the reliability of) a result we would throw away
+        return None
     result = DesignResult(
         graph=graph,
         allocation=allocation,

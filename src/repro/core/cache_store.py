@@ -1,0 +1,185 @@
+"""Persistent, shareable snapshots of :class:`EvaluationEngine` caches.
+
+The engine's memo layers are pure functions of graph *content* — not of
+process-local object identities — so they can outlive the process that
+computed them.  This module defines the snapshot format and the three
+operations built on it:
+
+* ``sweep_bounds(workers=N)`` pre-warms every worker process from a
+  parent snapshot and merges the workers' caches back on join
+  (:mod:`repro.parallel`);
+* the CLI's ``--cache-dir`` persists the default engine's caches across
+  invocations;
+* tests snapshot an engine mid-flight and assert a reloaded engine is
+  behaviourally identical.
+
+On-disk format (version |SNAPSHOT_VERSION|)::
+
+    REPROCACHE v<version>\\n
+    <sha256 hex digest of the payload>\\n
+    <pickled payload>
+
+The payload is a pickle of ``{"version": int, "layers": {layer name:
+[(content key, value), ...]}}`` where every content key starts with the
+graph's content tuple (name, operations, edges) instead of a
+process-local id — the content addressing that makes snapshots
+mergeable anywhere.  The header is checked before a single payload byte
+is decoded: a wrong magic, a future format version, or a digest
+mismatch raises :class:`~repro.errors.CacheError`, and so does a
+payload whose decoded layers turn out not to have the promised shape.
+Every reader in this package treats ``CacheError`` as "start cold",
+never as a crash.
+
+Trust model: the digest detects *corruption* (truncated writes, bit
+rot), not tampering — the payload is a pickle, and unpickling
+attacker-controlled bytes executes arbitrary code.  A cache dir
+therefore carries the same trust as the source tree itself: point
+``--cache-dir`` (and worker pre-warm snapshots, which travel through
+the same format) only at directories you would run code from, not at
+world-writable paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import CacheError
+from repro.core.engine import EvaluationEngine
+
+#: Bumped whenever the layer contents or key shapes change shape.
+SNAPSHOT_VERSION = 1
+
+MAGIC = b"REPROCACHE"
+
+#: Default snapshot file name inside a ``--cache-dir`` directory.  The
+#: version lives in the file *header*, not the name: after a format
+#: bump, the next load of an old file hits the version-mismatch path
+#: (reported, ignored) and the next save overwrites it — no orphaned
+#: per-version files accumulate.
+SNAPSHOT_BASENAME = "engine-cache.bin"
+
+
+@dataclass
+class EngineSnapshot:
+    """A serializable capture of one engine's cache layers."""
+
+    version: int = SNAPSHOT_VERSION
+    layers: Dict[str, List[Tuple[tuple, object]]] = field(
+        default_factory=dict)
+
+    @property
+    def entry_count(self) -> int:
+        """Total entries across all layers."""
+        return sum(len(entries) for entries in self.layers.values())
+
+
+def snapshot_engine(engine: EvaluationEngine) -> EngineSnapshot:
+    """Capture *engine*'s current caches as a content-addressed snapshot."""
+    return EngineSnapshot(version=SNAPSHOT_VERSION,
+                          layers=engine.export_cache_state())
+
+
+def merge_snapshot(engine: EvaluationEngine,
+                   snapshot: EngineSnapshot) -> int:
+    """Merge *snapshot* into *engine*; returns the entries adopted.
+
+    Raises :class:`~repro.errors.CacheError` on a version mismatch, and
+    also when the layer payload turns out not to have the promised
+    shape mid-merge — a digest only proves the file round-tripped
+    intact, not that its writer produced well-formed layers, so shape
+    errors must surface as the same clean, catchable error.
+    """
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise CacheError(
+            f"engine cache snapshot has format version "
+            f"{snapshot.version}, this build reads {SNAPSHOT_VERSION}")
+    try:
+        return engine.merge_cache_state(snapshot.layers)
+    except CacheError:
+        raise
+    except Exception as exc:
+        # a malformed entry may have been adopted before the failure;
+        # drop everything rather than leave a half-merged cache behind
+        engine.clear()
+        raise CacheError(
+            f"engine cache snapshot has malformed layer entries: "
+            f"{exc}") from exc
+
+
+def dumps(snapshot: EngineSnapshot) -> bytes:
+    """Serialize *snapshot* to the versioned, digest-checked wire format."""
+    payload = pickle.dumps(
+        {"version": snapshot.version, "layers": snapshot.layers},
+        protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    header = MAGIC + b" v%d\n" % snapshot.version
+    return header + digest + b"\n" + payload
+
+
+def loads(data: bytes) -> EngineSnapshot:
+    """Parse :func:`dumps` output, rejecting anything malformed.
+
+    Raises
+    ------
+    CacheError
+        Wrong magic, unparsable or mismatched format version, digest
+        mismatch (truncation/corruption), or an undecodable payload.
+    """
+    if not data.startswith(MAGIC + b" v"):
+        raise CacheError("not an engine cache snapshot (bad magic)")
+    try:
+        header, digest_line, payload = data.split(b"\n", 2)
+    except ValueError:
+        raise CacheError("engine cache snapshot is truncated") from None
+    try:
+        version = int(header[len(MAGIC) + 2:])
+    except ValueError:
+        raise CacheError(
+            "engine cache snapshot has an unreadable version header"
+        ) from None
+    if version != SNAPSHOT_VERSION:
+        raise CacheError(
+            f"engine cache snapshot has format version {version}, "
+            f"this build reads {SNAPSHOT_VERSION}")
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if digest != digest_line.strip():
+        raise CacheError(
+            "engine cache snapshot failed its integrity check "
+            "(corrupted or truncated file)")
+    try:
+        decoded = pickle.loads(payload)
+        layers = dict(decoded["layers"])
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise CacheError(
+            f"engine cache snapshot payload is undecodable: {exc}") from exc
+    return EngineSnapshot(version=version, layers=layers)
+
+
+def snapshot_path(cache_dir: str) -> str:
+    """The canonical snapshot file path inside *cache_dir*."""
+    return os.path.join(cache_dir, SNAPSHOT_BASENAME)
+
+
+def save(snapshot: EngineSnapshot, path: str) -> None:
+    """Write *snapshot* to *path* atomically (write-then-rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(dumps(snapshot))
+    os.replace(tmp, path)
+
+
+def load(path: str) -> EngineSnapshot:
+    """Read a snapshot file; :class:`CacheError` on any malformation."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise CacheError(
+            f"engine cache snapshot {path!r} is unreadable: {exc}") from exc
+    return loads(data)

@@ -25,6 +25,13 @@ Cache layers, from coarse to fine:
     point of the scan over ``[critical, L]``, these per-latency points
     make a realization found at a looser bound reusable at any tighter
     bound it fits: the tighter scan is a prefix of the looser one.
+``schedule point``
+    ``(graph, delays, latency)`` → one density schedule.  Schedules
+    depend only on the per-operation delays, so allocations that differ
+    only in area or reliability share them; each point also remembers
+    its latest binding, and an allocation one operation away from it is
+    re-bound *incrementally* — only the affected version pools are
+    re-packed (:func:`repro.hls.binding.rebind_versions`).
 ``list realization / probe``
     ``(graph, allocation, bound)`` → the count-driven list realization,
     and ``(graph, allocation, counts)`` → one list-schedule probe.  The
@@ -45,6 +52,16 @@ signatures embed the full :class:`~repro.library.version.ResourceVersion`
 (not just its name), so same-named versions from different libraries
 never collide.
 
+Every layer is an independent :class:`LRUCache`: filling one layer
+evicts only that layer's least-recently-used entries, so a probe-heavy
+search can no longer wipe the exact memo (the old behaviour was a
+clear-all).  Caches are also *portable*: :meth:`~EvaluationEngine.
+export_cache_state` / :meth:`~EvaluationEngine.merge_cache_state`
+re-key every entry by graph content, and :mod:`repro.core.cache_store`
+wraps them in a versioned, digest-checked snapshot file — worker
+processes pre-warm from a parent snapshot, and CLI runs persist caches
+across invocations (``--cache-dir``).
+
 A module-level default engine backs the
 :func:`repro.core.evaluate.evaluate_allocation` compatibility wrapper;
 pass ``engine=`` to any synthesis entry point to use a private one
@@ -55,12 +72,13 @@ behaviour).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import ReproError, SchedulingError
-from repro.hls.binding import Binding, left_edge_bind
+from repro.hls.binding import Binding, left_edge_bind, rebind_versions
 from repro.hls.density import density_schedule
 from repro.hls.listsched import list_schedule
 from repro.hls.metrics import AREA_INSTANCES, total_area
@@ -96,14 +114,17 @@ class EngineStats:
     density_points: int = 0       # density latencies examined
     density_hits: int = 0         # ... served from the point cache
     density_schedules: int = 0    # density_schedule executions
+    schedule_reuses: int = 0      # density schedules shared via delays key
     list_realizations: int = 0    # list realizations requested
     list_hits: int = 0            # ... served from the realization cache
     list_schedules: int = 0       # list_schedule executions
     list_probe_hits: int = 0      # probes served from the probe cache
     bindings: int = 0             # left_edge_bind executions
+    incremental_rebinds: int = 0  # single-pool partial re-bindings
     timing_requests: int = 0      # critical-path latency queries
     timing_hits: int = 0          # ... served from the timing cache
     incremental_timings: int = 0  # single-op partial re-timings
+    evictions: int = 0            # LRU entries dropped across all layers
     wall_time: float = 0.0        # seconds spent inside evaluate()
 
     @property
@@ -149,13 +170,114 @@ class EngineStats:
             f"  list probes cached    : {self.list_probe_hits} hits;"
             f" realizations {self.list_realizations}"
             f" (cache hits {self.list_hits})",
-            f"  bindings run          : {self.bindings}",
+            f"  bindings run          : {self.bindings}"
+            f" (incremental {self.incremental_rebinds},"
+            f" schedules shared {self.schedule_reuses})",
             f"  timing queries        : {self.timing_requests}"
             f" (cache hits {self.timing_hits},"
             f" incremental {self.incremental_timings})",
+            f"  lru evictions         : {self.evictions}",
             f"  evaluation wall time  : {self.wall_time:.3f}s"
             f" ({self.evaluations_per_second:.0f} evaluations/s)",
         ])
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Lookups and inserts refresh an entry's recency; inserts beyond
+    *capacity* silently drop the stalest entries (reporting each drop
+    through *on_evict*).  Because every engine layer is a pure memo,
+    eviction can never change results — only future hit rates.
+    """
+
+    __slots__ = ("capacity", "evictions", "_data", "_on_evict")
+
+    def __init__(self, capacity: int,
+                 on_evict: Optional[Callable[[], None]] = None):
+        if capacity < 1:
+            raise ReproError(
+                f"LRU capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._on_evict = on_evict
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key, default=None):
+        """Value for *key* (refreshing its recency), else *default*."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        """Insert/overwrite *key*, evicting the stalest entries if full."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict()
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        """Entries from least- to most-recently used."""
+        return iter(self._data.items())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class _SchedulePoint:
+    """One delays-keyed density schedule plus its latest binding.
+
+    The density schedule at a latency depends only on the per-operation
+    *delays*, not on which versions induced them — so allocations that
+    differ only in area/reliability share the schedule.  The point also
+    remembers the last allocation bound onto the schedule; a request
+    whose allocation differs from it by a single operation is re-bound
+    incrementally (only the affected version pools are re-packed).
+    ``schedule`` is ``None`` when the latency is infeasible.
+    """
+
+    __slots__ = ("schedule", "signature", "binding")
+
+    def __init__(self, schedule: Optional[Schedule],
+                 signature: Optional[AllocationSignature] = None,
+                 binding: Optional[Binding] = None):
+        self.schedule = schedule
+        self.signature = signature
+        self.binding = binding
+
+
+def _signature_delta(old: AllocationSignature, new: AllocationSignature
+                     ) -> Optional[Tuple[int, set]]:
+    """Difference between two allocation signatures over one op set.
+
+    Returns ``(changed op count, version names involved)``, or ``None``
+    when the signatures cover different operations entirely.
+    """
+    if len(old) != len(new):
+        return None
+    changed = 0
+    names: set = set()
+    for (op_a, version_a), (op_b, version_b) in zip(old, new):
+        if op_a != op_b:
+            return None
+        if version_a != version_b:
+            changed += 1
+            names.add(version_a.name)
+            names.add(version_b.name)
+    return changed, names
 
 
 class _GraphRecord:
@@ -210,30 +332,64 @@ class EvaluationEngine:
         Disable to force every request through the full algorithms —
         the reference behaviour the cached path must reproduce exactly.
     max_entries:
-        Soft bound on the total number of cached schedules; exceeding
-        it clears the caches (statistics are preserved).
+        Soft bound on the total number of cached entries, split across
+        the cache layers by :attr:`LAYER_SHARES`.  Each layer is an
+        independent LRU: filling one layer evicts only that layer's
+        stalest entries (statistics and the other layers are
+        untouched).
+    layer_capacities:
+        Optional per-layer overrides, e.g. ``{"density": 64}``; layers
+        not named keep their ``max_entries`` share.
     """
+
+    #: Fraction of ``max_entries`` each LRU layer receives by default.
+    LAYER_SHARES: Dict[str, float] = {
+        "evaluations": 0.15,   # exact evaluate() memo
+        "density": 0.25,       # per-(allocation, latency) density points
+        "schedules": 0.10,     # delays-keyed density schedules
+        "list": 0.10,          # count-driven list realizations
+        "probes": 0.30,        # list-schedule probes
+        "timing": 0.10,        # ASAP starts / critical-path latencies
+    }
 
     def __init__(self, *, area_model: str = AREA_INSTANCES,
                  scheduler: str = "auto", cache: bool = True,
-                 max_entries: int = 200_000):
+                 max_entries: int = 200_000,
+                 layer_capacities: Optional[Mapping[str, int]] = None):
         check_area_model(area_model)
         if scheduler not in SCHEDULERS:
             raise ReproError(
                 f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        overrides = dict(layer_capacities or {})
+        unknown = sorted(set(overrides) - set(self.LAYER_SHARES))
+        if unknown:
+            raise ReproError(
+                f"unknown cache layers {unknown}; "
+                f"use one of {sorted(self.LAYER_SHARES)}")
         self.area_model = area_model
         self.scheduler = scheduler
         self.cache_enabled = cache
         self.max_entries = max_entries
+        self.layer_capacities = {
+            name: int(overrides.get(name, max(1, int(max_entries * share))))
+            for name, share in self.LAYER_SHARES.items()
+        }
         self.stats = EngineStats()
         self._graphs: Dict[int, _GraphRecord] = {}
         self._graph_keys: Dict[tuple, int] = {}
-        self._evaluations: Dict[tuple, object] = {}
-        self._density: Dict[tuple, object] = {}
-        self._list_results: Dict[tuple, object] = {}
-        self._list_probes: Dict[tuple, Schedule] = {}
-        self._starts: Dict[tuple, Dict[str, int]] = {}
-        self._latencies: Dict[tuple, int] = {}
+        self._layers: Dict[str, LRUCache] = {
+            name: LRUCache(capacity, self._note_eviction)
+            for name, capacity in self.layer_capacities.items()
+        }
+        self._evaluations = self._layers["evaluations"]
+        self._density = self._layers["density"]
+        self._schedules = self._layers["schedules"]
+        self._list_results = self._layers["list"]
+        self._list_probes = self._layers["probes"]
+        self._timing_cache = self._layers["timing"]
+
+    def _note_eviction(self) -> None:
+        self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # graph identity
@@ -270,15 +426,14 @@ class EvaluationEngine:
         self.stats.timing_requests += 1
         record = self._record(graph)
         key = (record.key, tuple(sorted(delays.items())))
-        cached = self._latencies.get(key)
-        if cached is not None:
+        cached = self._timing_cache.get(key, _MISSING)
+        if cached is not _MISSING:
             self.stats.timing_hits += 1
-            return self._starts[key], cached
+            return cached
         starts = asap_starts(graph, delays)
         latency = max(starts[op] + delays[op] for op in starts)
         if self.cache_enabled:
-            self._starts[key] = starts
-            self._latencies[key] = latency
+            self._timing_cache.put(key, (starts, latency))
         return starts, latency
 
     def latency(self, graph: DataFlowGraph,
@@ -364,9 +519,11 @@ class EvaluationEngine:
         signature = allocation_signature(allocation)
         memo_key = (record.key, signature, latency_bound, area_model,
                     scheduler, stop_at_area)
-        if self.cache_enabled and memo_key in self._evaluations:
-            self.stats.hits += 1
-            return self._evaluations[memo_key]
+        if self.cache_enabled:
+            memoized = self._evaluations.get(memo_key, _MISSING)
+            if memoized is not _MISSING:
+                self.stats.hits += 1
+                return memoized
 
         candidates = []
         if scheduler in ("auto", "density"):
@@ -380,8 +537,7 @@ class EvaluationEngine:
         feasible = [c for c in candidates if c is not None]
         result = min(feasible, key=lambda e: e.area) if feasible else None
         if self.cache_enabled:
-            self._evaluations[memo_key] = result
-            self._maybe_evict()
+            self._evaluations.put(memo_key, result)
         return result
 
     # -- density -------------------------------------------------------
@@ -405,34 +561,83 @@ class EvaluationEngine:
                        latency) -> Optional[Tuple[Schedule, Binding]]:
         self.stats.density_points += 1
         key = (record.key, signature, latency)
-        if self.cache_enabled and key in self._density:
-            self.stats.density_hits += 1
-            return self._density[key]
+        if self.cache_enabled:
+            cached = self._density.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.stats.density_hits += 1
+                return cached
+        point = self._schedule_point(graph, record, delays, latency)
+        if point.schedule is None:
+            pair: Optional[Tuple[Schedule, Binding]] = None
+        else:
+            pair = (point.schedule,
+                    self._bind_point(point, allocation, signature))
+        if self.cache_enabled:
+            self._density.put(key, pair)
+        return pair
+
+    def _schedule_point(self, graph, record, delays, latency
+                        ) -> _SchedulePoint:
+        """The delays-keyed density schedule at *latency* (memoized)."""
+        key = (record.key, tuple(sorted(delays.items())), latency)
+        if self.cache_enabled:
+            cached = self._schedules.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.stats.schedule_reuses += 1
+                return cached
         try:
             self.stats.density_schedules += 1
-            schedule = density_schedule(graph, delays, latency)
-            self.stats.bindings += 1
-            binding = left_edge_bind(schedule, allocation)
-            pair: Optional[Tuple[Schedule, Binding]] = (schedule, binding)
+            schedule: Optional[Schedule] = density_schedule(graph, delays,
+                                                            latency)
         except SchedulingError:
-            pair = None
+            schedule = None
+        point = _SchedulePoint(schedule)
         if self.cache_enabled:
-            self._density[key] = pair
-        return pair
+            self._schedules.put(key, point)
+        return point
+
+    def _bind_point(self, point: _SchedulePoint, allocation,
+                    signature: AllocationSignature) -> Binding:
+        """Bind *allocation* onto the point's schedule.
+
+        When the point's previous binding covers an allocation that
+        differs by exactly one operation, only the affected version
+        pools are re-packed (:func:`repro.hls.binding.rebind_versions`,
+        provably identical to a full left-edge bind); otherwise a full
+        bind runs.  Either way the point remembers this binding for the
+        next single-op delta.
+        """
+        if point.signature == signature and point.binding is not None:
+            return point.binding
+        binding: Optional[Binding] = None
+        if point.binding is not None and point.signature is not None:
+            delta = _signature_delta(point.signature, signature)
+            if delta is not None and delta[0] == 1:
+                self.stats.incremental_rebinds += 1
+                binding = rebind_versions(point.schedule, allocation,
+                                          point.binding, delta[1])
+        if binding is None:
+            self.stats.bindings += 1
+            binding = left_edge_bind(point.schedule, allocation)
+        if self.cache_enabled:
+            point.signature = signature
+            point.binding = binding
+        return binding
 
     # -- list ----------------------------------------------------------
     def _list_best(self, graph, record, signature, allocation, latency_bound,
                    area_model):
         self.stats.list_realizations += 1
         key = (record.key, signature, latency_bound)
-        if self.cache_enabled and key in self._list_results:
+        pair = self._list_results.get(key, _MISSING) \
+            if self.cache_enabled else _MISSING
+        if pair is not _MISSING:
             self.stats.list_hits += 1
-            pair = self._list_results[key]
         else:
             pair = self._run_list_realization(graph, record, signature,
                                               allocation, latency_bound)
             if self.cache_enabled:
-                self._list_results[key] = pair
+                self._list_results.put(key, pair)
         if pair is None:
             return None
         schedule, binding = pair
@@ -471,13 +676,15 @@ class EvaluationEngine:
     def _list_probe(self, graph, record, signature, allocation,
                     counts) -> Schedule:
         key = (record.key, signature, tuple(sorted(counts.items())))
-        if self.cache_enabled and key in self._list_probes:
-            self.stats.list_probe_hits += 1
-            return self._list_probes[key]
+        if self.cache_enabled:
+            cached = self._list_probes.get(key, _MISSING)
+            if cached is not _MISSING:
+                self.stats.list_probe_hits += 1
+                return cached
         self.stats.list_schedules += 1
         schedule = list_schedule(graph, allocation, counts)
         if self.cache_enabled:
-            self._list_probes[key] = schedule
+            self._list_probes.put(key, schedule)
         return schedule
 
     # ------------------------------------------------------------------
@@ -485,9 +692,11 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     def cache_size(self) -> int:
         """Number of cached entries across all layers."""
-        return (len(self._evaluations) + len(self._density)
-                + len(self._list_results) + len(self._list_probes)
-                + len(self._starts))
+        return sum(len(layer) for layer in self._layers.values())
+
+    def layer_sizes(self) -> Dict[str, int]:
+        """Current entry count of each LRU layer."""
+        return {name: len(layer) for name, layer in self._layers.items()}
 
     def clear(self) -> None:
         """Drop every cached entry (statistics are preserved).
@@ -495,18 +704,64 @@ class EvaluationEngine:
         Also releases the graph registry, so long-lived processes that
         churn through many graph objects do not pin them in memory.
         """
-        self._evaluations.clear()
-        self._density.clear()
-        self._list_results.clear()
-        self._list_probes.clear()
-        self._starts.clear()
-        self._latencies.clear()
+        for layer in self._layers.values():
+            layer.clear()
         self._graphs.clear()
         self._graph_keys.clear()
 
-    def _maybe_evict(self) -> None:
-        if self.cache_size() > self.max_entries:
-            self.clear()
+    # ------------------------------------------------------------------
+    # persistence (see repro.core.cache_store for the on-disk format)
+    # ------------------------------------------------------------------
+    def export_cache_state(self) -> Dict[str, list]:
+        """Content-addressed snapshot of every cache layer.
+
+        Each entry's graph key (a process-local integer) is replaced by
+        the graph's *content* tuple, so a snapshot merged into another
+        engine — a worker process, or a later CLI invocation — lands on
+        the same logical entries.  Entries are listed from least- to
+        most-recently used, preserving recency across a merge.
+        """
+        inverse = {key: content for content, key in self._graph_keys.items()}
+        layers: Dict[str, list] = {}
+        for name, cache in self._layers.items():
+            entries = []
+            for key, value in cache.items():
+                content = inverse.get(key[0])
+                if content is None:
+                    continue  # the graph registry was cleared under it
+                if name == "schedules":
+                    value = (value.schedule, value.signature, value.binding)
+                entries.append(((content,) + tuple(key[1:]), value))
+            layers[name] = entries
+        return layers
+
+    def merge_cache_state(self, layers: Mapping[str, list]) -> int:
+        """Merge an :meth:`export_cache_state` snapshot into this engine.
+
+        Entries already present locally win (their schedules reference
+        live graph objects); unknown layer names are skipped, so
+        snapshots remain forward-compatible within a format version.
+        Returns the number of entries adopted.  No-op when caching is
+        disabled.
+        """
+        if not self.cache_enabled:
+            return 0
+        merged = 0
+        for name, entries in layers.items():
+            cache = self._layers.get(name)
+            if cache is None:
+                continue
+            for key, value in entries:
+                content = key[0]
+                local = self._graph_keys.setdefault(content,
+                                                    len(self._graph_keys))
+                local_key = (local,) + tuple(key[1:])
+                if cache.get(local_key, _MISSING) is _MISSING:
+                    if name == "schedules":
+                        value = _SchedulePoint(*value)
+                    cache.put(local_key, value)
+                    merged += 1
+        return merged
 
 
 _default_engine: Optional[EvaluationEngine] = None

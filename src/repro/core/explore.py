@@ -8,8 +8,10 @@ Sweeps share one :class:`~repro.core.engine.EvaluationEngine` across
 all grid points by default, so a realization computed for one (Ld, Ad)
 pair is reused by every other pair that revisits the allocation.  Pass
 ``workers=N`` to :func:`sweep_bounds` to fan the grid out across
-processes instead; each worker keeps its own engine for its share of
-the points.
+processes; workers pre-warm from a snapshot of the shared engine's
+caches and merge their own caches back on join
+(:mod:`repro.core.cache_store`), so parallel sweeps no longer re-warm
+every cache per worker.
 """
 
 from __future__ import annotations
@@ -88,31 +90,39 @@ def sweep_bounds(graph: DataFlowGraph,
                  area_model: str = AREA_INSTANCES,
                  workers: Optional[int] = None,
                  engine: Optional[EvaluationEngine] = None,
+                 share_caches: bool = True,
                  **kwargs) -> List[SweepPoint]:
     """Synthesize at every (Ld, Ad) pair; infeasible points yield None.
 
     Parameters
     ----------
     workers:
-        Fan the grid out over this many worker processes (each reusing
-        its own engine across the points it serves).  ``None``/``0``/
-        ``1`` runs serially through a single shared engine — the right
-        choice for small grids, where cache reuse beats process
+        Fan the grid out over this many worker processes.  ``None``/
+        ``0``/``1`` runs serially through a single shared engine — the
+        right choice for small grids, where cache reuse beats process
         startup.
     engine:
         Engine for the serial path (default: the process-wide one).
-        Ignored when *workers* parallelism is active, since engines are
-        per-process.
+        With *workers* parallelism it becomes the cache-sharing hub:
+        its caches pre-warm every worker, and the workers' caches merge
+        back into it on join — so a later sweep (or a ``--cache-dir``
+        save) starts from everything the grid computed.
+    share_caches:
+        Disable to run workers fully cold and discard their caches on
+        join (the pre-sharing behaviour; results are identical either
+        way, only the wall-clock differs).
     """
     pairs = [(latency_bound, area_bound)
              for latency_bound in latency_bounds
              for area_bound in area_bounds]
     if uses_workers(workers, len(pairs)):
+        engine = engine if engine is not None else default_engine()
         tasks = [(_sweep_point,
                   ((method, graph, library, latency_bound, area_bound,
                     area_model, kwargs),), {})
                  for latency_bound, area_bound in pairs]
-        results = run_tasks(tasks, workers=workers)
+        results = run_tasks(tasks, workers=workers,
+                            share_engine=engine if share_caches else None)
         return [SweepPoint(latency_bound, area_bound, result)
                 for (latency_bound, area_bound), result in zip(pairs, results)]
 

@@ -30,7 +30,12 @@ bounds:
 
 Throughout the search every feasible realization encountered is
 remembered and the most reliable one is returned, so a late unlucky
-greedy step cannot discard an earlier feasible design.
+greedy step cannot discard an earlier feasible design.  The search
+also records the realized area of every allocation it considers; the
+area-repair and refinement loops use that record to *dominance-prune*
+candidate swaps that were already realized and cannot improve on the
+incumbent (the engine is deterministic, so re-evaluating them could
+not change anything — the prune only skips provably redundant work).
 """
 
 from __future__ import annotations
@@ -60,6 +65,9 @@ def _allocation_log_reliability(allocation: Mapping[str, ResourceVersion]
     return sum(math.log(v.reliability) for v in allocation.values())
 
 
+_UNSEEN = object()
+
+
 class _Search:
     """Mutable state of one find_design run."""
 
@@ -74,6 +82,20 @@ class _Search:
         self.method = method
         self.engine = engine
         self.best: Optional[DesignResult] = None
+        #: realized area per allocation already considered this search
+        #: (None = latency-infeasible) — the dominance-pruning record.
+        self.realized: Dict[tuple, Optional[int]] = {}
+
+    def known_area(self, allocation: Mapping[str, ResourceVersion]):
+        """Cached realized area of *allocation*, or ``_UNSEEN``.
+
+        Safe pruning oracle: the engine is deterministic, so an
+        allocation this search has already considered would realize to
+        the same area (and :attr:`best` already accounts for it) —
+        re-considering it can neither change the outcome nor the
+        bookkeeping.
+        """
+        return self.realized.get(allocation_signature(allocation), _UNSEEN)
 
     def consider(self, allocation: Dict[str, ResourceVersion]
                  ) -> Optional[DesignResult]:
@@ -81,8 +103,11 @@ class _Search:
         evaluation = self.engine.evaluate(
             self.graph, allocation, self.latency_bound,
             area_model=self.area_model)
+        signature = allocation_signature(allocation)
         if evaluation is None:
+            self.realized[signature] = None
             return None
+        self.realized[signature] = evaluation.area
         result = DesignResult(
             graph=self.graph,
             allocation=dict(allocation),
@@ -236,6 +261,12 @@ def _trajectory(search: _Search, horizon: int, repair: str,
             for swap in group_swaps(library, allocation,
                                     smaller_only=(repair == "paper")):
                 trial_alloc = swap.apply(allocation)
+                known = search.known_area(trial_alloc)
+                if known is not _UNSEEN and (known is None
+                                             or known >= current.area):
+                    # dominance prune: already realized this search and
+                    # cannot beat the current area — skip re-evaluation
+                    continue
                 trial = search.consider(trial_alloc)
                 if trial is None:     # violates the latency bound
                     continue
@@ -266,7 +297,12 @@ def _trajectory(search: _Search, horizon: int, repair: str,
                            - math.log(swap.old_version.reliability)))
                 if gain <= 1e-12:
                     continue
-                trial = search.consider(swap.apply(allocation))
+                trial_alloc = swap.apply(allocation)
+                known = search.known_area(trial_alloc)
+                if known is not _UNSEEN and (known is None
+                                             or known > area_bound):
+                    continue  # dominance prune: known infeasible
+                trial = search.consider(trial_alloc)
                 if trial is None or trial.area > area_bound:
                     continue
                 if gain > chosen_gain:
@@ -299,6 +335,10 @@ def _refine_per_op(search: _Search,
                     continue
                 trial_alloc = dict(allocation)
                 trial_alloc[op.op_id] = candidate
+                known = search.known_area(trial_alloc)
+                if known is not _UNSEEN and (known is None
+                                             or known > search.area_bound):
+                    continue  # dominance prune: known infeasible
                 trial = search.consider(trial_alloc)
                 if trial is None or trial.area > search.area_bound:
                     continue

@@ -42,6 +42,17 @@ class NoSolutionError(ReproError):
         self.area = area
 
 
+class CacheError(ReproError):
+    """An engine cache snapshot is unreadable or incompatible.
+
+    Raised by :mod:`repro.core.cache_store` when a snapshot file has
+    the wrong magic, a mismatched format version, a failed integrity
+    digest, or an undecodable payload.  Callers (the CLI's
+    ``--cache-dir``, worker pre-warming) treat this as "start cold",
+    never as a crash.
+    """
+
+
 class CharacterizationError(ReproError):
     """Gate-level characterization failed (bad netlist, no vectors, ...)."""
 

@@ -1,5 +1,11 @@
 """Shared experiment plumbing: result tables, formatting, and the
-parallel experiment executor."""
+parallel experiment executor.
+
+``run_tasks`` is re-exported from :mod:`repro.parallel`; experiment
+drivers that fan tables out across processes can pass
+``share_engine=`` to pre-warm the workers from (and merge their caches
+back into) a parent evaluation engine — the CLI's ``experiment
+--workers N --cache-dir DIR`` builds directly on this."""
 
 from __future__ import annotations
 

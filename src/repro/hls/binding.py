@@ -11,7 +11,7 @@ ripple-carry addition cannot execute on a Brent-Kung adder).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.errors import BindingError
 from repro.hls.schedule import Schedule
@@ -106,20 +106,11 @@ class Binding:
         return "\n".join(lines)
 
 
-def left_edge_bind(schedule: Schedule,
-                   allocation: Mapping[str, ResourceVersion]) -> Binding:
-    """Bind operations to instances with the left-edge algorithm.
-
-    Operations are grouped by allocated version; within each group they
-    are sorted by start step and greedily packed onto the first
-    instance whose previous operation has finished — which uses the
-    minimum number of instances for interval graphs.
-
-    Raises
-    ------
-    BindingError
-        If an operation in the schedule has no allocation entry.
-    """
+def _group_by_version(schedule: Schedule,
+                      allocation: Mapping[str, ResourceVersion]
+                      ) -> Tuple[Dict[str, List[str]],
+                                 Dict[str, ResourceVersion]]:
+    """Partition the schedule's operations into per-version pools."""
     by_version: Dict[str, List[str]] = {}
     versions: Dict[str, ResourceVersion] = {}
     for op in schedule.graph:
@@ -128,30 +119,113 @@ def left_edge_bind(schedule: Schedule,
             raise BindingError(f"operation {op.op_id!r} has no allocation")
         by_version.setdefault(version.name, []).append(op.op_id)
         versions[version.name] = version
+    return by_version, versions
+
+
+def _pack_pool(schedule: Schedule, version: ResourceVersion,
+               pool: List[str]) -> List[Instance]:
+    """Left-edge pack one version pool into instances.
+
+    Operations are sorted by start step and greedily assigned to the
+    first instance whose previous operation has finished — which uses
+    the minimum number of instances for interval graphs.
+    """
+    ops = sorted(pool, key=lambda o: (schedule.start(o), o))
+    lanes: List[List[str]] = []
+    lane_free: List[int] = []  # first step the lane is free again
+    for op_id in ops:
+        start, finish = schedule.interval(op_id)
+        for lane_index, free_at in enumerate(lane_free):
+            if free_at <= start:
+                lanes[lane_index].append(op_id)
+                lane_free[lane_index] = finish
+                break
+        else:
+            lanes.append([op_id])
+            lane_free.append(finish)
+    return [Instance(f"{version.name}#{lane_index}", version, tuple(lane_ops))
+            for lane_index, lane_ops in enumerate(lanes)]
+
+
+def left_edge_bind(schedule: Schedule,
+                   allocation: Mapping[str, ResourceVersion]) -> Binding:
+    """Bind operations to instances with the left-edge algorithm.
+
+    Operations are grouped by allocated version; each group is packed
+    by :func:`_pack_pool`.
+
+    Raises
+    ------
+    BindingError
+        If an operation in the schedule has no allocation entry.
+    """
+    by_version, versions = _group_by_version(schedule, allocation)
+    instances: List[Instance] = []
+    op_to_instance: Dict[str, str] = {}
+    for version_name in sorted(by_version):
+        for inst in _pack_pool(schedule, versions[version_name],
+                               by_version[version_name]):
+            instances.append(inst)
+            for op_id in inst.ops:
+                op_to_instance[op_id] = inst.name
+
+    binding = Binding(schedule, instances, op_to_instance)
+    binding.validate()
+    return binding
+
+
+def rebind_versions(schedule: Schedule,
+                    allocation: Mapping[str, ResourceVersion],
+                    base: Binding,
+                    changed: Iterable[str]) -> Binding:
+    """Re-bind only the version pools named in *changed*.
+
+    *base* must be a binding of the *same schedule* for an allocation
+    that differs from *allocation* only on operations whose old and new
+    version names both appear in *changed*.  Pools outside *changed*
+    then hold exactly the same operations in both allocations, so their
+    instances are reused verbatim; only the changed pools are re-packed.
+    The result is identical to ``left_edge_bind(schedule, allocation)``
+    — the left-edge packing is deterministic per pool and instance
+    names are scoped per version (``"<version>#<lane>"``).
+
+    Raises
+    ------
+    BindingError
+        If an operation has no allocation entry, or the reused pools
+        are inconsistent with *allocation* (a changed pool missing from
+        *changed*).
+    """
+    changed = set(changed)
+    by_version, versions = _group_by_version(schedule, allocation)
+    base_pools: Dict[str, List[Instance]] = {}
+    for inst in base.instances:
+        base_pools.setdefault(inst.version.name, []).append(inst)
+
+    stale = {name for name in set(base_pools) ^ set(by_version)
+             if name not in changed}
+    if stale:
+        raise BindingError(
+            f"rebind_versions: pools {sorted(stale)} differ from the base "
+            f"binding but are not listed as changed")
 
     instances: List[Instance] = []
     op_to_instance: Dict[str, str] = {}
     for version_name in sorted(by_version):
-        ops = sorted(by_version[version_name],
-                     key=lambda o: (schedule.start(o), o))
-        lanes: List[List[str]] = []
-        lane_free: List[int] = []  # first step the lane is free again
-        for op_id in ops:
-            start, finish = schedule.interval(op_id)
-            for lane_index, free_at in enumerate(lane_free):
-                if free_at <= start:
-                    lanes[lane_index].append(op_id)
-                    lane_free[lane_index] = finish
-                    break
-            else:
-                lanes.append([op_id])
-                lane_free.append(finish)
-        for lane_index, lane_ops in enumerate(lanes):
-            name = f"{version_name}#{lane_index}"
-            instances.append(Instance(name, versions[version_name],
-                                      tuple(lane_ops)))
-            for op_id in lane_ops:
-                op_to_instance[op_id] = name
+        if version_name in changed:
+            pool = _pack_pool(schedule, versions[version_name],
+                              by_version[version_name])
+        else:
+            pool = base_pools[version_name]
+            if sum(len(inst.ops) for inst in pool) != \
+                    len(by_version[version_name]):
+                raise BindingError(
+                    f"rebind_versions: pool {version_name!r} changed "
+                    f"membership but is not listed as changed")
+        for inst in pool:
+            instances.append(inst)
+            for op_id in inst.ops:
+                op_to_instance[op_id] = inst.name
 
     binding = Binding(schedule, instances, op_to_instance)
     binding.validate()

@@ -137,3 +137,94 @@ class TestEngineFlags:
     def test_experiment_workers(self, capsys):
         assert main(["experiment", "fig5", "--workers", "2"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestCacheDir:
+    def _snapshot_file(self, tmp_path):
+        from repro.core import cache_store
+
+        return cache_store.snapshot_path(str(tmp_path))
+
+    def test_synth_writes_and_reuses_a_snapshot(self, tmp_path, capsys):
+        import os
+
+        from repro.core import EvaluationEngine, cache_store, find_design
+        from repro.core import merge_snapshot
+        from repro.bench import diffeq
+        from repro.library import paper_library
+
+        args = ["synth", "diffeq", "-l", "6", "-a", "11",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        path = self._snapshot_file(tmp_path)
+        assert os.path.exists(path)
+        # the saved snapshot must carry real cache entries that answer
+        # an equivalent search from memory
+        engine = EvaluationEngine()
+        assert merge_snapshot(engine, cache_store.load(path)) > 0
+        find_design(diffeq(), paper_library(), 6, 11, engine=engine)
+        assert engine.stats.hits > 0
+        # and a second CLI run against the cache prints the same design
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_infeasible_synth_still_persists_exploration(self, tmp_path,
+                                                         capsys):
+        import os
+
+        assert main(["synth", "fir", "-l", "3", "-a", "9",
+                     "--cache-dir", str(tmp_path)]) == 2
+        capsys.readouterr()
+        assert os.path.exists(self._snapshot_file(tmp_path))
+
+    def test_corrupted_snapshot_warns_and_runs_cold(self, tmp_path,
+                                                    capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-dir", str(tmp_path)]) == 0
+        good = capsys.readouterr().out
+        path = self._snapshot_file(tmp_path)
+        with open(path, "rb") as fh:
+            data = bytearray(fh.read())
+        data[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == good
+        assert "ignoring engine cache" in captured.err
+        assert "integrity" in captured.err
+
+    def test_version_mismatch_warns_and_runs_cold(self, tmp_path, capsys):
+        from repro.core import cache_store
+
+        path = self._snapshot_file(tmp_path)
+        with open(path, "wb") as fh:
+            fh.write(cache_store.MAGIC + b" v999\ndeadbeef\npayload")
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "reliability" in captured.out
+        assert "ignoring engine cache" in captured.err
+        assert "999" in captured.err
+
+    def test_explore_cache_dir_output_is_stable(self, tmp_path, capsys):
+        args = ["explore", "diffeq", "--latencies", "5", "6",
+                "--areas", "11", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_experiment_workers_cache_dir(self, tmp_path, capsys):
+        import os
+
+        assert main(["experiment", "fig5", "--workers", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert "Figure 5" in first
+        assert os.path.exists(self._snapshot_file(tmp_path))
+        assert main(["experiment", "fig5", "--workers", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == first

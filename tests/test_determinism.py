@@ -1,0 +1,79 @@
+"""Determinism of parallel sweeps under cache pre-warm/merge.
+
+``sweep_bounds`` must produce byte-identical points regardless of the
+worker count and of whether cross-process cache sharing (pre-warm from
+a parent snapshot, merge-back on join) is active — on all three paper
+benchmarks.  This is the contract that lets ``--workers N`` and
+``--cache-dir`` be pure wall-clock knobs: they may never become result
+knobs.
+"""
+
+import pytest
+
+from repro.bench import diffeq, ewf, fir16
+from repro.core import EvaluationEngine, sweep_bounds
+from repro.library import paper_library
+
+#: benchmark → (latency bounds, area bounds) — small grids chosen so
+#: each contains both feasible and tight points
+GRIDS = {
+    fir16: ([10, 11], [8, 9]),
+    ewf: ([14, 16], [9]),
+    diffeq: ([5, 6], [11]),
+}
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+def point_fingerprint(point):
+    if point.result is None:
+        return (point.latency_bound, point.area_bound, None)
+    result = point.result
+    return (point.latency_bound, point.area_bound, result.area,
+            result.latency, result.reliability,
+            dict(result.schedule.starts),
+            dict(result.binding.op_to_instance),
+            {op: v.name for op, v in result.allocation.items()})
+
+
+@pytest.fixture(scope="module")
+def serial_points(lib):
+    return {
+        make: [point_fingerprint(p) for p in sweep_bounds(
+            make(), lib, *GRIDS[make], engine=EvaluationEngine())]
+        for make in GRIDS
+    }
+
+
+@pytest.mark.parametrize("make", list(GRIDS),
+                         ids=lambda make: make.__name__)
+class TestWorkerDeterminism:
+    def test_workers4_unshared_matches_serial(self, lib, make,
+                                              serial_points):
+        points = sweep_bounds(make(), lib, *GRIDS[make], workers=4,
+                              share_caches=False)
+        assert [point_fingerprint(p) for p in points] == \
+            serial_points[make]
+
+    def test_workers4_with_prewarm_and_merge_matches_serial(
+            self, lib, make, serial_points):
+        hub = EvaluationEngine()
+        # run twice through the same hub: pass 1 runs cold workers and
+        # merges their caches back; pass 2 pre-warms the workers from
+        # the merged snapshot — both must equal the serial sweep
+        for expectation in ("cold+merge", "pre-warmed"):
+            points = sweep_bounds(make(), lib, *GRIDS[make], workers=4,
+                                  engine=hub)
+            assert [point_fingerprint(p) for p in points] == \
+                serial_points[make], expectation
+        assert hub.cache_size() > 0  # the merge-back actually happened
+
+    def test_workers1_falls_back_to_serial_path(self, lib, make,
+                                                serial_points):
+        points = sweep_bounds(make(), lib, *GRIDS[make], workers=1,
+                              engine=EvaluationEngine())
+        assert [point_fingerprint(p) for p in points] == \
+            serial_points[make]

@@ -1,0 +1,153 @@
+"""Unit tests for the engine's per-layer LRU eviction.
+
+Three claims, per the cache-persistence contract: every layer respects
+its own capacity bound independently, eviction is observable through
+``EngineStats.evictions``, and — because every layer is a pure memo —
+eviction can never change a result, only future hit rates.
+"""
+
+import pytest
+
+from repro.bench import diffeq, ewf, fir16
+from repro.core import EvaluationEngine, find_design
+from repro.core.engine import LRUCache
+from repro.errors import ReproError
+from repro.library import paper_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+class TestLRUCache:
+    def test_capacity_bound_and_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # "b" is now the stalest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_put_refreshes_recency_and_overwrites(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)           # refresh + overwrite
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_none_values_are_cacheable(self):
+        # evaluation/density layers legitimately memoize None
+        # (infeasible); the sentinel-based lookup must distinguish
+        # "cached None" from "absent"
+        sentinel = object()
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert cache.get("a", sentinel) is None
+        assert cache.get("b", sentinel) is sentinel
+
+    def test_eviction_hook_fires(self):
+        fired = []
+        cache = LRUCache(1, lambda: fired.append(1))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(fired) == 2
+
+    def test_items_order_is_lru_to_mru(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert [k for k, _ in cache.items()] == ["b", "c", "a"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ReproError):
+            LRUCache(0)
+
+
+class TestEngineLayerBounds:
+    def test_default_capacities_follow_shares(self):
+        engine = EvaluationEngine(max_entries=100)
+        for name, share in EvaluationEngine.LAYER_SHARES.items():
+            assert engine.layer_capacities[name] == max(1, int(100 * share))
+
+    def test_layer_capacity_overrides(self):
+        engine = EvaluationEngine(layer_capacities={"density": 7})
+        assert engine.layer_capacities["density"] == 7
+        assert engine.layer_capacities["probes"] == \
+            EvaluationEngine(max_entries=engine.max_entries) \
+            .layer_capacities["probes"]
+
+    def test_rejects_unknown_layer_override(self):
+        with pytest.raises(ReproError, match="unknown cache layers"):
+            EvaluationEngine(layer_capacities={"densities": 7})
+
+    def test_per_layer_bounds_respected_under_load(self, lib):
+        engine = EvaluationEngine(max_entries=60)
+        for make, bounds in ((fir16, (10, 9)), (ewf, (14, 9)),
+                             (diffeq, (6, 11))):
+            find_design(make(), lib, *bounds, engine=engine)
+        sizes = engine.layer_sizes()
+        assert engine.stats.evictions > 0
+        for name, size in sizes.items():
+            assert size <= engine.layer_capacities[name], (name, sizes)
+
+    def test_one_layer_overflow_does_not_drain_the_others(self, lib):
+        # probe-heavy load with a tiny probe layer: the evaluation memo
+        # must keep its entries (the old clear-all dropped everything)
+        engine = EvaluationEngine(layer_capacities={"probes": 1})
+        find_design(diffeq(), lib, 6, 11, engine=engine)
+        sizes = engine.layer_sizes()
+        assert sizes["probes"] <= 1
+        assert engine.stats.evictions > 0
+        assert sizes["evaluations"] > 1
+        assert sizes["density"] > 1
+
+    def test_stats_report_evictions(self, lib):
+        engine = EvaluationEngine(max_entries=12)
+        find_design(diffeq(), lib, 6, 11, engine=engine)
+        assert engine.stats.evictions > 0
+        assert engine.stats.evictions == sum(
+            layer.evictions for layer in engine._layers.values())
+        assert engine.stats.as_dict()["evictions"] == engine.stats.evictions
+        assert "lru evictions" in engine.stats.as_text()
+
+
+class TestEvictionTransparency:
+    """Eviction never changes results — only how often work repeats."""
+
+    GRID = [(fir16, 10, 9), (ewf, 14, 9), (diffeq, 6, 11)]
+
+    @pytest.mark.parametrize("make,latency_bound,area_bound", GRID,
+                             ids=lambda v: getattr(v, "__name__", str(v)))
+    def test_thrashing_engine_matches_reference(self, lib, make,
+                                                latency_bound, area_bound):
+        # capacity so small every layer constantly evicts
+        thrashing = EvaluationEngine(max_entries=6)
+        reference = EvaluationEngine(cache=False)
+        ours = find_design(make(), lib, latency_bound, area_bound,
+                           engine=thrashing)
+        expected = find_design(make(), lib, latency_bound, area_bound,
+                               engine=reference)
+        assert thrashing.stats.evictions > 0
+        assert ours.area == expected.area
+        assert ours.latency == expected.latency
+        assert ours.reliability == expected.reliability
+        assert ours.schedule.starts == expected.schedule.starts
+        assert ours.binding.op_to_instance == \
+            expected.binding.op_to_instance

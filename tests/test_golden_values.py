@@ -1,0 +1,112 @@
+"""Golden-value regression tests for the paper's headline numbers.
+
+``tests/data/golden_values.json`` pins every reliability cell of
+Table 2 (all three benchmarks × all three methods) and both Figure 8
+curves, captured from the engine-off-equivalent code path.  Cache,
+eviction, persistence, or pruning changes that silently drift a paper
+number fail here with the exact cell named.
+
+The comparison is exact-or-1e-9-relative: the synthesis pipeline is
+deterministic and pure-Python float arithmetic, so any real divergence
+shows up many orders of magnitude above the tolerance.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/test_golden_values.py --regenerate
+"""
+
+import json
+import os
+
+import pytest
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_values.json")
+
+TABLE2_BENCHMARKS = ("fir", "ew", "diffeq")
+
+
+def _load_golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _compute_table2_rows(benchmark):
+    from repro.experiments.table2 import run_table2
+
+    table = run_table2(benchmark)
+    return [[row[0], row[1], row[2], row[3], row[5]] for row in table.rows]
+
+
+def _compute_fig8(which):
+    from repro.experiments import run_fig8a, run_fig8b
+
+    table = run_fig8a() if which == "a" else run_fig8b()
+    return [[bound, reliability] for bound, reliability in table.rows]
+
+
+def _assert_rows_match(rows, golden_rows, label):
+    assert len(rows) == len(golden_rows), \
+        f"{label}: {len(rows)} rows, golden has {len(golden_rows)}"
+    for row, golden_row in zip(rows, golden_rows):
+        bounds, values = row[:2], row[2:]
+        golden_bounds, golden_values = golden_row[:2], golden_row[2:]
+        assert list(bounds) == list(golden_bounds), label
+        for value, golden_value in zip(values, golden_values):
+            where = f"{label} at bounds {tuple(bounds)}"
+            if golden_value is None:
+                assert value is None, \
+                    f"{where}: infeasible cell became {value}"
+            else:
+                assert value is not None, f"{where}: cell became infeasible"
+                assert value == pytest.approx(golden_value, rel=1e-9), where
+
+
+@pytest.mark.parametrize("bench_name", TABLE2_BENCHMARKS)
+def test_table2_matches_golden(bench_name):
+    golden = _load_golden()
+    _assert_rows_match(_compute_table2_rows(bench_name),
+                       golden["table2"][bench_name],
+                       f"table2[{bench_name}]")
+
+
+@pytest.mark.parametrize("which", ("a", "b"))
+def test_fig8_matches_golden(which):
+    golden = _load_golden()
+    _assert_rows_match(_compute_fig8(which), golden["fig8"][which],
+                       f"fig8{which}")
+
+
+def test_golden_file_covers_the_full_surface():
+    golden = _load_golden()
+    assert sorted(golden["table2"]) == sorted(TABLE2_BENCHMARKS)
+    assert sorted(golden["fig8"]) == ["a", "b"]
+    for benchmark in TABLE2_BENCHMARKS:
+        assert len(golden["table2"][benchmark]) >= 6
+    # every Table 2 section must pin at least one feasible cell per
+    # method column, otherwise the regression net has holes
+    for benchmark in TABLE2_BENCHMARKS:
+        rows = golden["table2"][benchmark]
+        for column in range(2, 5):
+            assert any(row[column] is not None for row in rows), \
+                (benchmark, column)
+
+
+def _regenerate():
+    golden = {
+        "table2": {benchmark: _compute_table2_rows(benchmark)
+                   for benchmark in TABLE2_BENCHMARKS},
+        "fig8": {which: _compute_fig8(which) for which in ("a", "b")},
+    }
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(golden, fh, indent=1)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
