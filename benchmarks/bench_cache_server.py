@@ -1,0 +1,147 @@
+"""Benchmark: live shared-cache service on the Table 2 sweeps.
+
+PR 2's cross-process persistence only exchanges caches at fork/join
+boundaries: a cold ``workers=4`` sweep still computes every
+overlapping grid point up to 4 times over, because workers cannot see
+each other's results until the join.  The live cache server closes
+that window — workers attach to one shared service and hit each
+other's evaluations *mid-run*.
+
+This benchmark runs the paper's full Table 2 grids (fir, ew, diffeq)
+cold through both sharing modes and asserts the headline claims:
+
+* the live-shared pass produces designs identical to the snapshot-mode
+  pass and to a serial reference sweep (the correctness claim that
+  carries the benchmark on noisy machines);
+* the server observes a cross-process hit rate > 0 — workers really do
+  consume each other's results while running;
+* live sharing is wall-clock competitive with the PR 2 pre-warm/merge
+  path on a cold start (``CACHE_SERVER_BENCH_TOLERANCE`` to tune;
+  relaxed on CI runners).
+
+Run with ``-s`` to see the table::
+
+    PYTHONPATH=src python -m pytest -s benchmarks/bench_cache_server.py
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.core import CacheServer, EvaluationEngine, sweep_bounds
+from repro.experiments import ExperimentTable, paper_data
+from repro.library import paper_library
+
+WORKLOADS = ("fir", "ew", "diffeq")
+WORKERS = 4
+
+
+def _grid(benchmark):
+    grid = paper_data.table2_grid(benchmark)
+    return (sorted({latency for latency, _ in grid}),
+            sorted({area for _, area in grid}))
+
+
+def _run_grid(benchmark, **kwargs):
+    graph = get_benchmark(benchmark)
+    library = paper_library()
+    latencies, areas = _grid(benchmark)
+    started = time.perf_counter()
+    points = sweep_bounds(graph, library, latencies, areas, **kwargs)
+    return points, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = {}
+    for benchmark in WORKLOADS:
+        snapshot_points, snapshot_time = _run_grid(
+            benchmark, workers=WORKERS, engine=EvaluationEngine())
+        with CacheServer() as server:
+            live_points, live_time = _run_grid(
+                benchmark, workers=WORKERS, engine=EvaluationEngine(),
+                cache_server=server.address)
+            server_stats = server.stats.as_dict()
+            server_entries = server.entry_count()
+        serial_points, _ = _run_grid(benchmark, engine=EvaluationEngine())
+        rows[benchmark] = {
+            "snapshot_points": snapshot_points,
+            "live_points": live_points,
+            "serial_points": serial_points,
+            "snapshot_time": snapshot_time,
+            "live_time": live_time,
+            "server_stats": server_stats,
+            "server_entries": server_entries,
+        }
+    return rows
+
+
+def test_live_sharing_is_wall_clock_competitive(measurements):
+    table = ExperimentTable(
+        title=f"Live cache server on Table 2 sweeps (workers={WORKERS})",
+        headers=("benchmark", "grid", "snapshot s", "live s", "speedup",
+                 "server hits", "hit rate", "entries"),
+    )
+    total_snapshot = 0.0
+    total_live = 0.0
+    for benchmark, row in measurements.items():
+        total_snapshot += row["snapshot_time"]
+        total_live += row["live_time"]
+        stats = row["server_stats"]
+        table.add_row(
+            benchmark,
+            len(row["live_points"]),
+            round(row["snapshot_time"], 3),
+            round(row["live_time"], 3),
+            round(row["snapshot_time"] / row["live_time"], 2),
+            int(stats["hits"]),
+            round(stats["hit_rate"], 3),
+            row["server_entries"],
+        )
+    ratio = total_live / total_snapshot
+    table.add_note(f"live/snapshot wall-clock ratio {ratio:.2f} "
+                   f"({total_snapshot:.2f}s -> {total_live:.2f}s)")
+    print("\n" + table.as_text())
+    # live sharing must not lose to the fork/join-only path; CI
+    # runners get a looser bar — the equivalence tests below carry the
+    # correctness claim there
+    ceiling = float(os.environ.get(
+        "CACHE_SERVER_BENCH_TOLERANCE",
+        "1.25" if os.environ.get("CI") else "1.0"))
+    assert ratio <= ceiling, \
+        f"live sharing is {ratio:.2f}x the snapshot path " \
+        f"(allowed {ceiling}x)"
+
+
+def test_cross_process_hit_rate_is_positive(measurements):
+    """Workers must actually consume each other's results mid-run."""
+    for benchmark, row in measurements.items():
+        stats = row["server_stats"]
+        assert stats["hits"] > 0, \
+            f"{benchmark}: no cross-process cache hits on the server"
+        assert stats["adopted"] > 0, \
+            f"{benchmark}: workers published nothing"
+        assert row["server_entries"] > 0, benchmark
+
+
+def test_all_passes_produce_identical_designs(measurements):
+    for benchmark, row in measurements.items():
+        for snap, live, serial in zip(row["snapshot_points"],
+                                      row["live_points"],
+                                      row["serial_points"]):
+            key = (benchmark, snap.latency_bound, snap.area_bound)
+            assert (snap.latency_bound, snap.area_bound) == \
+                (live.latency_bound, live.area_bound) == \
+                (serial.latency_bound, serial.area_bound)
+            if snap.result is None:
+                assert live.result is None and serial.result is None, key
+                continue
+            for other in (live.result, serial.result):
+                assert other is not None, key
+                assert snap.result.area == other.area, key
+                assert snap.result.latency == other.latency, key
+                assert snap.result.reliability == other.reliability, key
+                assert snap.result.schedule.starts == \
+                    other.schedule.starts, key

@@ -7,6 +7,7 @@ Subcommands::
     characterize [--bits N]                           regenerate Table 1
     experiment NAME [--workers N]                     regenerate a table/figure
     explore BENCH --latencies .. --areas ..           Pareto sweep
+    cache-serve [--address PATH] [--cache-dir DIR]    run a live cache server
 
 ``synth`` and ``explore`` accept ``--stats`` to print the evaluation
 engine's cache statistics (evaluations requested, memo hits, schedules
@@ -15,9 +16,21 @@ accept ``--workers N`` to fan independent grid points / tables out
 across processes.  ``synth``, ``explore`` and ``experiment`` accept
 ``--cache-dir DIR`` to persist the evaluation engine's caches across
 invocations: the run pre-warms from ``DIR``'s snapshot (if any) and
-saves the merged caches back on exit.  A stale, corrupted, or
-version-mismatched snapshot is reported and ignored — the run simply
-starts cold.
+saves the merged caches back on exit (``experiment all`` flushes after
+*every* table/figure, so a crash keeps the earlier tables' work).  A
+stale, corrupted, or version-mismatched snapshot is reported and
+ignored — the run simply starts cold.
+
+The same three commands accept ``--cache-server auto|ADDR`` to share
+caches *live* across concurrent processes through a cache server
+(:mod:`repro.core.cache_server`): ``ADDR`` attaches to the unix-domain
+socket of an already-running ``cache-serve`` process, while ``auto``
+attaches to (or spawns, for the run's duration) a server at the
+default socket path — inside ``--cache-dir`` when given, so several
+simultaneous invocations against one cache dir serve each other
+mid-run.  Sharing is best-effort and behaviourally transparent: an
+unreachable or dying server is reported and the run continues on
+local caches with identical results.
 """
 
 from __future__ import annotations
@@ -61,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print evaluation-engine statistics afterwards")
     synth.add_argument("--cache-dir",
                        help="persist/reload engine caches in this directory")
+    synth.add_argument("--cache-server", metavar="auto|ADDR",
+                       help="share engine caches live through a cache "
+                            "server socket")
 
     bench = sub.add_parser("bench", help="list or inspect benchmarks")
     bench.add_argument("name", nargs="?", help="benchmark to inspect")
@@ -82,6 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--cache-dir",
                             help="persist/reload engine caches in this "
                                  "directory")
+    experiment.add_argument("--cache-server", metavar="auto|ADDR",
+                            help="share engine caches live through a "
+                                 "cache server socket")
 
     explore = sub.add_parser("explore", help="Pareto sweep over bounds")
     explore.add_argument("benchmark")
@@ -95,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="print evaluation-engine statistics afterwards")
     explore.add_argument("--cache-dir",
                          help="persist/reload engine caches in this directory")
+    explore.add_argument("--cache-server", metavar="auto|ADDR",
+                         help="share engine caches live through a cache "
+                              "server socket")
+
+    serve = sub.add_parser("cache-serve",
+                           help="run a live shared-cache server")
+    serve.add_argument("--address",
+                       help="unix socket path to listen on (default: "
+                            "inside --cache-dir, else a fresh temp dir)")
+    serve.add_argument("--cache-dir",
+                       help="seed from and write-behind flush to this "
+                            "directory's snapshot")
+    serve.add_argument("--flush-interval", type=float, default=30.0,
+                       help="seconds between write-behind snapshot "
+                            "flushes (default: 30)")
+    serve.add_argument("--max-snapshot-kib", type=int, default=None,
+                       help="cap the flushed snapshot file size "
+                            "(stalest entries are dropped first)")
     return parser
 
 
@@ -128,17 +165,86 @@ def _load_engine_cache(cache_dir: Optional[str]) -> None:
 
 
 def _save_engine_cache(cache_dir: Optional[str]) -> None:
-    """Persist the default engine's caches into *cache_dir*."""
+    """Persist the default engine's caches into *cache_dir*.
+
+    The snapshot is compacted first — bound-dominated density entries
+    are pruned — which only affects file size and future hit rates,
+    never results (``tests/test_property_engine.py`` pins
+    cold ≡ warm ≡ compacted).
+    """
     if not cache_dir:
         return
-    from repro.core import cache_store, default_engine, snapshot_engine
+    from repro.core import (cache_store, compact_snapshot, default_engine,
+                            snapshot_engine)
 
     path = cache_store.snapshot_path(cache_dir)
+    snapshot, _ = compact_snapshot(snapshot_engine(default_engine()))
     try:
-        cache_store.save(snapshot_engine(default_engine()), path)
+        cache_store.save(snapshot, path)
     except OSError as exc:
         print(f"warning: could not save engine cache {path}: {exc}",
               file=sys.stderr)
+
+
+def _attach_cache_server(args):
+    """Resolve ``--cache-server`` and attach the default engine.
+
+    Returns ``(server, address)``: *server* is an ephemeral in-process
+    :class:`~repro.core.cache_server.CacheServer` that ``auto`` mode
+    spawned (``None`` when attaching to an external one), *address* is
+    the attached socket path (``None`` when no sharing is active —
+    unreachable servers are reported and the run continues with local
+    caches only, producing identical results).
+    """
+    spec = getattr(args, "cache_server", None)
+    if not spec:
+        return None, None
+    from repro.core import cache_server, default_engine
+
+    engine = default_engine()
+    if spec != "auto":
+        if cache_server.attach_engine(engine, spec):
+            return None, spec
+        print(f"warning: cache server at {spec!r} is unreachable; "
+              f"running with local caches only", file=sys.stderr)
+        return None, None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        address = cache_server.default_address(cache_dir)
+        # another invocation may already be serving this cache dir —
+        # share its server instead of spawning one
+        if cache_server.attach_engine(engine, address):
+            return None, address
+    else:
+        address = None  # the server owns (and cleans up) a temp dir
+    try:
+        server = cache_server.CacheServer(address).start()
+        address = server.address
+    except ReproError as exc:
+        print(f"warning: cannot start a cache server: "
+              f"{exc}; running with local caches only", file=sys.stderr)
+        return None, None
+    server.seed(engine.export_cache_state())
+    if not cache_server.attach_engine(engine, address):
+        server.stop()
+        print(f"warning: cannot attach to own cache server at "
+              f"{address!r}; running with local caches only",
+              file=sys.stderr)
+        return None, None
+    return server, address
+
+
+def _release_cache_server(server) -> None:
+    """Detach the default engine; absorb and stop an ephemeral server."""
+    from repro.core import cache_server, default_engine
+
+    engine = default_engine()
+    cache_server.detach_engine(engine)
+    if server is not None:
+        try:
+            engine.merge_cache_state(server.export_layers())
+        finally:
+            server.stop()
 
 
 def _load_graph(spec: str):
@@ -165,15 +271,18 @@ def _cmd_synth(args) -> int:
     graph = _load_graph(args.benchmark)
     library = _load_library(args.library)
     _load_engine_cache(args.cache_dir)
+    server, _address = _attach_cache_server(args)
     try:
-        result = synthesize(args.method, graph, library, args.latency,
-                            args.area, area_model=args.area_model)
-    except NoSolutionError as exc:
-        # the exploration is still worth keeping for the next run
+        try:
+            result = synthesize(args.method, graph, library, args.latency,
+                                args.area, area_model=args.area_model)
+        except NoSolutionError as exc:
+            print(f"no solution: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        # the exploration is worth keeping even when the search failed
+        _release_cache_server(server)
         _save_engine_cache(args.cache_dir)
-        print(f"no solution: {exc}", file=sys.stderr)
-        return 2
-    _save_engine_cache(args.cache_dir)
     if args.json:
         print(json.dumps(result.summary(), indent=2))
     else:
@@ -217,9 +326,10 @@ def _cmd_characterize(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro import experiments
     from repro.core import default_engine
-    from repro.experiments import run_tasks
+    from repro.experiments import run_suites
 
     _load_engine_cache(args.cache_dir)
+    server, address = _attach_cache_server(args)
     model = args.area_model
     runs = {
         "table1": [(experiments.run_table1_calibrated, (), {}),
@@ -246,14 +356,34 @@ def _cmd_experiment(args) -> int:
                        (experiments.run_extra_benchmarks, (), {})],
     }
     names = list(runs) if args.name == "all" else [args.name]
-    for index, name in enumerate(names):
-        if index:
-            print()
-        for table in run_tasks(runs[name], workers=args.workers,
-                               share_engine=default_engine()):
-            print(table.as_text())
-            print()
-    _save_engine_cache(args.cache_dir)
+    state = {"unsaved": True}
+
+    def _checkpoint(_name: str) -> None:
+        # flush the cache dir after every table/figure so a crash mid-
+        # `experiment all` keeps everything the earlier tables computed
+        if server is not None and args.cache_dir:
+            default_engine().merge_cache_state(server.export_layers())
+        _save_engine_cache(args.cache_dir)
+        state["unsaved"] = False
+
+    suites = run_suites(
+        runs, names, workers=args.workers,
+        share_engine=default_engine(),
+        share_mode="live" if address else "snapshot",
+        server_address=address,
+        checkpoint=_checkpoint)
+    try:
+        for index, (_name, tables) in enumerate(suites):
+            state["unsaved"] = True
+            if index:
+                print()
+            for table in tables:
+                print(table.as_text())
+                print()
+    finally:
+        _release_cache_server(server)
+        if state["unsaved"]:  # a clean run already saved at the last
+            _save_engine_cache(args.cache_dir)  # checkpoint
     return 0
 
 
@@ -263,8 +393,13 @@ def _cmd_explore(args) -> int:
     graph = _load_graph(args.benchmark)
     library = _load_library(None)
     _load_engine_cache(args.cache_dir)
-    points = sweep_bounds(graph, library, args.latencies, args.areas,
-                          args.method, workers=args.workers)
+    server, address = _attach_cache_server(args)
+    try:
+        points = sweep_bounds(graph, library, args.latencies, args.areas,
+                              args.method, workers=args.workers,
+                              cache_server=address)
+    finally:
+        _release_cache_server(server)
     _save_engine_cache(args.cache_dir)
     print(f"{'Ld':>4} {'Ad':>4} {'latency':>8} {'area':>5} {'reliability':>12}")
     for point in points:
@@ -294,6 +429,44 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_cache_serve(args) -> int:
+    import os
+
+    from repro.core import cache_server, cache_store
+
+    address = args.address
+    snapshot_file = None
+    if args.cache_dir:
+        snapshot_file = cache_store.snapshot_path(args.cache_dir)
+        if address is None:
+            address = cache_server.default_address(args.cache_dir)
+    server = cache_server.CacheServer(
+        address,  # None → the server owns (and cleans up) a temp dir
+        snapshot_path=snapshot_file,
+        flush_interval=args.flush_interval,
+        max_snapshot_bytes=(args.max_snapshot_kib * 1024
+                            if args.max_snapshot_kib else None))
+    if snapshot_file and os.path.exists(snapshot_file):
+        try:
+            adopted = server.seed(cache_store.load(snapshot_file).layers)
+            print(f"seeded {adopted} entries from {snapshot_file}",
+                  file=sys.stderr)
+        except ReproError as exc:
+            print(f"warning: ignoring engine cache {snapshot_file}: {exc}",
+                  file=sys.stderr)
+    server.start()
+    print(f"cache server listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    stats = server.stats
+    print(f"served {stats.requests} requests "
+          f"({stats.hits}/{stats.gets} hits, {stats.adopted} entries "
+          f"adopted, {stats.flushes} flushes)", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -304,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "experiment": _cmd_experiment,
         "explore": _cmd_explore,
+        "cache-serve": _cmd_cache_serve,
     }
     try:
         return handlers[args.command](args)

@@ -3,7 +3,9 @@
 from repro.core import cache_store
 from repro.core.baseline import baseline_design
 from repro.core.cache_store import (
+    CompactionStats,
     EngineSnapshot,
+    compact_snapshot,
     merge_snapshot,
     snapshot_engine,
 )
@@ -12,9 +14,17 @@ from repro.core.design import DesignResult
 from repro.core.engine import (
     EngineStats,
     EvaluationEngine,
+    RemoteCacheBackend,
     allocation_signature,
     default_engine,
     set_default_engine,
+)
+from repro.core import cache_server
+from repro.core.cache_server import (
+    CacheClient,
+    CacheServer,
+    attach_engine,
+    detach_engine,
 )
 from repro.core.evaluate import evaluate_allocation, min_latency
 from repro.core.explore import (
@@ -42,9 +52,17 @@ __all__ = [
     "EvaluationEngine",
     "EngineStats",
     "EngineSnapshot",
+    "CompactionStats",
+    "RemoteCacheBackend",
+    "CacheClient",
+    "CacheServer",
     "cache_store",
+    "cache_server",
+    "attach_engine",
+    "detach_engine",
     "snapshot_engine",
     "merge_snapshot",
+    "compact_snapshot",
     "allocation_signature",
     "default_engine",
     "set_default_engine",

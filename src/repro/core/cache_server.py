@@ -1,0 +1,721 @@
+"""Live shared-cache service for concurrent evaluations.
+
+Snapshots (:mod:`repro.core.cache_store`) let engine caches outlive a
+process, but concurrent long-lived processes — parallel ``experiment``
+runs, several CLI invocations pointed at one ``--cache-dir`` — still
+only exchange results at fork/join or snapshot boundaries.  This
+module closes that gap with a lightweight local *cache server*: one
+process owns the content-addressed cache layers and serves ``get`` /
+``put`` / ``multi-get`` over a unix-domain socket to any number of
+client engines, which therefore hit each other's results *mid-run*.
+
+Pieces, bottom to top:
+
+``frames``
+    Length-prefixed pickled tuples (a 4-byte big-endian length, then
+    the payload).  A frame that is oversized, truncated, or
+    undecodable raises a clean :class:`~repro.errors.CacheError` on
+    whichever side reads it — never a hang (both sides run with socket
+    timeouts) and never a crash.
+``CacheClient``
+    A blocking request/response client over one connection.  Every
+    transport failure surfaces as :class:`CacheError`.
+``CacheServer``
+    A threaded server (one daemon thread per connection, one lock
+    around the layers) holding the same per-layer LRU caches as an
+    :class:`~repro.core.engine.EvaluationEngine` — eviction is
+    enforced server-side, so a runaway client cannot balloon the
+    service.  An optional *write-behind flusher* thread persists the
+    layers to a snapshot file every ``flush_interval`` seconds (only
+    when dirty), compacting bound-dominated density entries and
+    capping the file size first (:func:`repro.core.cache_store.
+    compact_snapshot`), so a server crash loses at most one interval
+    of cache warmth — never correctness.
+``attach_engine`` / ``detach_engine``
+    Put a :class:`~repro.core.engine.RemoteCacheBackend` speaking this
+    protocol behind an engine's cache layers (local LRUs stay as
+    read-through L1s).  Attachment is best-effort and fail-open: an
+    unreachable or dying server leaves the engine computing locally
+    with identical results.
+
+Wire values use the same encoding as snapshot files (content-tuple
+graph keys; ``schedules`` entries as plain tuples), so the server's
+layers can be seeded from an engine export and merged back verbatim.
+
+Trust model: frames are pickles, exactly like snapshot files —
+unpickling attacker-controlled bytes executes arbitrary code.  The
+server therefore binds only unix-domain sockets (filesystem
+permissions gate access); treat a socket path with the same trust as a
+``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CacheError, ReproError
+from repro.core import cache_store
+from repro.core.engine import (
+    EvaluationEngine,
+    LRUCache,
+    RemoteCacheBackend,
+)
+
+#: Bumped whenever request/response shapes change; a client refuses to
+#: attach to a server speaking a different version.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on a single frame; anything larger is rejected with
+#: :class:`CacheError` before its payload is read.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Default client-side timeout for connect and each request round trip.
+CLIENT_TIMEOUT = 10.0
+
+#: Default server-side per-connection read timeout (idle connections
+#: are dropped, and a stalled client can never wedge a serving thread).
+SERVER_TIMEOUT = 60.0
+
+#: Default write-behind flush period, seconds.
+DEFAULT_FLUSH_INTERVAL = 30.0
+
+#: Socket file name used for ``auto`` addresses inside a directory.
+SOCKET_BASENAME = "cache-server.sock"
+
+#: Server-side total entry budget, split across layers by the engine's
+#: :attr:`~repro.core.engine.EvaluationEngine.LAYER_SHARES`.
+SERVER_MAX_ENTRIES = 1_000_000
+
+_LEN = struct.Struct("!I")
+_MISSING = object()
+
+
+def default_address(base_dir: Optional[str] = None) -> str:
+    """A socket path for ``auto`` mode.
+
+    Inside *base_dir* when given (so a cache dir and its server socket
+    live together), else inside a fresh private temp directory — unix
+    socket paths are length-limited (~100 bytes), so the path stays
+    short.
+    """
+    if base_dir:
+        return os.path.join(base_dir, SOCKET_BASENAME)
+    return os.path.join(tempfile.mkdtemp(prefix="repro-cache-"),
+                        SOCKET_BASENAME)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def _send_frame(sock: socket.socket, message: tuple,
+                max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Pickle *message* and send it length-prefixed."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_bytes:
+        raise CacheError(
+            f"cache frame of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte limit")
+    try:
+        sock.sendall(_LEN.pack(len(payload)) + payload)
+    except socket.timeout as exc:
+        raise CacheError("cache connection timed out while "
+                         "sending") from exc
+    except OSError as exc:
+        raise CacheError(f"cache connection failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                allow_eof: bool = False) -> Optional[bytes]:
+    """Read exactly *n* bytes.
+
+    ``None`` on a clean EOF before the first byte when *allow_eof*
+    (the peer simply closed between frames); :class:`CacheError` on a
+    timeout, a transport error, or a mid-frame EOF (truncation).
+    """
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:
+            raise CacheError("cache connection timed out while "
+                             "receiving") from exc
+        except OSError as exc:
+            raise CacheError(f"cache connection failed: {exc}") from exc
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise CacheError("cache frame is truncated "
+                             "(connection closed mid-frame)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket,
+                max_bytes: int = MAX_FRAME_BYTES) -> Optional[tuple]:
+    """Read one frame; ``None`` on clean EOF, :class:`CacheError` on
+    anything malformed (oversized, truncated, undecodable)."""
+    header = _recv_exact(sock, _LEN.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_bytes:
+        raise CacheError(
+            f"cache frame of {length} bytes exceeds the "
+            f"{max_bytes}-byte limit")
+    payload = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise CacheError(f"undecodable cache frame: {exc}") from exc
+    if not isinstance(message, tuple) or not message \
+            or not isinstance(message[0], str):
+        raise CacheError("malformed cache frame "
+                         "(expected an operation tuple)")
+    return message
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class CacheClient:
+    """Blocking request/response client for one :class:`CacheServer`.
+
+    Thread-safe (one lock per client, requests are serialized on the
+    single connection).  Every transport problem — refused connection,
+    timeout, oversized or corrupt frame, server-reported error —
+    raises :class:`~repro.errors.CacheError`; after a transport
+    failure the connection is dropped and the next request
+    reconnects.
+    """
+
+    def __init__(self, address: str, timeout: float = CLIENT_TIMEOUT,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.address = address
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.address)
+        except OSError as exc:
+            sock.close()
+            raise CacheError(
+                f"cannot reach cache server at {self.address!r}: "
+                f"{exc}") from exc
+        return sock
+
+    def _request(self, message: tuple):
+        with self._lock:
+            if self._sock is None:
+                self._sock = self._connect()
+            try:
+                _send_frame(self._sock, message, self.max_frame_bytes)
+                reply = _recv_frame(self._sock, self.max_frame_bytes)
+            except CacheError:
+                self._drop()
+                raise
+        if reply is None:
+            self._drop()
+            raise CacheError("cache server closed the connection")
+        if reply[0] == "error":
+            raise CacheError(f"cache server error: {reply[1]}")
+        if reply[0] != "ok" or len(reply) != 2:
+            self._drop()
+            raise CacheError("cache server sent a malformed reply")
+        return reply[1]
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> None:
+        """Round-trip liveness + protocol version check."""
+        reply = self._request(("ping",))
+        version = reply[1] if isinstance(reply, tuple) and len(reply) > 1 \
+            else None
+        if version != PROTOCOL_VERSION:
+            raise CacheError(
+                f"cache server speaks protocol {version!r}, "
+                f"this build speaks {PROTOCOL_VERSION}")
+
+    def get(self, layer: str, key: tuple) -> Tuple[bool, object]:
+        """``(found, value)`` for one content-addressed key."""
+        return self._request(("get", layer, key))
+
+    def get_many(self, layer: str,
+                 keys: Sequence[tuple]) -> Dict[tuple, object]:
+        """Present entries among *keys* (absent keys simply missing)."""
+        return self._request(("get_many", layer, list(keys)))
+
+    def put(self, layer: str, key: tuple, value: object) -> int:
+        """Insert one entry; returns 1 if the key was new."""
+        return self._request(("put", layer, key, value))
+
+    def put_many(self, entries: Sequence[Tuple[str, tuple, object]]) -> int:
+        """Insert a batch of ``(layer, key, value)``; returns new-key
+        count."""
+        return self._request(("put_many", list(entries)))
+
+    def stats(self) -> Dict[str, object]:
+        """Server telemetry snapshot (gets, hits, puts, entries, ...)."""
+        return self._request(("stats",))
+
+    def flush(self) -> Optional[str]:
+        """Force a write-behind flush; returns the snapshot path."""
+        return self._request(("flush",))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (it replies before exiting)."""
+        self._request(("shutdown",))
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "CacheClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+@dataclass
+class ServerStats:
+    """Telemetry accumulated by one :class:`CacheServer`."""
+
+    connections: int = 0
+    requests: int = 0
+    gets: int = 0            # single keys looked up (incl. multi-get)
+    hits: int = 0            # ... that were present
+    puts: int = 0            # entries received
+    adopted: int = 0         # ... that were new keys
+    evictions: int = 0       # LRU drops across all layers
+    flushes: int = 0         # write-behind snapshots written
+    flush_errors: int = 0    # failed flush attempts (kept serving)
+    bad_frames: int = 0      # malformed/oversized frames rejected
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        snapshot: Dict[str, float] = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
+
+
+class CacheServer:
+    """A threaded unix-domain-socket cache service.
+
+    Owns one content-addressed LRU per engine cache layer and serves
+    the frame protocol above.  ``start()`` binds and returns
+    immediately (accepting on a background thread); ``serve_forever``
+    blocks until :meth:`stop` or a remote ``shutdown`` request.
+
+    Parameters
+    ----------
+    address:
+        Socket path; default :func:`default_address`.
+    max_entries / layer_capacities:
+        Server-side LRU budget, split across layers exactly like an
+        engine's (:attr:`EvaluationEngine.LAYER_SHARES`).
+    snapshot_path:
+        Enables the write-behind flusher: the layers are persisted
+        here (compacted, size-capped) every *flush_interval* seconds
+        when dirty, and once more on :meth:`stop`.
+    max_snapshot_bytes:
+        File-size cap handed to :func:`~repro.core.cache_store.
+        compact_snapshot` before each flush.
+    """
+
+    def __init__(self, address: Optional[str] = None, *,
+                 max_entries: int = SERVER_MAX_ENTRIES,
+                 layer_capacities: Optional[Mapping[str, int]] = None,
+                 snapshot_path: Optional[str] = None,
+                 flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+                 max_snapshot_bytes: Optional[int] = None,
+                 timeout: float = SERVER_TIMEOUT,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        overrides = dict(layer_capacities or {})
+        unknown = sorted(set(overrides)
+                         - set(EvaluationEngine.LAYER_SHARES))
+        if unknown:
+            raise ReproError(
+                f"unknown cache layers {unknown}; use one of "
+                f"{sorted(EvaluationEngine.LAYER_SHARES)}")
+        # with no address the server owns a private temp dir, removed
+        # again on stop(); a caller-provided path is never cleaned up
+        self._owns_directory = address is None
+        self.address = address if address is not None else default_address()
+        self.snapshot_path = snapshot_path
+        self.flush_interval = flush_interval
+        self.max_snapshot_bytes = max_snapshot_bytes
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.stats = ServerStats()
+        self._layers: Dict[str, LRUCache] = {
+            name: LRUCache(
+                int(overrides.get(name, max(1, int(max_entries * share)))),
+                self._note_eviction)
+            for name, share in EvaluationEngine.LAYER_SHARES.items()
+        }
+        self._lock = threading.Lock()
+        self._dirty = 0          # bumped per adopted entry
+        self._flushed_mark = 0   # _dirty value at the last flush
+        self._stop = threading.Event()
+        self._stopped = False
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []   # accept + flusher
+        self._client_threads: set = set()            # live connections only
+        self._client_socks: set = set()
+
+    def _note_eviction(self) -> None:
+        self.stats.evictions += 1  # under self._lock (all layer ops are)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "CacheServer":
+        """Bind the socket and start accepting in the background."""
+        directory = os.path.dirname(os.path.abspath(self.address))
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.address):
+            os.unlink(self.address)  # a previous server's stale socket
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(self.address)
+        except OSError as exc:
+            listener.close()
+            raise CacheError(
+                f"cannot bind cache server socket {self.address!r}: "
+                f"{exc}") from exc
+        listener.listen(64)
+        # a short accept timeout so the accept loop notices stop();
+        # closing a socket does not reliably wake a blocked accept()
+        listener.settimeout(0.2)
+        self._listener = listener
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="cache-server-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        if self.snapshot_path:
+            flusher = threading.Thread(target=self._flush_loop,
+                                       name="cache-server-flush",
+                                       daemon=True)
+            flusher.start()
+            self._threads.append(flusher)
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` or a remote ``shutdown``."""
+        self._stop.wait()
+        self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting, drop clients, flush once, remove the socket."""
+        self._stop.set()
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            socks = list(self._client_socks)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for sock in socks:  # unblocks serving threads mid-recv
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        current = threading.current_thread()
+        with self._lock:
+            client_threads = list(self._client_threads)
+        for thread in self._threads + client_threads:
+            if thread is not current:
+                thread.join(timeout=5.0)
+        try:
+            self.flush()
+        except ReproError:
+            self.stats.flush_errors += 1
+        try:
+            os.unlink(self.address)
+        except OSError:
+            pass
+        if self._owns_directory:
+            try:
+                os.rmdir(os.path.dirname(os.path.abspath(self.address)))
+            except OSError:
+                pass  # someone else put files there; leave it
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- cache state ---------------------------------------------------
+    def seed(self, layers: Mapping[str, list]) -> int:
+        """Adopt content-addressed *layers* (an engine export or a
+        snapshot's layers); existing server entries win.  Returns the
+        entries adopted."""
+        adopted = 0
+        with self._lock:
+            for name, entries in layers.items():
+                cache = self._layers.get(name)
+                if cache is None:
+                    continue
+                for key, value in entries:
+                    if cache.get(key, _MISSING) is _MISSING:
+                        cache.put(key, value)
+                        adopted += 1
+            self._dirty += adopted
+        return adopted
+
+    def export_layers(self) -> Dict[str, list]:
+        """Copy of every layer, LRU-ordered — the engine-export shape,
+        directly mergeable via
+        :meth:`EvaluationEngine.merge_cache_state`."""
+        with self._lock:
+            return {name: list(cache.items())
+                    for name, cache in self._layers.items()}
+
+    def export_snapshot(self) -> cache_store.EngineSnapshot:
+        """The layers wrapped as a snapshot (for saving/merging)."""
+        return cache_store.EngineSnapshot(layers=self.export_layers())
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return sum(len(cache) for cache in self._layers.values())
+
+    def flush(self) -> Optional[str]:
+        """Write-behind flush: persist the layers if dirty.
+
+        Compacts bound-dominated density entries and enforces
+        ``max_snapshot_bytes`` before writing.  Returns the snapshot
+        path, or ``None`` when flushing is disabled or nothing
+        changed.
+        """
+        if not self.snapshot_path:
+            return None
+        with self._lock:
+            if self._dirty == self._flushed_mark:
+                return None
+            mark = self._dirty
+            layers = {name: list(cache.items())
+                      for name, cache in self._layers.items()}
+        snapshot = cache_store.EngineSnapshot(layers=layers)
+        snapshot, _ = cache_store.compact_snapshot(
+            snapshot, max_bytes=self.max_snapshot_bytes)
+        try:
+            cache_store.save(snapshot, self.snapshot_path)
+        except OSError as exc:
+            raise CacheError(
+                f"cache server cannot flush to "
+                f"{self.snapshot_path!r}: {exc}") from exc
+        with self._lock:
+            self._flushed_mark = mark
+            self.stats.flushes += 1
+        return self.snapshot_path
+
+    def _flush_loop(self) -> None:
+        while not self._stop.wait(self.flush_interval):
+            try:
+                self.flush()
+            except ReproError:
+                with self._lock:
+                    self.stats.flush_errors += 1
+
+    # -- serving -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by stop()
+            conn.settimeout(self.timeout)
+            with self._lock:
+                if self._stopped:
+                    conn.close()
+                    break
+                self._client_socks.add(conn)
+                self.stats.connections += 1
+            thread = threading.Thread(target=self._serve_client,
+                                      args=(conn,),
+                                      name="cache-server-client",
+                                      daemon=True)
+            with self._lock:
+                self._client_threads.add(thread)
+            thread.start()
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = _recv_frame(conn, self.max_frame_bytes)
+                except CacheError as exc:
+                    # oversized/corrupt/timed-out frame: report, then
+                    # close — the stream position is unknowable now
+                    with self._lock:
+                        self.stats.bad_frames += 1
+                    try:
+                        _send_frame(conn, ("error", str(exc)),
+                                    self.max_frame_bytes)
+                    except CacheError:
+                        pass
+                    return
+                if message is None:
+                    return  # clean disconnect
+                try:
+                    reply = ("ok", self._dispatch(message))
+                except CacheError as exc:
+                    reply = ("error", str(exc))
+                except Exception as exc:  # never let a client kill us
+                    reply = ("error", f"internal server error: {exc}")
+                try:
+                    _send_frame(conn, reply, self.max_frame_bytes)
+                except CacheError:
+                    return
+                if message[0] == "shutdown" and reply[0] == "ok":
+                    # reply first (the caller is waiting), then tear
+                    # down from a helper thread — stop() joins client
+                    # threads, so it must not run on this one
+                    threading.Thread(target=self.stop,
+                                     daemon=True).start()
+                    return
+        finally:
+            with self._lock:
+                self._client_socks.discard(conn)
+                self._client_threads.discard(threading.current_thread())
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _layer(self, name) -> LRUCache:
+        cache = self._layers.get(name)
+        if cache is None:
+            raise CacheError(f"unknown cache layer {name!r}")
+        return cache
+
+    def _dispatch(self, message: tuple):
+        with self._lock:
+            self.stats.requests += 1
+        op = message[0]
+        try:
+            if op == "ping":
+                return ("pong", PROTOCOL_VERSION)
+            if op == "get":
+                _, layer, key = message
+                with self._lock:
+                    value = self._layer(layer).get(key, _MISSING)
+                    self.stats.gets += 1
+                    if value is _MISSING:
+                        return (False, None)
+                    self.stats.hits += 1
+                    return (True, value)
+            if op == "get_many":
+                _, layer, keys = message
+                found = {}
+                with self._lock:
+                    cache = self._layer(layer)
+                    for key in keys:
+                        value = cache.get(key, _MISSING)
+                        self.stats.gets += 1
+                        if value is not _MISSING:
+                            self.stats.hits += 1
+                            found[key] = value
+                return found
+            if op == "put":
+                _, layer, key, value = message
+                return self._adopt([(layer, key, value)])
+            if op == "put_many":
+                (_, entries) = message
+                return self._adopt(entries)
+            if op == "stats":
+                with self._lock:
+                    snapshot = self.stats.as_dict()
+                    snapshot["entries"] = sum(
+                        len(cache) for cache in self._layers.values())
+                    snapshot["layer_sizes"] = {
+                        name: len(cache)
+                        for name, cache in self._layers.items()}
+                return snapshot
+            if op == "flush":
+                return self.flush()
+            if op == "shutdown":
+                return None  # the serving loop tears down after replying
+        except ValueError as exc:
+            raise CacheError(f"malformed {op!r} request: {exc}") from exc
+        raise CacheError(f"unknown cache request {op!r}")
+
+    def _adopt(self, entries) -> int:
+        adopted = 0
+        with self._lock:
+            for layer, key, value in entries:
+                cache = self._layer(layer)
+                self.stats.puts += 1
+                if cache.get(key, _MISSING) is _MISSING:
+                    adopted += 1
+                cache.put(key, value)
+            self.stats.adopted += adopted
+            self._dirty += adopted
+        return adopted
+
+
+# ----------------------------------------------------------------------
+# engine attachment
+# ----------------------------------------------------------------------
+def attach_engine(engine: EvaluationEngine, address: str, *,
+                  timeout: float = CLIENT_TIMEOUT,
+                  batch_size: int = RemoteCacheBackend.PUT_BATCH) -> bool:
+    """Attach *engine* to the cache server at *address* (best-effort).
+
+    Returns ``True`` on success; ``False`` when the server is
+    unreachable or speaks a different protocol version — the engine is
+    left untouched and computes locally, which is always
+    behaviourally identical.
+    """
+    client = CacheClient(address, timeout=timeout)
+    try:
+        client.ping()
+    except ReproError:
+        client.close()
+        return False
+    engine.attach_backend(RemoteCacheBackend(client, batch_size=batch_size))
+    return True
+
+
+def detach_engine(engine: EvaluationEngine) -> None:
+    """Detach *engine* from its cache server (flushing buffered puts)."""
+    backend = engine.detach_backend()
+    if backend is not None:
+        backend.close()

@@ -45,7 +45,7 @@ import hashlib
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CacheError
 from repro.core.engine import EvaluationEngine
@@ -157,6 +157,96 @@ def loads(data: bytes) -> EngineSnapshot:
         raise CacheError(
             f"engine cache snapshot payload is undecodable: {exc}") from exc
     return EngineSnapshot(version=version, layers=layers)
+
+
+@dataclass
+class CompactionStats:
+    """What :func:`compact_snapshot` removed and why."""
+
+    entries_before: int = 0
+    entries_after: int = 0
+    pruned_density: int = 0    # bound-dominated density points dropped
+    dropped_for_size: int = 0  # stalest entries dropped for the size cap
+
+    @property
+    def removed(self) -> int:
+        return self.entries_before - self.entries_after
+
+
+def compact_snapshot(snapshot: EngineSnapshot,
+                     max_bytes: Optional[int] = None
+                     ) -> Tuple[EngineSnapshot, CompactionStats]:
+    """Shrink *snapshot* without changing what loading it can compute.
+
+    Every cache layer is a pure memo, so dropping entries can only
+    cost future recomputation, never correctness — the property tests
+    assert cold ≡ warm ≡ compacted.  Two reductions run:
+
+    * **bound dominance** — density entries share a key prefix of
+      ``(graph, allocation)`` and differ only in latency; every
+      density scan walks the same allocation's latencies in ascending
+      order from the same critical path and keeps the minimum-area
+      point.  An entry whose realized area does not *improve on* every
+      feasible entry at a strictly lower latency can therefore never
+      be the scan's winner — it is pruned (infeasible/``None`` markers
+      are tiny and memoize real work, so they stay).
+    * **size cap** — with *max_bytes*, the stalest entries (snapshots
+      list least- to most-recently-used) are dropped proportionally
+      across layers until the encoded file fits.
+
+    Returns the compacted snapshot (a new object; the input is not
+    mutated) and a :class:`CompactionStats`.
+    """
+    layers = {name: list(entries)
+              for name, entries in snapshot.layers.items()}
+    stats = CompactionStats(
+        entries_before=sum(len(entries) for entries in layers.values()))
+
+    density = layers.get("density")
+    if density:
+        groups: Dict[tuple, list] = {}
+        for index, (key, value) in enumerate(density):
+            groups.setdefault(tuple(key[:-1]), []).append(
+                (key[-1], index, value))
+        doomed = set()
+        for group in groups.values():
+            best_area: Optional[int] = None
+            for _latency, index, value in sorted(
+                    group, key=lambda item: item[0]):
+                if value is None:
+                    continue  # infeasibility markers stay
+                area = value[1].area  # (schedule, binding) pair
+                if best_area is not None and area >= best_area:
+                    doomed.add(index)
+                else:
+                    best_area = area
+        if doomed:
+            stats.pruned_density = len(doomed)
+            layers["density"] = [entry for index, entry
+                                 in enumerate(density)
+                                 if index not in doomed]
+
+    compacted = EngineSnapshot(version=snapshot.version, layers=layers)
+    if max_bytes is not None:
+        data = dumps(compacted)
+        while len(data) > max_bytes:
+            if not any(layers.values()):
+                break  # even the empty envelope exceeds the cap
+            # keep the newest fraction of each layer, estimated from
+            # the overshoot (never more than 7/8, so progress is
+            # guaranteed and the loop is a handful of re-encodes)
+            keep_fraction = min(max_bytes / len(data) * 0.9, 0.875)
+            for name, entries in layers.items():
+                keep = int(len(entries) * keep_fraction)
+                if keep < len(entries):
+                    stats.dropped_for_size += len(entries) - keep
+                    layers[name] = entries[len(entries) - keep:]
+            compacted = EngineSnapshot(version=snapshot.version,
+                                       layers=layers)
+            data = dumps(compacted)
+
+    stats.entries_after = compacted.entry_count
+    return compacted, stats
 
 
 def snapshot_path(cache_dir: str) -> str:

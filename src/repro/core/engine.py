@@ -62,6 +62,16 @@ wraps them in a versioned, digest-checked snapshot file — worker
 processes pre-warm from a parent snapshot, and CLI runs persist caches
 across invocations (``--cache-dir``).
 
+Beyond snapshots, the layers can be served *live*: :meth:`~
+EvaluationEngine.attach_backend` puts a :class:`RemoteCacheBackend`
+behind every layer, keeping the local LRUs as read-through L1s while
+L1 misses consult (and fresh results feed, write-behind) a shared
+cache server (:mod:`repro.core.cache_server`) — so concurrent
+processes hit each other's results mid-run instead of at fork/join or
+snapshot boundaries.  The backend is fail-open: any transport error
+detaches it logically and the engine continues local-only with
+identical results.
+
 A module-level default engine backs the
 :func:`repro.core.evaluate.evaluate_allocation` compatibility wrapper;
 pass ``engine=`` to any synthesis entry point to use a private one
@@ -71,10 +81,12 @@ behaviour).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import ReproError, SchedulingError
@@ -125,6 +137,8 @@ class EngineStats:
     timing_hits: int = 0          # ... served from the timing cache
     incremental_timings: int = 0  # single-op partial re-timings
     evictions: int = 0            # LRU entries dropped across all layers
+    remote_hits: int = 0          # L1 misses answered by a cache server
+    remote_fallbacks: int = 0     # times the remote backend was abandoned
     wall_time: float = 0.0        # seconds spent inside evaluate()
 
     @property
@@ -177,6 +191,8 @@ class EngineStats:
             f" (cache hits {self.timing_hits},"
             f" incremental {self.incremental_timings})",
             f"  lru evictions         : {self.evictions}",
+            f"  remote cache          : {self.remote_hits} hits"
+            f" (fallbacks {self.remote_fallbacks})",
             f"  evaluation wall time  : {self.wall_time:.3f}s"
             f" ({self.evaluations_per_second:.0f} evaluations/s)",
         ])
@@ -235,6 +251,15 @@ class LRUCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+    def prefetch(self, keys) -> None:
+        """No-op; remote layers override to batch upcoming lookups."""
+
+    def get_local(self, key, default=None):
+        """Same as :meth:`get`; remote layers override to skip the
+        server (used right after a :meth:`prefetch` of the same keys,
+        when a second remote miss would be a wasted round trip)."""
+        return self.get(key, default)
 
 
 class _SchedulePoint:
@@ -317,6 +342,204 @@ class _GraphRecord:
         return cached
 
 
+class RemoteCacheBackend:
+    """Bridge between engine cache layers and a live cache service.
+
+    The backend sits *behind* the layer interface: an attached engine
+    keeps every layer's :class:`LRUCache` as a read-through L1, and the
+    backend only sees L1 misses (fetches) and fresh results (stores).
+    Keys cross the wire content-addressed — the process-local graph id
+    is replaced by the graph's content tuple, exactly as in snapshot
+    files — so any number of independent processes land on the same
+    server entries.
+
+    Stores are write-behind: they buffer locally and ship in
+    ``put_many`` batches, so the hot path pays at most one round trip
+    per L1 miss.  Every failure mode — connect refused, timeout, a
+    corrupt frame, the server dying mid-run — flips :attr:`alive` off
+    and the backend goes silent: fetches miss, stores drop, and the
+    engine continues on its local caches with identical results (the
+    layers are pure memos; the server is a hit-rate amplifier, never a
+    correctness dependency).
+
+    *client* is duck-typed (see :class:`repro.core.cache_server.
+    CacheClient`): ``get(layer, key) -> (found, value)``,
+    ``get_many(layer, keys) -> {key: value}``, ``put_many(entries)``,
+    and ``close()``, all raising :class:`~repro.errors.CacheError` on
+    any transport problem.
+    """
+
+    #: buffered stores shipped per ``put_many`` round trip.
+    PUT_BATCH = 32
+
+    def __init__(self, client, *, batch_size: int = PUT_BATCH):
+        if batch_size < 1:
+            raise ReproError(
+                f"put batch size must be positive, got {batch_size}")
+        self.client = client
+        self.batch_size = batch_size
+        self.alive = True
+        self.stats: Optional[EngineStats] = None  # set by attach_backend
+        self._pending: List[Tuple[str, tuple, object]] = []
+        self._owner_pid = os.getpid()
+
+    def _fail(self) -> None:
+        """Abandon the server: drop buffers, go local-only for good."""
+        if self.alive and self.stats is not None:
+            self.stats.remote_fallbacks += 1
+        self.alive = False
+        self._pending.clear()
+
+    def _usable(self) -> bool:
+        """Alive, *and* still in the process that opened the socket.
+
+        A forked worker inherits the parent's backend (and its
+        connection file descriptor); writing on it would interleave
+        frames with the parent's own requests.  The child silently
+        goes local-only instead — it re-attaches with a fresh client
+        if live sharing is wanted (``repro.parallel``'s live
+        initializer does exactly that).
+        """
+        if not self.alive:
+            return False
+        if os.getpid() != self._owner_pid:
+            self.alive = False  # inherited via fork: never touch it
+            self._pending.clear()
+            return False
+        return True
+
+    def fetch(self, layer: str, key: tuple) -> Tuple[bool, object]:
+        """One remote lookup; ``(False, None)`` on miss or any failure."""
+        if not self._usable():
+            return False, None
+        try:
+            return self.client.get(layer, key)
+        except ReproError:
+            self._fail()
+            return False, None
+
+    def fetch_many(self, layer: str, keys: Sequence[tuple]
+                   ) -> Dict[tuple, object]:
+        """Batched lookup of *keys*; absent keys are simply missing."""
+        if not keys or not self._usable():
+            return {}
+        try:
+            return self.client.get_many(layer, keys)
+        except ReproError:
+            self._fail()
+            return {}
+
+    def store(self, layer: str, key: tuple, value: object) -> None:
+        """Buffer one entry for the server (write-behind)."""
+        if not self._usable():
+            return
+        self._pending.append((layer, key, value))
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship every buffered store to the server."""
+        if not self._pending or not self._usable():
+            return
+        pending, self._pending = self._pending, []
+        try:
+            self.client.put_many(pending)
+        except ReproError:
+            self._fail()
+
+    def close(self) -> None:
+        """Flush buffers and release the transport."""
+        self.flush()
+        try:
+            self.client.close()
+        except ReproError:
+            pass
+
+
+class _RemoteLayer:
+    """One engine cache layer backed by a local L1 plus a remote server.
+
+    Duck-type compatible with :class:`LRUCache` (``get``/``put``/
+    ``items``/``clear``/``len``), so the engine's hot paths are
+    oblivious to whether a layer is local or server-backed.  Lookups
+    read through: L1 first, then one remote fetch whose result is
+    adopted into L1.  Inserts write to L1 and buffer a write-behind
+    store.  Keys are translated local→content at the boundary; the
+    ``schedules`` layer's :class:`_SchedulePoint` values travel as
+    plain tuples, exactly as in snapshot files.
+    """
+
+    __slots__ = ("name", "local", "backend", "engine")
+
+    def __init__(self, name: str, local: LRUCache,
+                 backend: RemoteCacheBackend, engine: "EvaluationEngine"):
+        self.name = name
+        self.local = local
+        self.backend = backend
+        self.engine = engine
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def _encode(self, value):
+        if self.name == "schedules":
+            return (value.schedule, value.signature, value.binding)
+        return value
+
+    def _decode(self, value):
+        if self.name == "schedules":
+            return _SchedulePoint(*value)
+        return value
+
+    def get(self, key, default=None):
+        value = self.local.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        content = self.engine._content_key(key)
+        if content is None:
+            return default
+        found, value = self.backend.fetch(self.name, content)
+        if not found:
+            return default
+        value = self._decode(value)
+        self.local.put(key, value)
+        self.engine.stats.remote_hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self.local.put(key, value)
+        content = self.engine._content_key(key)
+        if content is not None:
+            self.backend.store(self.name, content, self._encode(value))
+
+    def get_local(self, key, default=None):
+        """L1-only lookup — never consults the server."""
+        return self.local.get(key, default)
+
+    def prefetch(self, keys) -> None:
+        """Adopt a batch of upcoming keys in one round trip (L1 misses
+        only); the density scan uses this to fetch a whole latency
+        range at once instead of paying one round trip per point."""
+        wanted = {}
+        for key in keys:
+            if self.local.get(key, _MISSING) is _MISSING:
+                content = self.engine._content_key(key)
+                if content is not None:
+                    wanted[content] = key
+        if not wanted:
+            return
+        for content, value in self.backend.fetch_many(
+                self.name, list(wanted)).items():
+            self.local.put(wanted[content], self._decode(value))
+            self.engine.stats.remote_hits += 1
+
+    def items(self):
+        return self.local.items()
+
+    def clear(self) -> None:
+        self.local.clear()
+
+
 class EvaluationEngine:
     """Memoized allocation evaluation shared across searches and sweeps.
 
@@ -377,19 +600,80 @@ class EvaluationEngine:
         self.stats = EngineStats()
         self._graphs: Dict[int, _GraphRecord] = {}
         self._graph_keys: Dict[tuple, int] = {}
+        self._graph_contents: Dict[int, tuple] = {}  # inverse of the above
+        self._backend: Optional[RemoteCacheBackend] = None
         self._layers: Dict[str, LRUCache] = {
             name: LRUCache(capacity, self._note_eviction)
             for name, capacity in self.layer_capacities.items()
         }
-        self._evaluations = self._layers["evaluations"]
-        self._density = self._layers["density"]
-        self._schedules = self._layers["schedules"]
-        self._list_results = self._layers["list"]
-        self._list_probes = self._layers["probes"]
-        self._timing_cache = self._layers["timing"]
+        self._bind_layers(self._layers)
+
+    #: hot-path attribute → layer name, used to (re)bind the layer views
+    #: when a remote backend is attached or detached.
+    _LAYER_ATTRS = {
+        "_evaluations": "evaluations",
+        "_density": "density",
+        "_schedules": "schedules",
+        "_list_results": "list",
+        "_list_probes": "probes",
+        "_timing_cache": "timing",
+    }
+
+    def _bind_layers(self, views: Mapping[str, object]) -> None:
+        for attr, name in self._LAYER_ATTRS.items():
+            setattr(self, attr, views[name])
 
     def _note_eviction(self) -> None:
         self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # live cache service attachment
+    # ------------------------------------------------------------------
+    def attach_backend(self, backend: RemoteCacheBackend) -> None:
+        """Serve every cache layer read-through from *backend*.
+
+        The local LRUs stay in place as L1s — hot lookups never leave
+        the process — and only L1 misses and fresh results reach the
+        server.  Attaching is behaviourally transparent: results are
+        identical with or without the backend, and the backend going
+        dark mid-run silently reverts the engine to local-only
+        operation.
+        """
+        if not self.cache_enabled:
+            raise ReproError(
+                "cannot attach a cache server to a cache-disabled engine")
+        if self._backend is not None:
+            self.detach_backend()
+        backend.stats = self.stats
+        self._backend = backend
+        self._bind_layers({
+            name: _RemoteLayer(name, self._layers[name], backend, self)
+            for name in self._layers
+        })
+
+    def detach_backend(self) -> Optional[RemoteCacheBackend]:
+        """Restore local-only layers; returns the flushed backend."""
+        backend = self._backend
+        if backend is None:
+            return None
+        self._backend = None
+        self._bind_layers(self._layers)
+        backend.flush()
+        return backend
+
+    @property
+    def backend(self) -> Optional[RemoteCacheBackend]:
+        """The attached remote backend, if any."""
+        return self._backend
+
+    def _content_key(self, key: tuple) -> Optional[tuple]:
+        """Translate a process-local layer key to its content-addressed
+        form (the graph id becomes the graph's content tuple), or
+        ``None`` when the graph registry no longer knows the id."""
+        content = self._graph_contents.get(key[0])
+        if content is None:
+            return None
+        return (content,) + tuple(key[1:])
 
     # ------------------------------------------------------------------
     # graph identity
@@ -413,6 +697,7 @@ class EvaluationEngine:
                    tuple((op.op_id, op.rtype) for op in graph),
                    tuple(graph.edges()))
         key = self._graph_keys.setdefault(content, len(self._graph_keys))
+        self._graph_contents[key] = content
         record = _GraphRecord(graph, key)
         self._graphs[id(graph)] = record
         return record
@@ -544,6 +829,12 @@ class EvaluationEngine:
     def _density_best(self, graph, record, signature, allocation, delays,
                       critical, latency_bound, area_model, stop_at_area):
         best = None
+        if self._backend is not None and self.cache_enabled:
+            # one round trip for the whole latency range instead of one
+            # per point; local-only engines skip even building the keys
+            self._density.prefetch([(record.key, signature, latency)
+                                    for latency in
+                                    range(critical, latency_bound + 1)])
         for latency in range(critical, latency_bound + 1):
             pair = self._density_point(graph, record, signature, allocation,
                                        delays, latency)
@@ -562,7 +853,8 @@ class EvaluationEngine:
         self.stats.density_points += 1
         key = (record.key, signature, latency)
         if self.cache_enabled:
-            cached = self._density.get(key, _MISSING)
+            # L1-only: _density_best already prefetched the whole range
+            cached = self._density.get_local(key, _MISSING)
             if cached is not _MISSING:
                 self.stats.density_hits += 1
                 return cached
@@ -708,6 +1000,7 @@ class EvaluationEngine:
             layer.clear()
         self._graphs.clear()
         self._graph_keys.clear()
+        self._graph_contents.clear()
 
     # ------------------------------------------------------------------
     # persistence (see repro.core.cache_store for the on-disk format)
@@ -721,7 +1014,7 @@ class EvaluationEngine:
         the same logical entries.  Entries are listed from least- to
         most-recently used, preserving recency across a merge.
         """
-        inverse = {key: content for content, key in self._graph_keys.items()}
+        inverse = self._graph_contents
         layers: Dict[str, list] = {}
         for name, cache in self._layers.items():
             entries = []
@@ -755,6 +1048,7 @@ class EvaluationEngine:
                 content = key[0]
                 local = self._graph_keys.setdefault(content,
                                                     len(self._graph_keys))
+                self._graph_contents[local] = content
                 local_key = (local,) + tuple(key[1:])
                 if cache.get(local_key, _MISSING) is _MISSING:
                     if name == "schedules":

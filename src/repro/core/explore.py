@@ -11,7 +11,9 @@ pair is reused by every other pair that revisits the allocation.  Pass
 processes; workers pre-warm from a snapshot of the shared engine's
 caches and merge their own caches back on join
 (:mod:`repro.core.cache_store`), so parallel sweeps no longer re-warm
-every cache per worker.
+every cache per worker — or pass ``share_caches="live"`` to attach the
+workers to a shared cache server (:mod:`repro.core.cache_server`) so
+overlapping grid points hit each other's results mid-run.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.parallel import run_tasks
 
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import NoSolutionError
+from repro.errors import NoSolutionError, ReproError
 from repro.hls.metrics import AREA_INSTANCES
 from repro.library.library import ResourceLibrary
 from repro.core.baseline import baseline_design
@@ -90,7 +92,8 @@ def sweep_bounds(graph: DataFlowGraph,
                  area_model: str = AREA_INSTANCES,
                  workers: Optional[int] = None,
                  engine: Optional[EvaluationEngine] = None,
-                 share_caches: bool = True,
+                 share_caches=True,
+                 cache_server: Optional[str] = None,
                  **kwargs) -> List[SweepPoint]:
     """Synthesize at every (Ld, Ad) pair; infeasible points yield None.
 
@@ -104,25 +107,45 @@ def sweep_bounds(graph: DataFlowGraph,
     engine:
         Engine for the serial path (default: the process-wide one).
         With *workers* parallelism it becomes the cache-sharing hub:
-        its caches pre-warm every worker, and the workers' caches merge
-        back into it on join — so a later sweep (or a ``--cache-dir``
+        its caches seed every worker, and what the grid computed lands
+        back in it on join — so a later sweep (or a ``--cache-dir``
         save) starts from everything the grid computed.
     share_caches:
-        Disable to run workers fully cold and discard their caches on
-        join (the pre-sharing behaviour; results are identical either
-        way, only the wall-clock differs).
+        How workers exchange cache entries.  ``True``/``"snapshot"``
+        pre-warms workers from a snapshot of *engine* and merges their
+        caches back on join; ``"live"`` attaches the workers to a
+        shared cache server (:mod:`repro.core.cache_server`) so
+        overlapping grid points hit each other's results *mid-run*;
+        ``False`` runs workers fully cold and discards their caches.
+        Results are identical in every mode — only wall clock differs.
+    cache_server:
+        Socket path of an already-running cache server to share
+        through (implies ``"live"``); without it, live mode spawns an
+        ephemeral server for the duration of the sweep.
     """
     pairs = [(latency_bound, area_bound)
              for latency_bound in latency_bounds
              for area_bound in area_bounds]
     if uses_workers(workers, len(pairs)):
         engine = engine if engine is not None else default_engine()
+        if cache_server is not None and share_caches is True:
+            share_caches = "live"
+        if share_caches is True or share_caches == "snapshot":
+            share, mode = engine, "snapshot"
+        elif share_caches == "live":
+            share, mode = engine, "live"
+        elif share_caches is False or share_caches is None:
+            share, mode = None, "snapshot"
+        else:
+            raise ReproError(
+                f"unknown share_caches setting {share_caches!r}; "
+                f"use True, False, 'snapshot' or 'live'")
         tasks = [(_sweep_point,
                   ((method, graph, library, latency_bound, area_bound,
                     area_model, kwargs),), {})
                  for latency_bound, area_bound in pairs]
-        results = run_tasks(tasks, workers=workers,
-                            share_engine=engine if share_caches else None)
+        results = run_tasks(tasks, workers=workers, share_engine=share,
+                            share_mode=mode, server_address=cache_server)
         return [SweepPoint(latency_bound, area_bound, result)
                 for (latency_bound, area_bound), result in zip(pairs, results)]
 

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     ExperimentTable,
     improvement,
     mean,
+    run_suites,
     run_tasks,
 )
 from repro.experiments.table1 import (
@@ -33,6 +34,7 @@ __all__ = [
     "ExperimentTable",
     "improvement",
     "mean",
+    "run_suites",
     "run_tasks",
     "run_table1_calibrated",
     "run_table1_characterized",

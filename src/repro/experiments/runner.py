@@ -5,18 +5,51 @@ parallel experiment executor.
 drivers that fan tables out across processes can pass
 ``share_engine=`` to pre-warm the workers from (and merge their caches
 back into) a parent evaluation engine — the CLI's ``experiment
---workers N --cache-dir DIR`` builds directly on this."""
+--workers N --cache-dir DIR`` builds directly on this, and
+:func:`run_suites` adds the crash-safety loop for multi-table runs
+(``experiment all``): each named group of tasks is executed and
+yielded as soon as it finishes, with a *checkpoint* callback between
+groups so partial results (e.g. the ``--cache-dir`` snapshot) are
+persisted even if a later table crashes the process."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.parallel import Task as ExperimentTask
 from repro.parallel import run_tasks
 
 __all__ = ["ExperimentTable", "ExperimentTask", "improvement", "mean",
-           "run_tasks"]
+           "run_suites", "run_tasks"]
+
+
+def run_suites(suites: Mapping[str, Sequence[ExperimentTask]],
+               names: Optional[Sequence[str]] = None, *,
+               workers: Optional[int] = None,
+               share_engine=None,
+               share_mode: str = "snapshot",
+               server_address: Optional[str] = None,
+               checkpoint: Optional[Callable[[str], None]] = None,
+               ) -> Iterator[Tuple[str, List[object]]]:
+    """Run named groups of experiment tasks, yielding each on completion.
+
+    A lazy generator: group *name*'s results are yielded as soon as
+    its tasks finish, and *checkpoint(name)* runs after the caller has
+    consumed them — so a run that dies on table N still leaves behind
+    everything tables 1..N-1 produced and checkpointed.  The sharing
+    parameters are forwarded to :func:`repro.parallel.run_tasks`
+    unchanged.
+    """
+    for name in (list(suites) if names is None else names):
+        results = run_tasks(suites[name], workers=workers,
+                            share_engine=share_engine,
+                            share_mode=share_mode,
+                            server_address=server_address)
+        yield name, results
+        if checkpoint is not None:
+            checkpoint(name)
 
 
 @dataclass

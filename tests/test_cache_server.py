@@ -1,0 +1,487 @@
+"""Concurrency and fault-injection harness for the live cache server.
+
+The server's contract has three parts, each locked down here:
+
+* **protocol hygiene** — length-prefixed frames round-trip; anything
+  malformed (oversized, truncated, undecodable, a peer that goes
+  silent) surfaces as a clean :class:`~repro.errors.CacheError` on a
+  bounded clock, never a hang and never a crash of the serving
+  process;
+* **shared state** — concurrent clients hammering overlapping
+  get/put traffic lose no updates and never deadlock, with LRU bounds
+  enforced server-side;
+* **transparency** — engines attached to a server produce results
+  identical to engine-off runs, *including* when the server is killed
+  mid-run (clients fall back to their local caches) and when the
+  server was never reachable at all.
+"""
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.core import (
+    EvaluationEngine,
+    attach_engine,
+    cache_server,
+    detach_engine,
+    find_design,
+    sweep_bounds,
+)
+from repro.core.cache_server import (
+    CacheClient,
+    CacheServer,
+    _recv_frame,
+    _send_frame,
+)
+from repro.errors import CacheError
+from repro.library import paper_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with CacheServer(str(tmp_path / "cache.sock")) as srv:
+        yield srv
+
+
+def design_fingerprint(result):
+    if result is None:
+        return None
+    return (result.area, result.latency, result.reliability,
+            dict(result.schedule.starts),
+            dict(result.binding.op_to_instance))
+
+
+def point_fingerprints(points):
+    return [(p.latency_bound, p.area_bound, design_fingerprint(p.result))
+            for p in points]
+
+
+# ----------------------------------------------------------------------
+# protocol hygiene
+# ----------------------------------------------------------------------
+class TestFraming:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(2.0)
+        b.settimeout(2.0)
+        return a, b
+
+    def test_round_trip(self):
+        a, b = self._pair()
+        message = ("put", "density", (("g",), "sig", 3), [1, 2, 3])
+        _send_frame(a, message)
+        assert _recv_frame(b) == message
+
+    def test_clean_eof_is_none(self):
+        a, b = self._pair()
+        a.close()
+        assert _recv_frame(b) is None
+
+    def test_oversized_send_rejected(self):
+        a, _b = self._pair()
+        with pytest.raises(CacheError, match="exceeds"):
+            _send_frame(a, ("put", "x" * 64), max_bytes=32)
+
+    def test_oversized_receive_rejected_before_payload(self):
+        a, b = self._pair()
+        a.sendall(struct.pack("!I", 1 << 30))  # header only, no payload
+        with pytest.raises(CacheError, match="exceeds"):
+            _recv_frame(b, max_bytes=1 << 20)
+
+    def test_truncated_frame_rejected(self):
+        a, b = self._pair()
+        payload = pickle.dumps(("ping",))
+        a.sendall(struct.pack("!I", len(payload) + 10) + payload)
+        a.close()
+        with pytest.raises(CacheError, match="truncated"):
+            _recv_frame(b)
+
+    def test_undecodable_payload_rejected(self):
+        a, b = self._pair()
+        garbage = b"\x80\x05not a pickle at all"
+        a.sendall(struct.pack("!I", len(garbage)) + garbage)
+        with pytest.raises(CacheError, match="undecodable"):
+            _recv_frame(b)
+
+    def test_non_tuple_message_rejected(self):
+        a, b = self._pair()
+        payload = pickle.dumps(["not", "a", "tuple"])
+        a.sendall(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(CacheError, match="malformed"):
+            _recv_frame(b)
+
+    def test_silent_peer_times_out(self):
+        a, b = self._pair()
+        b.settimeout(0.2)
+        started = time.monotonic()
+        with pytest.raises(CacheError, match="timed out"):
+            _recv_frame(b)
+        assert time.monotonic() - started < 2.0  # bounded, no hang
+
+
+class TestClientFaults:
+    def test_unreachable_address(self, tmp_path):
+        client = CacheClient(str(tmp_path / "nothing.sock"), timeout=0.5)
+        with pytest.raises(CacheError, match="cannot reach"):
+            client.ping()
+
+    def test_silent_server_times_out(self, tmp_path):
+        """A server that accepts but never replies must not hang the
+        client past its timeout."""
+        address = str(tmp_path / "mute.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(address)
+        listener.listen(1)
+        accepted = []
+        thread = threading.Thread(
+            target=lambda: accepted.append(listener.accept()[0]),
+            daemon=True)
+        thread.start()
+        client = CacheClient(address, timeout=0.3)
+        started = time.monotonic()
+        with pytest.raises(CacheError, match="timed out"):
+            client.get("density", ("k",))
+        assert time.monotonic() - started < 3.0
+        listener.close()
+
+    def test_corrupt_reply_is_cache_error(self, tmp_path):
+        """A 'server' speaking garbage produces CacheError, not a
+        crash or a hang."""
+        address = str(tmp_path / "garbage.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(address)
+        listener.listen(1)
+
+        def serve_garbage():
+            conn, _ = listener.accept()
+            _recv_frame(conn)  # swallow the request
+            garbage = b"junk payload"
+            conn.sendall(struct.pack("!I", len(garbage)) + garbage)
+            conn.close()
+
+        thread = threading.Thread(target=serve_garbage, daemon=True)
+        thread.start()
+        client = CacheClient(address, timeout=2.0)
+        with pytest.raises(CacheError):
+            client.get("density", ("k",))
+        listener.close()
+
+    def test_oversized_frame_to_server_reports_and_closes(self, server):
+        """The server rejects an oversized frame with an error reply;
+        the next connection still works."""
+        client = CacheClient(server.address, timeout=2.0)
+        client.ping()
+        # hand-roll a frame beyond the server's limit via a raw socket
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(2.0)
+        raw.connect(server.address)
+        raw.sendall(struct.pack("!I", server.max_frame_bytes + 1))
+        reply = _recv_frame(raw)
+        assert reply[0] == "error"
+        assert "exceeds" in reply[1]
+        raw.close()
+        assert server.stats.bad_frames == 1
+        client.ping()  # the server is still serving
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# server basics
+# ----------------------------------------------------------------------
+class TestServerBasics:
+    def test_get_put_round_trip(self, server):
+        with CacheClient(server.address) as client:
+            client.ping()
+            assert client.get("density", (("g",), "s", 1)) == (False, None)
+            assert client.put("density", (("g",), "s", 1), "value") == 1
+            assert client.get("density", (("g",), "s", 1)) == (True, "value")
+            # overwrite is not a new adoption
+            assert client.put("density", (("g",), "s", 1), "value") == 0
+
+    def test_get_many(self, server):
+        with CacheClient(server.address) as client:
+            entries = [("probes", (("g",), "s", i), i * i) for i in range(5)]
+            assert client.put_many(entries) == 5
+            keys = [key for _, key, _ in entries] + [(("g",), "s", 99)]
+            found = client.get_many("probes", keys)
+            assert found == {key: value for _, key, value in entries}
+
+    def test_unknown_layer_is_clean_error(self, server):
+        with CacheClient(server.address) as client:
+            with pytest.raises(CacheError, match="unknown cache layer"):
+                client.put("hologram", ("k",), 1)
+            client.ping()  # connection survives a dispatch error
+
+    def test_unknown_op_is_clean_error(self, server):
+        with CacheClient(server.address) as client:
+            with pytest.raises(CacheError, match="unknown cache request"):
+                client._request(("frobnicate", 1))
+            client.ping()
+
+    def test_malformed_request_shape_is_clean_error(self, server):
+        with CacheClient(server.address) as client:
+            with pytest.raises(CacheError):
+                client._request(("get", "density"))  # missing the key
+            client.ping()
+
+    def test_stats_telemetry(self, server):
+        with CacheClient(server.address) as client:
+            client.put("evaluations", (("g",), "k"), 1)
+            client.get("evaluations", (("g",), "k"))
+            client.get("evaluations", (("g",), "absent"))
+            stats = client.stats()
+            assert stats["puts"] == 1 and stats["adopted"] == 1
+            assert stats["gets"] == 2 and stats["hits"] == 1
+            assert stats["hit_rate"] == 0.5
+            assert stats["entries"] == 1
+            assert stats["layer_sizes"]["evaluations"] == 1
+
+    def test_server_side_lru_bounds_entries(self, tmp_path):
+        with CacheServer(str(tmp_path / "small.sock"),
+                         layer_capacities={"probes": 4}) as srv:
+            with CacheClient(srv.address) as client:
+                for i in range(20):
+                    client.put("probes", (("g",), "s", i), i)
+                stats = client.stats()
+                assert stats["layer_sizes"]["probes"] == 4
+                assert stats["evictions"] == 16
+                # the newest entries survived
+                found = client.get_many(
+                    "probes", [(("g",), "s", i) for i in range(20)])
+                assert sorted(found.values()) == [16, 17, 18, 19]
+
+    def test_remote_shutdown(self, tmp_path):
+        srv = CacheServer(str(tmp_path / "down.sock")).start()
+        client = CacheClient(srv.address)
+        client.shutdown()
+        client.close()
+        deadline = time.monotonic() + 5.0
+        while os.path.exists(srv.address):
+            assert time.monotonic() < deadline, "server did not stop"
+            time.sleep(0.05)
+
+    def test_write_behind_flush(self, tmp_path):
+        from repro.core import cache_store
+
+        path = str(tmp_path / "snap.bin")
+        with CacheServer(str(tmp_path / "f.sock"), snapshot_path=path,
+                         flush_interval=3600.0) as srv:
+            with CacheClient(srv.address) as client:
+                client.put("evaluations", (("g",), "k"), 42)
+                assert client.flush() == path
+                # nothing new: the next flush is a no-op
+                assert client.flush() is None
+        snapshot = cache_store.load(path)
+        assert ((("g",), "k"), 42) in snapshot.layers["evaluations"]
+
+
+# ----------------------------------------------------------------------
+# engine attachment: transparency + fallback
+# ----------------------------------------------------------------------
+class TestEngineAttachment:
+    def test_two_engines_share_live(self, server, lib):
+        off = EvaluationEngine(cache=False)
+        reference = design_fingerprint(find_design(diffeq(), lib, 6, 11,
+                                                   engine=off))
+        first = EvaluationEngine()
+        assert attach_engine(first, server.address)
+        warm = find_design(diffeq(), lib, 6, 11, engine=first)
+        detach_engine(first)
+        assert design_fingerprint(warm) == reference
+        assert server.entry_count() > 0
+
+        second = EvaluationEngine()
+        assert attach_engine(second, server.address)
+        shared = find_design(diffeq(), lib, 6, 11, engine=second)
+        detach_engine(second)
+        assert design_fingerprint(shared) == reference
+        assert second.stats.remote_hits > 0, \
+            "the second engine never used the first engine's results"
+
+    def test_attach_to_dead_address_is_false(self, tmp_path):
+        engine = EvaluationEngine()
+        assert not attach_engine(engine, str(tmp_path / "gone.sock"))
+        assert engine.backend is None
+
+    def test_attach_refuses_cache_disabled_engine(self, server):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="cache-disabled"):
+            attach_engine(EvaluationEngine(cache=False), server.address)
+
+    def test_detach_flushes_buffered_puts(self, server, lib):
+        engine = EvaluationEngine()
+        assert attach_engine(engine, server.address,
+                             batch_size=10_000)  # nothing auto-flushes
+        find_design(diffeq(), lib, 6, 11, engine=engine)
+        mid_count = server.entry_count()
+        detach_engine(engine)
+        assert server.entry_count() > mid_count, \
+            "detach did not ship the write-behind buffer"
+
+    def test_server_killed_mid_run_falls_back(self, tmp_path, lib):
+        """Satellite: kill the server between evaluations — the engine
+        flips to local-only and finishes with engine-off-identical
+        results, flagging the fallback in its stats."""
+        off = EvaluationEngine(cache=False)
+        expected = [design_fingerprint(find_design(fir16(), lib, 10, 9,
+                                                   engine=off)),
+                    design_fingerprint(find_design(diffeq(), lib, 6, 11,
+                                                   engine=off))]
+        srv = CacheServer(str(tmp_path / "dying.sock")).start()
+        engine = EvaluationEngine()
+        assert attach_engine(engine, srv.address, timeout=2.0)
+        first = find_design(fir16(), lib, 10, 9, engine=engine)
+        srv.stop()  # the socket vanishes under the live client
+        second = find_design(diffeq(), lib, 6, 11, engine=engine)
+        detach_engine(engine)
+        assert [design_fingerprint(first),
+                design_fingerprint(second)] == expected
+        assert engine.stats.remote_fallbacks == 1
+        # once fallen back, the backend stays silent (no reconnects)
+        assert engine.backend is None
+
+    def test_forked_backend_never_touches_the_inherited_socket(
+            self, server, monkeypatch):
+        """A backend inherited across fork() shares the parent's
+        connection fd; writing on it would interleave frames with the
+        parent's requests.  Simulated child (different pid): the
+        backend must go silent — no flush, no fallback accounting."""
+        engine = EvaluationEngine()
+        assert attach_engine(engine, server.address,
+                             batch_size=10_000)
+        backend = engine.backend
+        backend.store("evaluations", (("g",), "fork"), 1)  # buffered
+        assert backend._pending
+        puts_before = server.stats.puts
+        monkeypatch.setattr("repro.core.engine.os.getpid",
+                            lambda: backend._owner_pid + 1)
+        backend.flush()
+        assert not backend.alive
+        assert backend._pending == []
+        assert server.stats.puts == puts_before, \
+            "the 'child' wrote on the inherited socket"
+        assert engine.stats.remote_fallbacks == 0, \
+            "fork inheritance is not a server failure"
+        monkeypatch.undo()
+        detach_engine(engine)
+
+    def test_sweep_killed_server_mid_flight(self, tmp_path, lib):
+        """Satellite: the server dies *while* a workers=2 live sweep is
+        running; every point still matches the serial engine-on sweep
+        (which itself equals engine-off, pinned elsewhere)."""
+        latencies, areas = [10, 11], [8, 9]
+        serial = point_fingerprints(sweep_bounds(
+            fir16(), lib, latencies, areas, engine=EvaluationEngine()))
+        srv = CacheServer(str(tmp_path / "vanish.sock")).start()
+        killer = threading.Timer(0.3, srv.stop)
+        killer.start()
+        try:
+            points = sweep_bounds(fir16(), lib, latencies, areas,
+                                  workers=2, engine=EvaluationEngine(),
+                                  cache_server=srv.address)
+        finally:
+            killer.cancel()
+            srv.stop()
+        assert point_fingerprints(points) == serial
+
+
+# ----------------------------------------------------------------------
+# live sweeps: equivalence + concurrency
+# ----------------------------------------------------------------------
+def _hammer(address: str, worker_id: int, rounds: int, span: int,
+            failures) -> None:
+    """One stress process: interleave overlapping puts and gets."""
+    try:
+        client = CacheClient(address, timeout=10.0)
+        for round_no in range(rounds):
+            for i in range(span):
+                # every worker writes the same key space (overlapping
+                # allocations); values are derived from the key alone,
+                # as engine memos are, so last-write-wins is benign
+                key = (("graph", i % span), "sig", round_no)
+                client.put("evaluations", key, ("value", i % span, round_no))
+            found = client.get_many(
+                "evaluations",
+                [(("graph", i), "sig", round_no) for i in range(span)])
+            for key, value in found.items():
+                expected = ("value", key[0][1], round_no)
+                if value != expected:
+                    failures.put((worker_id, key, value, expected))
+        client.close()
+    except Exception as exc:  # pragma: no cover - failure reporting
+        failures.put((worker_id, "exception", repr(exc)))
+
+
+class TestConcurrentClients:
+    def test_stress_no_lost_updates_no_deadlock(self, server):
+        """Satellite: N processes hammer overlapping get/put traffic;
+        every update must land (no lost updates), every process must
+        finish (no deadlock), and values must never interleave."""
+        n_workers, rounds, span = 4, 10, 25
+        failures = multiprocessing.Queue()
+        processes = [
+            multiprocessing.Process(
+                target=_hammer,
+                args=(server.address, worker_id, rounds, span, failures))
+            for worker_id in range(n_workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60.0)
+            assert not process.is_alive(), "stress worker deadlocked"
+            assert process.exitcode == 0
+        assert failures.empty(), failures.get()
+        stats_entries = server.entry_count()
+        assert stats_entries == rounds * span, \
+            f"lost updates: {rounds * span - stats_entries} entries missing"
+        with CacheClient(server.address) as client:
+            for round_no in range(rounds):
+                found = client.get_many(
+                    "evaluations",
+                    [(("graph", i), "sig", round_no) for i in range(span)])
+                assert len(found) == span
+                for key, value in found.items():
+                    assert value == ("value", key[0][1], round_no)
+
+    def test_live_sweep_matches_engine_off(self, lib):
+        """Acceptance: a workers=2 live sweep over a Table 2 subgrid is
+        byte-identical to the engine-off serial sweep."""
+        latencies, areas = [10, 11], [8, 9]
+        off = point_fingerprints(sweep_bounds(
+            fir16(), lib, latencies, areas,
+            engine=EvaluationEngine(cache=False)))
+        hub = EvaluationEngine()
+        live = point_fingerprints(sweep_bounds(
+            fir16(), lib, latencies, areas, workers=2,
+            share_caches="live", engine=hub))
+        assert live == off
+        # the ephemeral server's contents were merged back into the hub
+        assert hub.cache_size() > 0
+
+    def test_live_sweep_against_external_server(self, server, lib):
+        """Workers attached to an externally owned server leave their
+        results on it for the next run."""
+        latencies, areas = [5, 6], [11]
+        serial = point_fingerprints(sweep_bounds(
+            diffeq(), lib, latencies, areas, engine=EvaluationEngine()))
+        points = sweep_bounds(diffeq(), lib, latencies, areas, workers=2,
+                              engine=EvaluationEngine(),
+                              cache_server=server.address)
+        assert point_fingerprints(points) == serial
+        assert server.entry_count() > 0
+        assert server.stats.adopted > 0

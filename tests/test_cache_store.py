@@ -170,6 +170,87 @@ class TestRejection:
         assert issubclass(CacheError, ReproError)
 
 
+class TestCompaction:
+    """compact_snapshot shrinks files without changing behaviour."""
+
+    def _warm_snapshot(self, lib):
+        engine = EvaluationEngine()
+        find_design(diffeq(), lib, 7, 12, engine=engine)
+        return snapshot_engine(engine)
+
+    def test_dominance_pruning_keeps_the_area_envelope(self, lib):
+        from repro.core import compact_snapshot
+
+        snapshot = self._warm_snapshot(lib)
+        compacted, stats = compact_snapshot(snapshot)
+        assert stats.entries_before == snapshot.entry_count
+        assert stats.entries_after == compacted.entry_count
+        assert stats.pruned_density == stats.removed
+        # within every (graph, allocation) group, the surviving
+        # feasible density points must strictly improve in area as
+        # latency grows — anything else was dominated
+        groups = {}
+        for key, value in compacted.layers["density"]:
+            if value is not None:
+                groups.setdefault(key[:-1], []).append(
+                    (key[-1], value[1].area))
+        for entries in groups.values():
+            areas = [area for _, area in sorted(entries)]
+            assert all(a > b for a, b in zip(areas, areas[1:]))
+
+    def test_infeasibility_markers_survive(self, lib):
+        from repro.core import compact_snapshot
+
+        snapshot = self._warm_snapshot(lib)
+        nones_before = sum(1 for _, value in snapshot.layers["density"]
+                           if value is None)
+        compacted, _ = compact_snapshot(snapshot)
+        nones_after = sum(1 for _, value in compacted.layers["density"]
+                          if value is None)
+        assert nones_after == nones_before
+
+    def test_input_snapshot_is_not_mutated(self, lib):
+        from repro.core import compact_snapshot
+
+        snapshot = self._warm_snapshot(lib)
+        before = {name: list(entries)
+                  for name, entries in snapshot.layers.items()}
+        compact_snapshot(snapshot, max_bytes=1024)
+        assert {name: list(entries)
+                for name, entries in snapshot.layers.items()} == before
+
+    def test_size_cap_is_enforced(self, lib):
+        from repro.core import compact_snapshot
+
+        snapshot = self._warm_snapshot(lib)
+        full_size = len(cache_store.dumps(snapshot))
+        cap = full_size // 3
+        capped, stats = compact_snapshot(snapshot, max_bytes=cap)
+        assert len(cache_store.dumps(capped)) <= cap
+        assert stats.dropped_for_size > 0
+        # the newest (most recently used) entries are the survivors
+        for name, entries in capped.layers.items():
+            if entries:
+                assert entries == snapshot.layers[name][-len(entries):]
+
+    def test_compacted_snapshot_still_loads_and_answers(self, lib):
+        from repro.core import compact_snapshot
+
+        snapshot = self._warm_snapshot(lib)
+        compacted, _ = compact_snapshot(snapshot,
+                                        max_bytes=len(
+                                            cache_store.dumps(snapshot)) // 2)
+        restored = cache_store.loads(cache_store.dumps(compacted))
+        engine = EvaluationEngine()
+        assert merge_snapshot(engine, restored) == restored.entry_count
+        warm = find_design(diffeq(), lib, 7, 12, engine=engine)
+        off = find_design(diffeq(), lib, 7, 12,
+                          engine=EvaluationEngine(cache=False))
+        assert warm.area == off.area
+        assert warm.reliability == off.reliability
+        assert warm.schedule.starts == off.schedule.starts
+
+
 class TestContentAddressing:
     def test_snapshot_reaches_a_rebuilt_graph(self, lib):
         """Entries keyed by graph content, not the donor's objects."""

@@ -228,3 +228,133 @@ class TestCacheDir:
         assert main(["experiment", "fig5", "--workers", "2",
                      "--cache-dir", str(tmp_path)]) == 0
         assert capsys.readouterr().out == first
+
+    def test_experiment_all_flushes_between_tables(self, tmp_path,
+                                                   monkeypatch, capsys):
+        """`experiment all --cache-dir` must persist after *each*
+        table/figure, so a crash mid-run keeps the earlier work.  A
+        driver that dies on the second suite proves it: the first
+        suite's snapshot is already on disk."""
+        import os
+
+        from repro import experiments
+
+        path = self._snapshot_file(tmp_path)
+        seen = {}
+
+        def boom():
+            # observed *at crash time*: the previous suites must have
+            # flushed already (an exit-time save cannot explain this)
+            seen["snapshot_exists"] = os.path.exists(path)
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setattr(experiments, "run_fig7", boom, raising=True)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            main(["experiment", "all", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert seen["snapshot_exists"], \
+            "no snapshot persisted before the crash"
+        from repro.core import EvaluationEngine, cache_store, merge_snapshot
+
+        engine = EvaluationEngine()
+        assert merge_snapshot(engine, cache_store.load(path)) > 0
+
+
+class TestCacheServer:
+    """The --cache-server flag and the cache-serve subcommand."""
+
+    def test_synth_against_a_live_server(self, tmp_path, capsys):
+        from repro.core import cache_server, set_default_engine
+
+        address = str(tmp_path / "srv.sock")
+        with cache_server.CacheServer(address) as server:
+            args = ["synth", "diffeq", "-l", "6", "-a", "11",
+                    "--cache-server", address]
+            # fresh default engines stand in for separate processes:
+            # the first run must publish to the server, the second must
+            # serve itself from the first one's entries
+            set_default_engine(None)
+            try:
+                assert main(args) == 0
+                first = capsys.readouterr().out
+                assert server.entry_count() > 0, \
+                    "the run left nothing on the server"
+                set_default_engine(None)
+                assert main(args) == 0
+            finally:
+                set_default_engine(None)
+            assert capsys.readouterr().out == first
+            assert server.stats.hits > 0, \
+                "the second run never hit the first run's entries"
+
+    def test_unreachable_server_warns_and_runs_local(self, tmp_path,
+                                                     capsys):
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-server", str(tmp_path / "gone.sock")]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == reference
+        assert "unreachable" in captured.err
+
+    def test_explore_auto_server_matches_serial(self, capsys):
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["explore", "diffeq", "--latencies", "5", "6",
+                     "--areas", "11", "--workers", "2",
+                     "--cache-server", "auto"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_auto_server_socket_lives_in_cache_dir(self, tmp_path,
+                                                   capsys):
+        import os
+
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-server", "auto",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        # the ephemeral server is gone afterwards (socket removed) but
+        # the cache dir snapshot carries what it collected
+        assert not os.path.exists(
+            str(tmp_path / "cache-server.sock"))
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "engine-cache.bin"))
+
+    def test_cache_serve_seeds_serves_and_shuts_down(self, tmp_path,
+                                                     capsys):
+        import threading
+        import time
+
+        from repro.core import cache_server
+        from repro.errors import CacheError
+
+        # populate a cache dir first
+        assert main(["synth", "diffeq", "-l", "6", "-a", "11",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        address = str(tmp_path / "serve.sock")
+        exit_codes = []
+        thread = threading.Thread(
+            target=lambda: exit_codes.append(
+                main(["cache-serve", "--address", address,
+                      "--cache-dir", str(tmp_path)])),
+            daemon=True)
+        thread.start()
+        client = cache_server.CacheClient(address, timeout=5.0)
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                client.ping()
+                break
+            except CacheError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        stats = client.stats()
+        assert stats["entries"] > 0, "server did not seed from the dir"
+        client.shutdown()
+        client.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
