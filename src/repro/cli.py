@@ -8,6 +8,7 @@ Subcommands::
     experiment NAME [--workers N]                     regenerate a table/figure
     explore BENCH --latencies .. --areas ..           Pareto sweep
     cache-serve [--address PATH] [--cache-dir DIR]    run a live cache server
+    cache-stats [--address PATH | --cache-dir DIR]    query a running server
 
 ``synth`` and ``explore`` accept ``--stats`` to print the evaluation
 engine's cache statistics (evaluations requested, memo hits, schedules
@@ -31,6 +32,15 @@ simultaneous invocations against one cache dir serve each other
 mid-run.  Sharing is best-effort and behaviourally transparent: an
 unreachable or dying server is reported and the run continues on
 local caches with identical results.
+
+``cache-stats`` queries a running server's telemetry (requests,
+hit rate, entries per layer, flushes) as text or ``--json`` — point it
+at ``--address`` or at the default socket inside a ``--cache-dir``.
+
+The scheduling kernels themselves come in two interchangeable
+implementations (``REPRO_SCHEDULER_IMPL=fast|reference``, default
+``fast`` — the compiled array core; see the README's Performance
+section).  Both produce identical designs.
 """
 
 from __future__ import annotations
@@ -132,6 +142,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-snapshot-kib", type=int, default=None,
                        help="cap the flushed snapshot file size "
                             "(stalest entries are dropped first)")
+
+    stats = sub.add_parser("cache-stats",
+                           help="query a running cache server's telemetry")
+    stats.add_argument("--address",
+                       help="unix socket path of the server (default: the "
+                            "socket inside --cache-dir)")
+    stats.add_argument("--cache-dir",
+                       help="cache directory whose default server socket "
+                            "to query")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the telemetry as JSON")
     return parser
 
 
@@ -467,6 +488,43 @@ def _cmd_cache_serve(args) -> int:
     return 0
 
 
+def _cmd_cache_stats(args) -> int:
+    from repro.core import cache_server
+
+    if args.address:
+        address = args.address
+    elif args.cache_dir:
+        address = cache_server.default_address(args.cache_dir)
+    else:
+        print("error: pass --address or --cache-dir to locate the server",
+              file=sys.stderr)
+        return 2
+    with cache_server.CacheClient(address) as client:
+        client.ping()
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    layer_sizes = stats.get("layer_sizes", {})
+    print(f"cache server at {address}:")
+    print(f"  requests    : {stats['requests']} over "
+          f"{stats['connections']} connections")
+    print(f"  lookups     : {stats['gets']} "
+          f"(hits {stats['hits']}, hit rate {stats['hit_rate']:.1%})")
+    print(f"  stores      : {stats['puts']} "
+          f"(new entries {stats['adopted']})")
+    print(f"  entries     : {stats['entries']} "
+          f"(evictions {stats['evictions']})")
+    print(f"  flushes     : {stats['flushes']} "
+          f"(errors {stats['flush_errors']}, "
+          f"bad frames {stats['bad_frames']})")
+    if layer_sizes:
+        rendered = ", ".join(f"{name}={size}"
+                             for name, size in sorted(layer_sizes.items()))
+        print(f"  layer sizes : {rendered}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -478,6 +536,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "explore": _cmd_explore,
         "cache-serve": _cmd_cache_serve,
+        "cache-stats": _cmd_cache_stats,
     }
     try:
         return handlers[args.command](args)

@@ -26,7 +26,11 @@ from repro.core.cache_server import (
     attach_engine,
     detach_engine,
 )
-from repro.core.evaluate import evaluate_allocation, min_latency
+from repro.core.evaluate import (
+    SCHEDULER_IMPLS,
+    evaluate_allocation,
+    min_latency,
+)
 from repro.core.explore import (
     METHODS,
     SweepPoint,
@@ -73,6 +77,7 @@ __all__ = [
     "best_upgrade",
     "evaluate_allocation",
     "min_latency",
+    "SCHEDULER_IMPLS",
     "uniform_allocations",
     "minimize_area",
     "minimize_latency",

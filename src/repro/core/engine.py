@@ -81,6 +81,7 @@ behaviour).
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 from collections import OrderedDict
@@ -88,8 +89,10 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
                     Sequence, Tuple)
 
+from repro.dfg.compiled import compile_graph
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import ReproError, SchedulingError
+from repro.hls import fastsched
 from repro.hls.binding import Binding, left_edge_bind, rebind_versions
 from repro.hls.density import density_schedule
 from repro.hls.listsched import list_schedule
@@ -99,6 +102,7 @@ from repro.hls.timing import asap_starts
 from repro.library.version import ResourceVersion
 from repro.core.design import check_area_model
 from repro.core.evaluate import (
+    SCHEDULER_IMPLS,
     SCHEDULERS,
     Evaluation,
     _count_lower_bounds,
@@ -138,6 +142,7 @@ class EngineStats:
     incremental_timings: int = 0  # single-op partial re-timings
     evictions: int = 0            # LRU entries dropped across all layers
     remote_hits: int = 0          # L1 misses answered by a cache server
+    remote_negative_hits: int = 0  # round trips skipped by absent markers
     remote_fallbacks: int = 0     # times the remote backend was abandoned
     wall_time: float = 0.0        # seconds spent inside evaluate()
 
@@ -192,7 +197,8 @@ class EngineStats:
             f" incremental {self.incremental_timings})",
             f"  lru evictions         : {self.evictions}",
             f"  remote cache          : {self.remote_hits} hits"
-            f" (fallbacks {self.remote_fallbacks})",
+            f" (negative hits {self.remote_negative_hits},"
+            f" fallbacks {self.remote_fallbacks})",
             f"  evaluation wall time  : {self.wall_time:.3f}s"
             f" ({self.evaluations_per_second:.0f} evaluations/s)",
         ])
@@ -306,40 +312,22 @@ def _signature_delta(old: AllocationSignature, new: AllocationSignature
 
 
 class _GraphRecord:
-    """Cached structural view of one live DataFlowGraph object."""
+    """Cached structural view of one live DataFlowGraph object.
 
-    __slots__ = ("graph", "n_ops", "n_edges", "key", "topo", "topo_index",
-                 "preds", "succs", "descendants")
+    Built from the graph's :class:`~repro.dfg.compiled.CompiledGraph`,
+    so the engine, the fast scheduling core and every other consumer
+    share one flattening (topological order, adjacency) per graph.
+    """
+
+    __slots__ = ("graph", "compiled", "n_ops", "n_edges", "key")
 
     def __init__(self, graph: DataFlowGraph, key: int):
         self.graph = graph
-        self.n_ops = len(graph)
-        edges = graph.edges()
-        self.n_edges = len(edges)
+        compiled = compile_graph(graph)
+        self.compiled = compiled
+        self.n_ops = compiled.n_ops
+        self.n_edges = compiled.n_edges
         self.key = key
-        self.topo = graph.topological_order()
-        self.topo_index = {op_id: i for i, op_id in enumerate(self.topo)}
-        self.preds = {op_id: tuple(graph.predecessors(op_id))
-                      for op_id in self.topo}
-        self.succs = {op_id: tuple(graph.successors(op_id))
-                      for op_id in self.topo}
-        self.descendants: Dict[str, Tuple[str, ...]] = {}
-
-    def descendants_of(self, op_id: str) -> Tuple[str, ...]:
-        """Strict descendants of *op_id* in topological order."""
-        cached = self.descendants.get(op_id)
-        if cached is None:
-            reached = set()
-            frontier = list(self.succs[op_id])
-            while frontier:
-                node = frontier.pop()
-                if node in reached:
-                    continue
-                reached.add(node)
-                frontier.extend(self.succs[node])
-            cached = tuple(sorted(reached, key=self.topo_index.__getitem__))
-            self.descendants[op_id] = cached
-        return cached
 
 
 class RemoteCacheBackend:
@@ -362,6 +350,16 @@ class RemoteCacheBackend:
     layers are pure memos; the server is a hit-rate amplifier, never a
     correctness dependency).
 
+    Remote *misses* are remembered too: a key the server did not have
+    is marked absent for :attr:`negative_ttl` seconds, and repeat
+    lookups inside that window answer locally instead of re-asking the
+    server (``EngineStats.remote_negative_hits`` counts the skipped
+    round trips).  Markers are cleared the moment this client stores
+    the key itself, and expire quickly otherwise so results computed
+    by *other* clients are only briefly invisible — a hit-rate
+    trade-off, never a correctness one, since a masked remote hit just
+    means computing locally.
+
     *client* is duck-typed (see :class:`repro.core.cache_server.
     CacheClient`): ``get(layer, key) -> (found, value)``,
     ``get_many(layer, keys) -> {key: value}``, ``put_many(entries)``,
@@ -372,15 +370,27 @@ class RemoteCacheBackend:
     #: buffered stores shipped per ``put_many`` round trip.
     PUT_BATCH = 32
 
-    def __init__(self, client, *, batch_size: int = PUT_BATCH):
+    #: seconds a remote miss is remembered before the key is re-asked.
+    NEGATIVE_TTL = 5.0
+
+    #: absent-marker table bound; expired markers are pruned first.
+    MAX_NEGATIVE = 16_384
+
+    def __init__(self, client, *, batch_size: int = PUT_BATCH,
+                 negative_ttl: float = NEGATIVE_TTL):
         if batch_size < 1:
             raise ReproError(
                 f"put batch size must be positive, got {batch_size}")
+        if negative_ttl < 0:
+            raise ReproError(
+                f"negative TTL must be >= 0, got {negative_ttl}")
         self.client = client
         self.batch_size = batch_size
+        self.negative_ttl = negative_ttl
         self.alive = True
         self.stats: Optional[EngineStats] = None  # set by attach_backend
         self._pending: List[Tuple[str, tuple, object]] = []
+        self._negative: Dict[Tuple[str, tuple], float] = {}
         self._owner_pid = os.getpid()
 
     def _fail(self) -> None:
@@ -389,6 +399,7 @@ class RemoteCacheBackend:
             self.stats.remote_fallbacks += 1
         self.alive = False
         self._pending.clear()
+        self._negative.clear()
 
     def _usable(self) -> bool:
         """Alive, *and* still in the process that opened the socket.
@@ -405,34 +416,81 @@ class RemoteCacheBackend:
         if os.getpid() != self._owner_pid:
             self.alive = False  # inherited via fork: never touch it
             self._pending.clear()
+            self._negative.clear()
             return False
         return True
+
+    def _marked_absent(self, layer: str, key: tuple) -> bool:
+        """True while a recent remote miss for the key is still fresh."""
+        deadline = self._negative.get((layer, key))
+        if deadline is None:
+            return False
+        if time.monotonic() >= deadline:
+            del self._negative[(layer, key)]
+            return False
+        return True
+
+    def _mark_absent(self, layer: str, key: tuple) -> None:
+        if not self.negative_ttl:
+            return
+        now = time.monotonic()
+        negative = self._negative
+        if len(negative) >= self.MAX_NEGATIVE:
+            fresh = {k: deadline for k, deadline in negative.items()
+                     if deadline > now}
+            if len(fresh) >= self.MAX_NEGATIVE:
+                fresh.clear()  # markers are an optimization; drop them
+            self._negative = negative = fresh
+        negative[(layer, key)] = now + self.negative_ttl
 
     def fetch(self, layer: str, key: tuple) -> Tuple[bool, object]:
         """One remote lookup; ``(False, None)`` on miss or any failure."""
         if not self._usable():
             return False, None
+        if self._marked_absent(layer, key):
+            if self.stats is not None:
+                self.stats.remote_negative_hits += 1
+            return False, None
         try:
-            return self.client.get(layer, key)
+            found, value = self.client.get(layer, key)
         except ReproError:
             self._fail()
             return False, None
+        if not found:
+            self._mark_absent(layer, key)
+        return found, value
 
     def fetch_many(self, layer: str, keys: Sequence[tuple]
                    ) -> Dict[tuple, object]:
         """Batched lookup of *keys*; absent keys are simply missing."""
         if not keys or not self._usable():
             return {}
+        wanted = []
+        skipped = 0
+        for key in keys:
+            if self._marked_absent(layer, key):
+                skipped += 1
+            else:
+                wanted.append(key)
+        if skipped and self.stats is not None:
+            self.stats.remote_negative_hits += skipped
+        if not wanted:
+            return {}
         try:
-            return self.client.get_many(layer, keys)
+            found = self.client.get_many(layer, wanted)
         except ReproError:
             self._fail()
             return {}
+        for key in wanted:
+            if key not in found:
+                self._mark_absent(layer, key)
+        return found
 
     def store(self, layer: str, key: tuple, value: object) -> None:
         """Buffer one entry for the server (write-behind)."""
         if not self._usable():
             return
+        self._negative.pop((layer, key), None)
         self._pending.append((layer, key, value))
         if len(self._pending) >= self.batch_size:
             self.flush()
@@ -551,9 +609,24 @@ class EvaluationEngine:
     scheduler:
         Default realization scheduler (``"auto"``, ``"density"`` or
         ``"list"``); overridable per call.
+    scheduler_impl:
+        Which scheduling *core* runs on cache misses: ``"fast"`` (the
+        default) is the compiled array-based implementation
+        (:mod:`repro.hls.fastsched` over
+        :class:`~repro.dfg.compiled.CompiledGraph`), ``"reference"``
+        the original dict-based kernels.  The two produce identical
+        schedules — asserted property-based in
+        ``tests/test_fastsched.py`` — so every cache layer, snapshot
+        and server entry is shared freely between them, and the memo
+        keys deliberately do *not* include the implementation.  The
+        ``REPRO_SCHEDULER_IMPL`` environment variable overrides the
+        built-in default; overridable per call too.
     cache:
         Disable to force every request through the full algorithms —
         the reference behaviour the cached path must reproduce exactly.
+        Unless ``scheduler_impl`` is given explicitly, a cache-disabled
+        engine also runs the *reference* kernels, making it a fully
+        independent oracle (no engine memo, no compiled-core memo).
     max_entries:
         Soft bound on the total number of cached entries, split across
         the cache layers by :attr:`LAYER_SHARES`.  Each layer is an
@@ -576,13 +649,26 @@ class EvaluationEngine:
     }
 
     def __init__(self, *, area_model: str = AREA_INSTANCES,
-                 scheduler: str = "auto", cache: bool = True,
+                 scheduler: str = "auto",
+                 scheduler_impl: Optional[str] = None,
+                 cache: bool = True,
                  max_entries: int = 200_000,
                  layer_capacities: Optional[Mapping[str, int]] = None):
         check_area_model(area_model)
         if scheduler not in SCHEDULERS:
             raise ReproError(
                 f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        if scheduler_impl is None:
+            # a cache-disabled engine is the independence oracle the
+            # equivalence suites compare against, so unless told
+            # otherwise it also runs the reference kernels — "every
+            # request through the full (seed) algorithms" stays true
+            scheduler_impl = os.environ.get(
+                "REPRO_SCHEDULER_IMPL", "fast" if cache else "reference")
+        if scheduler_impl not in SCHEDULER_IMPLS:
+            raise ReproError(
+                f"unknown scheduler implementation {scheduler_impl!r}; "
+                f"use one of {SCHEDULER_IMPLS}")
         overrides = dict(layer_capacities or {})
         unknown = sorted(set(overrides) - set(self.LAYER_SHARES))
         if unknown:
@@ -591,6 +677,7 @@ class EvaluationEngine:
                 f"use one of {sorted(self.LAYER_SHARES)}")
         self.area_model = area_model
         self.scheduler = scheduler
+        self.scheduler_impl = scheduler_impl
         self.cache_enabled = cache
         self.max_entries = max_entries
         self.layer_capacities = {
@@ -598,6 +685,9 @@ class EvaluationEngine:
             for name, share in self.LAYER_SHARES.items()
         }
         self.stats = EngineStats()
+        # derived probe tables (rebuildable from the timing cache):
+        # bounded like a layer but invisible to snapshots and stats
+        self._timing_order = LRUCache(self.layer_capacities["timing"])
         self._graphs: Dict[int, _GraphRecord] = {}
         self._graph_keys: Dict[tuple, int] = {}
         self._graph_contents: Dict[int, tuple] = {}  # inverse of the above
@@ -687,7 +777,7 @@ class EvaluationEngine:
         record = self._graphs.get(id(graph))
         if (record is not None and record.graph is graph
                 and record.n_ops == len(graph)
-                and record.n_edges == len(graph.edges())):
+                and record.n_edges == graph.edge_count()):
             return record
         if len(self._graphs) >= self.MAX_GRAPH_RECORDS:
             self._graphs.clear()
@@ -708,15 +798,30 @@ class EvaluationEngine:
     def _timing(self, graph: DataFlowGraph, delays: Mapping[str, int]
                 ) -> Tuple[Dict[str, int], int]:
         """Cached ASAP starts and critical-path latency for *delays*."""
-        self.stats.timing_requests += 1
         record = self._record(graph)
         key = (record.key, tuple(sorted(delays.items())))
+        return self._timing_for(graph, record, key, delays)
+
+    def _timing_for(self, graph, record, key, delays, impl=None
+                    ) -> Tuple[Dict[str, int], int]:
+        impl = impl if impl is not None else self.scheduler_impl
+        self.stats.timing_requests += 1
         cached = self._timing_cache.get(key, _MISSING)
         if cached is not _MISSING:
             self.stats.timing_hits += 1
             return cached
-        starts = asap_starts(graph, delays)
-        latency = max(starts[op] + delays[op] for op in starts)
+        # a cache-disabled engine is the reference oracle: it must not
+        # read fastsched's per-graph base-timing memo either, or a
+        # keying bug there would corrupt both sides of an equivalence
+        # comparison identically
+        if impl == "fast" and self.cache_enabled and len(graph):
+            timing = fastsched.base_timing(graph, delays)
+            ids = record.compiled.op_ids
+            starts = dict(zip(ids, timing.asap))
+            latency = timing.critical
+        else:
+            starts = asap_starts(graph, delays)
+            latency = max(starts[op] + delays[op] for op in starts)
         if self.cache_enabled:
             self._timing_cache.put(key, (starts, latency))
         return starts, latency
@@ -737,33 +842,100 @@ class EvaluationEngine:
                            op_id: str, new_delay: int) -> int:
         """Critical-path latency if *op_id* took *new_delay* cycles.
 
-        Incremental: only the changed operation's descendants are
-        re-relaxed from the cached ASAP starts; everything else keeps
-        its start.  Exact — it returns precisely
+        A probe is O(1): the answer decomposes as ``max(longest path
+        avoiding the operation, longest path through it shifted by the
+        delay change)``, and both per-operation maxima come from tables
+        built once per delays vector (:meth:`_probe_tables`).  Exact —
+        it returns precisely
         ``asap_latency(graph, delays | {op_id: new_delay})``.
         """
-        starts, base_latency = self._timing(graph, delays)
+        record = self._record(graph)
+        key = (record.key, tuple(sorted(delays.items())))
+        starts, base_latency = self._timing_for(graph, record, key, delays)
         if new_delay == delays[op_id]:
             return base_latency
-        record = self._record(graph)
         self.stats.incremental_timings += 1
-        new_starts: Dict[str, int] = {}
-        for node in record.descendants_of(op_id):
-            earliest = 0
-            for pred in record.preds[node]:
-                start = new_starts.get(pred, starts[pred])
-                delay = new_delay if pred == op_id else delays[pred]
-                if start + delay > earliest:
-                    earliest = start + delay
-            new_starts[node] = earliest
-        latency = starts[op_id] + new_delay
-        for node, start in starts.items():
-            if node == op_id:
-                continue
-            finish = new_starts.get(node, start) + delays[node]
-            if finish > latency:
-                latency = finish
-        return latency
+        tail, avoid = self._probe_tables(record, key, starts, delays)
+        i = record.compiled.index[op_id]
+        through = starts[op_id] + new_delay + (tail[i] - delays[op_id])
+        return max(avoid[i], through)
+
+    def _probe_tables(self, record, key, starts, delays
+                      ) -> Tuple[list, list]:
+        """Per-op ``(tail, avoid)`` tables for one delays vector.
+
+        ``tail[i]`` is the longest path from operation *i* through its
+        own delay to the end; ``avoid[i]`` the longest source-to-sink
+        path that skips operation *i* entirely.  Any maximal path
+        skipping *i* either ends at a sink before *i* in topological
+        rank, starts at a source after it, or crosses its rank through
+        an edge spanning it — three maxima resolved by a prefix sweep,
+        a suffix sweep, and a lazy-deletion heap over the spanning
+        edges.  Derived data (rebuildable from the timing cache), so it
+        lives outside the snapshot-visible layers.
+        """
+        cached = self._timing_order.get(key) if self.cache_enabled else None
+        if cached is not None:
+            return cached
+        compiled = record.compiled
+        ids = compiled.op_ids
+        n = compiled.n_ops
+        succs = compiled.succs
+        d = [delays[op] for op in ids]
+        s = [starts[op] for op in ids]
+        rank = compiled.topo_rank.tolist()
+        topo = compiled.topo.tolist()
+        if self.cache_enabled and self.scheduler_impl == "fast":
+            # base_timing already computed (and memoized) the tails
+            tail = fastsched.base_timing(record.graph, delays).tail
+        else:
+            tail = d[:]
+            for i in reversed(topo):
+                best = 0
+                for j in succs[i]:
+                    if tail[j] > best:
+                        best = tail[j]
+                tail[i] += best
+        # paths ending at a sink of lower rank: exclusive prefix maxima
+        before = [-1] * n
+        running = -1
+        for pos, i in enumerate(topo):
+            before[pos] = running
+            if not succs[i] and s[i] + d[i] > running:
+                running = s[i] + d[i]
+        # paths starting at a source of higher rank: exclusive suffix
+        after = [-1] * n
+        running = -1
+        for pos in range(n - 1, -1, -1):
+            i = topo[pos]
+            after[pos] = running
+            if not compiled.preds[i] and tail[i] > running:
+                running = tail[i]
+        # paths crossing the rank through a spanning edge (a, b): the
+        # longest is (finish of a) + (tail of b); sweep ranks with a
+        # lazy-deletion max-heap of the edges currently spanning
+        spanning = sorted(
+            (rank[a], rank[b], s[a] + d[a] + tail[b])
+            for a, b in compiled.edge_list)
+        heap: list = []
+        edge_at = 0
+        avoid = [0] * n
+        for pos in range(n):
+            while edge_at < len(spanning) and spanning[edge_at][0] < pos:
+                _, rank_b, value = spanning[edge_at]
+                if rank_b > pos:
+                    heapq.heappush(heap, (-value, rank_b))
+                edge_at += 1
+            while heap and heap[0][1] <= pos:
+                heapq.heappop(heap)
+            best = before[pos] if before[pos] > after[pos] else after[pos]
+            if heap and -heap[0][0] > best:
+                best = -heap[0][0]
+            avoid[topo[pos]] = best if best > 0 else 0
+        tables = (tail, avoid)
+        if self.cache_enabled:
+            self._timing_order.put(key, tables)
+        return tables
 
     # ------------------------------------------------------------------
     # evaluation
@@ -773,7 +945,8 @@ class EvaluationEngine:
                  latency_bound: int,
                  area_model: Optional[str] = None,
                  stop_at_area: Optional[int] = None,
-                 scheduler: Optional[str] = None):
+                 scheduler: Optional[str] = None,
+                 scheduler_impl: Optional[str] = None):
         """Best (minimum-area) realization of an allocation within a bound.
 
         Drop-in equivalent of the historical
@@ -783,25 +956,37 @@ class EvaluationEngine:
         """
         area_model = area_model if area_model is not None else self.area_model
         scheduler = scheduler if scheduler is not None else self.scheduler
+        impl = scheduler_impl if scheduler_impl is not None \
+            else self.scheduler_impl
         if scheduler not in SCHEDULERS:
             raise ReproError(
                 f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        if impl not in SCHEDULER_IMPLS:
+            raise ReproError(
+                f"unknown scheduler implementation {impl!r}; "
+                f"use one of {SCHEDULER_IMPLS}")
         started = time.perf_counter()
         self.stats.requests += 1
         try:
             return self._evaluate(graph, allocation, latency_bound,
-                                  area_model, stop_at_area, scheduler)
+                                  area_model, stop_at_area, scheduler, impl)
         finally:
             self.stats.wall_time += time.perf_counter() - started
 
     def _evaluate(self, graph, allocation, latency_bound, area_model,
-                  stop_at_area, scheduler):
+                  stop_at_area, scheduler, impl):
         delays = {op_id: v.delay for op_id, v in allocation.items()}
-        critical = self.latency(graph, delays)
+        record = self._record(graph)
+        delays_key = tuple(sorted(delays.items()))
+        _, critical = self._timing_for(graph, record,
+                                       (record.key, delays_key), delays,
+                                       impl)
         if critical > latency_bound:
             return None
-        record = self._record(graph)
         signature = allocation_signature(allocation)
+        # the implementation is deliberately absent from the memo key:
+        # fast and reference schedules are identical, so either may
+        # serve (and populate) the same entries
         memo_key = (record.key, signature, latency_bound, area_model,
                     scheduler, stop_at_area)
         if self.cache_enabled:
@@ -813,12 +998,12 @@ class EvaluationEngine:
         candidates = []
         if scheduler in ("auto", "density"):
             candidates.append(self._density_best(
-                graph, record, signature, allocation, delays, critical,
-                latency_bound, area_model, stop_at_area))
+                graph, record, signature, allocation, delays, delays_key,
+                critical, latency_bound, area_model, stop_at_area, impl))
         if scheduler in ("auto", "list"):
             candidates.append(self._list_best(
                 graph, record, signature, allocation, latency_bound,
-                area_model))
+                area_model, impl))
         feasible = [c for c in candidates if c is not None]
         result = min(feasible, key=lambda e: e.area) if feasible else None
         if self.cache_enabled:
@@ -827,7 +1012,8 @@ class EvaluationEngine:
 
     # -- density -------------------------------------------------------
     def _density_best(self, graph, record, signature, allocation, delays,
-                      critical, latency_bound, area_model, stop_at_area):
+                      delays_key, critical, latency_bound, area_model,
+                      stop_at_area, impl):
         best = None
         if self._backend is not None and self.cache_enabled:
             # one round trip for the whole latency range instead of one
@@ -837,7 +1023,7 @@ class EvaluationEngine:
                                     range(critical, latency_bound + 1)])
         for latency in range(critical, latency_bound + 1):
             pair = self._density_point(graph, record, signature, allocation,
-                                       delays, latency)
+                                       delays, delays_key, latency, impl)
             if pair is None:
                 continue
             schedule, binding = pair
@@ -849,7 +1035,8 @@ class EvaluationEngine:
         return best
 
     def _density_point(self, graph, record, signature, allocation, delays,
-                       latency) -> Optional[Tuple[Schedule, Binding]]:
+                       delays_key, latency, impl
+                       ) -> Optional[Tuple[Schedule, Binding]]:
         self.stats.density_points += 1
         key = (record.key, signature, latency)
         if self.cache_enabled:
@@ -858,7 +1045,8 @@ class EvaluationEngine:
             if cached is not _MISSING:
                 self.stats.density_hits += 1
                 return cached
-        point = self._schedule_point(graph, record, delays, latency)
+        point = self._schedule_point(graph, record, delays, delays_key,
+                                     latency, impl)
         if point.schedule is None:
             pair: Optional[Tuple[Schedule, Binding]] = None
         else:
@@ -868,10 +1056,16 @@ class EvaluationEngine:
             self._density.put(key, pair)
         return pair
 
-    def _schedule_point(self, graph, record, delays, latency
-                        ) -> _SchedulePoint:
-        """The delays-keyed density schedule at *latency* (memoized)."""
-        key = (record.key, tuple(sorted(delays.items())), latency)
+    def _schedule_point(self, graph, record, delays, delays_key, latency,
+                        impl) -> _SchedulePoint:
+        """The delays-keyed density schedule at *latency* (memoized).
+
+        With the fast implementation the latency-range scan warm-starts
+        across bounds for free: every bound's frames derive from one
+        memoized ASAP/tail pass (:func:`repro.hls.fastsched.
+        base_timing`), so only the placement loop runs per latency.
+        """
+        key = (record.key, delays_key, latency)
         if self.cache_enabled:
             cached = self._schedules.get(key, _MISSING)
             if cached is not _MISSING:
@@ -879,8 +1073,11 @@ class EvaluationEngine:
                 return cached
         try:
             self.stats.density_schedules += 1
-            schedule: Optional[Schedule] = density_schedule(graph, delays,
-                                                            latency)
+            if impl == "fast":
+                schedule: Optional[Schedule] = \
+                    fastsched.fast_density_schedule(graph, delays, latency)
+            else:
+                schedule = density_schedule(graph, delays, latency)
         except SchedulingError:
             schedule = None
         point = _SchedulePoint(schedule)
@@ -918,7 +1115,7 @@ class EvaluationEngine:
 
     # -- list ----------------------------------------------------------
     def _list_best(self, graph, record, signature, allocation, latency_bound,
-                   area_model):
+                   area_model, impl):
         self.stats.list_realizations += 1
         key = (record.key, signature, latency_bound)
         pair = self._list_results.get(key, _MISSING) \
@@ -927,7 +1124,8 @@ class EvaluationEngine:
             self.stats.list_hits += 1
         else:
             pair = self._run_list_realization(graph, record, signature,
-                                              allocation, latency_bound)
+                                              allocation, latency_bound,
+                                              impl)
             if self.cache_enabled:
                 self._list_results.put(key, pair)
         if pair is None:
@@ -937,7 +1135,7 @@ class EvaluationEngine:
                           total_area(binding, area_model))
 
     def _run_list_realization(self, graph, record, signature, allocation,
-                              latency_bound):
+                              latency_bound, impl):
         """Count-driven list realization (see evaluate.py's docstring),
         with every list-schedule probe served through the probe cache."""
         unit_area = {allocation[op.op_id].name: allocation[op.op_id].area
@@ -946,7 +1144,7 @@ class EvaluationEngine:
         max_rounds = sum(counts.values()) + len(graph)
         for _ in range(max_rounds):
             schedule = self._list_probe(graph, record, signature, allocation,
-                                        counts)
+                                        counts, impl)
             if schedule.latency <= latency_bound:
                 self.stats.bindings += 1
                 binding = left_edge_bind(schedule, allocation)
@@ -957,7 +1155,7 @@ class EvaluationEngine:
                 trial = dict(counts)
                 trial[name] += 1
                 latency = self._list_probe(graph, record, signature,
-                                           allocation, trial).latency
+                                           allocation, trial, impl).latency
                 key = (latency, unit_area[name], name)
                 if best_key is None or key < best_key:
                     best_key = key
@@ -966,7 +1164,7 @@ class EvaluationEngine:
         return None
 
     def _list_probe(self, graph, record, signature, allocation,
-                    counts) -> Schedule:
+                    counts, impl) -> Schedule:
         key = (record.key, signature, tuple(sorted(counts.items())))
         if self.cache_enabled:
             cached = self._list_probes.get(key, _MISSING)
@@ -974,7 +1172,11 @@ class EvaluationEngine:
                 self.stats.list_probe_hits += 1
                 return cached
         self.stats.list_schedules += 1
-        schedule = list_schedule(graph, allocation, counts)
+        if impl == "fast":
+            schedule = fastsched.fast_list_schedule(graph, allocation,
+                                                    counts)
+        else:
+            schedule = list_schedule(graph, allocation, counts)
         if self.cache_enabled:
             self._list_probes.put(key, schedule)
         return schedule
@@ -998,6 +1200,7 @@ class EvaluationEngine:
         """
         for layer in self._layers.values():
             layer.clear()
+        self._timing_order.clear()
         self._graphs.clear()
         self._graph_keys.clear()
         self._graph_contents.clear()

@@ -30,6 +30,12 @@ from repro.library.version import ResourceVersion
 
 SCHEDULERS = ("auto", "density", "list")
 
+#: Scheduling-core implementations: ``"fast"`` is the compiled
+#: array-based core (:mod:`repro.hls.fastsched`), ``"reference"`` the
+#: original dict-based kernels.  Both produce identical schedules; the
+#: switch exists so the reference can serve as an equivalence oracle.
+SCHEDULER_IMPLS = ("fast", "reference")
+
 
 @dataclass
 class Evaluation:
@@ -70,6 +76,7 @@ def evaluate_allocation(graph: DataFlowGraph,
                         area_model: str = AREA_INSTANCES,
                         stop_at_area: Optional[int] = None,
                         scheduler: str = "auto",
+                        scheduler_impl: Optional[str] = None,
                         engine=None) -> Optional[Evaluation]:
     """Best (minimum-area) realization of an allocation within a bound.
 
@@ -84,6 +91,11 @@ def evaluate_allocation(graph: DataFlowGraph,
         budgets from the work-conservation lower bound;
         ``"auto"`` (default) — run both and keep the smaller area
         (ties: the density result, matching the paper's flow).
+    scheduler_impl:
+        ``"fast"`` (compiled array core) or ``"reference"`` (the
+        original kernels); ``None`` keeps the engine's default.  The
+        two produce identical schedules, so cached results are shared
+        freely between them.
     stop_at_area:
         Optional early-exit threshold for the density latency scan.
     engine:
@@ -95,4 +107,5 @@ def evaluate_allocation(graph: DataFlowGraph,
     engine = engine if engine is not None else default_engine()
     return engine.evaluate(graph, allocation, latency_bound,
                            area_model=area_model, stop_at_area=stop_at_area,
-                           scheduler=scheduler)
+                           scheduler=scheduler,
+                           scheduler_impl=scheduler_impl)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.dfg.graph import DataFlowGraph
+from repro.hls import fastsched
 from repro.hls.timing import asap_latency, time_frames
 from repro.library.library import ResourceLibrary
 from repro.library.version import ResourceVersion
@@ -46,7 +47,12 @@ def critical_operations(graph: DataFlowGraph,
         latency = timing.latency(graph, delays)
     else:
         latency = asap_latency(graph, delays)
-    frames = time_frames(graph, delays, latency)
+    if getattr(timing, "scheduler_impl", "reference") == "fast":
+        # identical integer fixpoint over the compiled arrays, without
+        # the reference's per-call topological re-sorts
+        frames = fastsched.fast_time_frames(graph, delays, latency)
+    else:
+        frames = time_frames(graph, delays, latency)
     return [op_id for op_id, (lo, hi) in frames.items() if lo == hi]
 
 

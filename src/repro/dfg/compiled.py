@@ -1,0 +1,246 @@
+"""Compiled, integer-indexed view of a data-flow graph.
+
+Profiling cold synthesis runs showed the single hottest operation in
+the whole flow was not arithmetic but *graph bookkeeping*: every
+``time_frames`` call re-derived the topological order through
+networkx's lexicographical sort, and every scheduler pass walked
+string-keyed adjacency dicts.  A :class:`CompiledGraph` pays those
+costs exactly once per graph: the node set is flattened into dense
+integer indices (insertion order), adjacency into CSR arrays, the
+deterministic topological order into a permutation array, and resource
+types into small integer codes.  Structural *levels* (longest-path
+depth in edge count, forward and reverse) are precomputed so timing
+passes can propagate level-by-level with NumPy gather/``reduceat``
+kernels instead of per-node Python (:mod:`repro.hls.fastsched` builds
+on exactly these arrays).
+
+Compilation is cached on the graph object itself (invalidated when the
+operation or edge count changes), so every evaluation of a graph —
+including the thousands a single sweep performs — shares one compiled
+form.  The compiled form is faithful: :meth:`CompiledGraph.to_graph`
+reconstructs an equivalent :class:`~repro.dfg.graph.DataFlowGraph`
+(same ids, kinds, rtypes, labels and edge order), and the topological
+order is *identical* to :meth:`DataFlowGraph.topological_order`
+(smallest insertion index among ready nodes), so array-based and
+reference algorithms traverse nodes in the same sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.node import Operation
+from repro.errors import DFGError
+
+#: Attribute used to cache the compiled form on the graph object.
+_CACHE_ATTR = "_compiled_graph_cache"
+#: pickles must strip the cache (workers recompile in O(V+E)); the
+#: stripping happens by name in DataFlowGraph.__getstate__
+assert _CACHE_ATTR in DataFlowGraph._TRANSIENT_ATTRS
+
+
+class CompiledGraph:
+    """Integer-indexed arrays describing one :class:`DataFlowGraph`.
+
+    Operations are numbered ``0..n_ops-1`` in graph insertion order.
+    All arrays are read-only views of the graph at compile time; use
+    :func:`compile_graph` (which re-compiles when the graph grew) to
+    obtain one.
+    """
+
+    __slots__ = (
+        "name", "n_ops", "n_edges",
+        "op_ids", "index", "kinds", "rtypes_per_op", "labels",
+        "rtype_names", "rtype_codes",
+        "edge_list",
+        "pred_ptr", "pred_idx", "succ_ptr", "succ_idx",
+        "preds", "succs",
+        "topo", "topo_rank",
+        "fwd_levels", "rev_levels", "source_idx", "sink_idx",
+        "_timing_cache",
+    )
+
+    def __init__(self, graph: DataFlowGraph):
+        self.name = graph.name
+        op_ids = graph.op_ids()
+        n = len(op_ids)
+        self.n_ops = n
+        self.op_ids: Tuple[str, ...] = tuple(op_ids)
+        self.index: Dict[str, int] = {op_id: i
+                                      for i, op_id in enumerate(op_ids)}
+        ops = graph.operations()
+        self.kinds: Tuple[str, ...] = tuple(op.kind for op in ops)
+        self.rtypes_per_op: Tuple[str, ...] = tuple(op.rtype for op in ops)
+        self.labels: Tuple[Optional[str], ...] = tuple(op.label for op in ops)
+
+        self.rtype_names: Tuple[str, ...] = tuple(
+            sorted(set(self.rtypes_per_op)))
+        code_of = {name: c for c, name in enumerate(self.rtype_names)}
+        self.rtype_codes = np.fromiter(
+            (code_of[r] for r in self.rtypes_per_op),
+            dtype=np.int32, count=n)
+
+        edges = graph.edges()
+        self.n_edges = len(edges)
+        index = self.index
+        self.edge_list: Tuple[Tuple[int, int], ...] = tuple(
+            (index[u], index[v]) for u, v in edges)
+
+        preds: List[List[int]] = [[] for _ in range(n)]
+        succs: List[List[int]] = [[] for _ in range(n)]
+        for u, v in self.edge_list:
+            preds[v].append(u)
+            succs[u].append(v)
+        self.preds: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(p) for p in preds)
+        self.succs: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s) for s in succs)
+        self.pred_ptr, self.pred_idx = _to_csr(preds)
+        self.succ_ptr, self.succ_idx = _to_csr(succs)
+
+        self.topo = _lexicographic_topo(n, self.preds, self.succs, self.name)
+        self.topo_rank = np.empty(n, dtype=np.int32)
+        self.topo_rank[self.topo] = np.arange(n, dtype=np.int32)
+
+        topo_list = self.topo.tolist()
+        self.fwd_levels = _levels(n, self.preds, topo_list)
+        self.rev_levels = _levels(n, self.succs, topo_list[::-1])
+        self.source_idx = np.fromiter(
+            (i for i in range(n) if not preds[i]), dtype=np.int32)
+        self.sink_idx = np.fromiter(
+            (i for i in range(n) if not succs[i]), dtype=np.int32)
+        # delays-keyed ASAP/tail memo used by repro.hls.fastsched
+        self._timing_cache: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_ops
+
+    def topo_ids(self) -> List[str]:
+        """Operation ids in topological order (== the graph's)."""
+        return [self.op_ids[i] for i in self.topo]
+
+    def delays_array(self, delays) -> np.ndarray:
+        """Per-index delay vector from an op-id keyed mapping."""
+        return np.fromiter((delays[op_id] for op_id in self.op_ids),
+                           dtype=np.int64, count=self.n_ops)
+
+    def rtype_of(self, i: int) -> str:
+        """Resource-type name of operation index *i*."""
+        return self.rtype_names[self.rtype_codes[i]]
+
+    # ------------------------------------------------------------------
+    # round trip
+    # ------------------------------------------------------------------
+    def to_graph(self) -> DataFlowGraph:
+        """Reconstruct an equivalent :class:`DataFlowGraph`.
+
+        Ids, kinds, rtypes, labels and the edge insertion order are
+        preserved, so ``compile_graph(cg.to_graph())`` yields identical
+        arrays.
+        """
+        graph = DataFlowGraph(self.name)
+        for i, op_id in enumerate(self.op_ids):
+            graph.add_operation(Operation(op_id, self.kinds[i],
+                                          self.rtypes_per_op[i],
+                                          self.labels[i]))
+        for u, v in self.edge_list:
+            graph.add_edge(self.op_ids[u], self.op_ids[v])
+        return graph
+
+    def __repr__(self) -> str:
+        return (f"CompiledGraph(name={self.name!r}, ops={self.n_ops}, "
+                f"edges={self.n_edges}, rtypes={self.rtype_names})")
+
+
+def _to_csr(adjacency: List[List[int]]
+            ) -> Tuple[np.ndarray, np.ndarray]:
+    """(ptr, idx) CSR arrays for a list-of-lists adjacency."""
+    ptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+    for i, neighbours in enumerate(adjacency):
+        ptr[i + 1] = ptr[i] + len(neighbours)
+    idx = np.fromiter((j for neighbours in adjacency for j in neighbours),
+                      dtype=np.int32, count=int(ptr[-1]))
+    return ptr, idx
+
+
+def _lexicographic_topo(n: int, preds, succs, name: str) -> np.ndarray:
+    """Kahn's algorithm taking the smallest insertion index among ready
+    nodes — exactly :meth:`DataFlowGraph.topological_order`."""
+    indegree = [len(p) for p in preds]
+    ready = [i for i in range(n) if indegree[i] == 0]
+    heapq.heapify(ready)
+    order = np.empty(n, dtype=np.int32)
+    filled = 0
+    while ready:
+        node = heapq.heappop(ready)
+        order[filled] = node
+        filled += 1
+        for succ in succs[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, succ)
+    if filled != n:
+        raise DFGError(f"{name!r} contains a cycle")
+    return order
+
+
+def _levels(n: int, preds, order
+            ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Structural levels for vectorized propagation along *preds*.
+
+    *order* must be a valid processing sequence for the *preds*
+    direction (the topological order, or its reverse for successor
+    adjacency).  Returns, for every depth ``>= 1`` (depth 0 nodes have
+    no predecessors and need no propagation), a tuple ``(nodes,
+    gather_idx, seg_ptr)``: the member nodes in insertion order, their
+    concatenated predecessor indices, and ``reduceat`` segment offsets
+    — ``np.maximum.reduceat(values[gather_idx], seg_ptr)`` yields the
+    per-node max over predecessors in one call.
+    """
+    depth = [0] * n
+    for i in order:
+        if preds[i]:
+            depth[i] = 1 + max(depth[p] for p in preds[i])
+    by_depth: Dict[int, List[int]] = {}
+    for i in range(n):
+        by_depth.setdefault(depth[i], []).append(i)
+    levels = []
+    for d in sorted(by_depth):
+        if d == 0:
+            continue
+        nodes = by_depth[d]
+        gather: List[int] = []
+        seg_ptr: List[int] = []
+        for node in nodes:
+            seg_ptr.append(len(gather))
+            gather.extend(preds[node])
+        levels.append((np.asarray(nodes, dtype=np.int32),
+                       np.asarray(gather, dtype=np.int32),
+                       np.asarray(seg_ptr, dtype=np.int64)))
+    return levels
+
+
+def compile_graph(graph: DataFlowGraph) -> CompiledGraph:
+    """The cached compiled form of *graph*.
+
+    The compiled arrays are stored on the graph object and rebuilt when
+    the operation or edge count changes (the same invalidation contract
+    the evaluation engine's graph registry uses); callers therefore
+    treat this as O(1) after the first evaluation of a graph.
+    """
+    cached = graph.__dict__.get(_CACHE_ATTR)
+    if cached is not None:
+        n_ops, n_edges, compiled = cached
+        if n_ops == len(graph) and n_edges == graph.edge_count():
+            return compiled
+    compiled = CompiledGraph(graph)
+    graph.__dict__[_CACHE_ATTR] = (compiled.n_ops, compiled.n_edges,
+                                   compiled)
+    return compiled

@@ -20,10 +20,28 @@ from repro.errors import DFGError
 class DataFlowGraph:
     """A directed acyclic graph of operations with data-dependency edges."""
 
+    #: transient per-object caches (e.g. the compiled-array form
+    #: attached by :mod:`repro.dfg.compiled`) — never pickled: workers
+    #: and snapshots rebuild them in O(V+E), and shipping them would
+    #: bloat every hand-off
+    _TRANSIENT_ATTRS = ("_compiled_graph_cache",)
+
     def __init__(self, name: str = "dfg"):
         self.name = name
         self._g = nx.DiGraph()
         self._ops: Dict[str, Operation] = {}
+        self._n_edges = 0
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._TRANSIENT_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if "_n_edges" not in state:  # graphs pickled by older versions
+            self._n_edges = self._g.number_of_edges()
 
     # ------------------------------------------------------------------
     # construction
@@ -54,12 +72,15 @@ class DataFlowGraph:
                 )
         if producer == consumer:
             raise DFGError(f"self-dependency on {producer!r}")
+        known = self._g.has_edge(producer, consumer)
         self._g.add_edge(producer, consumer)
         if not nx.is_directed_acyclic_graph(self._g):
             self._g.remove_edge(producer, consumer)
             raise DFGError(
                 f"edge ({producer!r} -> {consumer!r}) would create a cycle"
             )
+        if not known:
+            self._n_edges += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -91,6 +112,10 @@ class DataFlowGraph:
     def edges(self) -> List[Tuple[str, str]]:
         """All dependency edges as (producer, consumer) pairs."""
         return list(self._g.edges())
+
+    def edge_count(self) -> int:
+        """Number of dependency edges (O(1), unlike ``len(edges())``)."""
+        return self._n_edges
 
     def predecessors(self, op_id: str) -> List[str]:
         """Ids of operations whose results *op_id* consumes."""

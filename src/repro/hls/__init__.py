@@ -10,6 +10,15 @@ serves as an ablation point and test oracle.
 
 from repro.hls.binding import Binding, Instance, left_edge_bind
 from repro.hls.density import asap_schedule, density_schedule
+from repro.hls.fastsched import (
+    density_schedule_range,
+    fast_alap_starts,
+    fast_asap_latency,
+    fast_asap_starts,
+    fast_density_schedule,
+    fast_list_schedule,
+    fast_time_frames,
+)
 from repro.hls.listsched import list_schedule, min_latency_with_counts
 from repro.hls.pipeline import (
     min_initiation_interval,
@@ -51,6 +60,13 @@ __all__ = [
     "mobility",
     "density_schedule",
     "asap_schedule",
+    "fast_asap_starts",
+    "fast_alap_starts",
+    "fast_asap_latency",
+    "fast_time_frames",
+    "fast_density_schedule",
+    "fast_list_schedule",
+    "density_schedule_range",
     "list_schedule",
     "min_latency_with_counts",
     "Binding",

@@ -485,3 +485,145 @@ class TestConcurrentClients:
         assert point_fingerprints(points) == serial
         assert server.entry_count() > 0
         assert server.stats.adopted > 0
+
+
+# ----------------------------------------------------------------------
+# negative-result TTL markers
+# ----------------------------------------------------------------------
+class _CountingClient:
+    """Duck-typed CacheClient double: counts round trips, serves a dict."""
+
+    def __init__(self, store=None):
+        self.store = store or {}
+        self.gets = 0
+        self.get_many_keys = 0
+        self.puts = []
+
+    def get(self, layer, key):
+        self.gets += 1
+        try:
+            return True, self.store[(layer, key)]
+        except KeyError:
+            return False, None
+
+    def get_many(self, layer, keys):
+        self.get_many_keys += len(keys)
+        return {key: self.store[(layer, key)] for key in keys
+                if (layer, key) in self.store}
+
+    def put_many(self, entries):
+        self.puts.extend(entries)
+        return len(entries)
+
+    def close(self):
+        pass
+
+
+class TestNegativeResultMarkers:
+    def test_repeat_miss_skips_the_round_trip(self):
+        from repro.core.engine import EngineStats, RemoteCacheBackend
+
+        client = _CountingClient()
+        backend = RemoteCacheBackend(client, negative_ttl=60.0)
+        backend.stats = EngineStats()
+        assert backend.fetch("density", ("k",)) == (False, None)
+        assert backend.fetch("density", ("k",)) == (False, None)
+        assert backend.fetch("density", ("k",)) == (False, None)
+        assert client.gets == 1  # only the first miss hit the wire
+        assert backend.stats.remote_negative_hits == 2
+
+    def test_marker_expires_after_ttl(self, monkeypatch):
+        import time as time_module
+
+        from repro.core.engine import RemoteCacheBackend
+
+        client = _CountingClient()
+        backend = RemoteCacheBackend(client, negative_ttl=0.01)
+        backend.fetch("density", ("k",))
+        time_module.sleep(0.02)
+        backend.fetch("density", ("k",))
+        assert client.gets == 2  # marker expired, re-asked
+
+    def test_own_store_clears_the_marker(self):
+        from repro.core.engine import RemoteCacheBackend
+
+        client = _CountingClient()
+        backend = RemoteCacheBackend(client, negative_ttl=60.0)
+        backend.fetch("density", ("k",))
+        backend.store("density", ("k",), "fresh")
+        backend.flush()
+        client.store[("density", ("k",))] = "fresh"
+        found, value = backend.fetch("density", ("k",))
+        assert (found, value) == (True, "fresh")
+        assert client.gets == 2
+
+    def test_batched_lookups_filter_marked_keys(self):
+        from repro.core.engine import EngineStats, RemoteCacheBackend
+
+        client = _CountingClient({("density", ("hit",)): "value"})
+        backend = RemoteCacheBackend(client, negative_ttl=60.0)
+        backend.stats = EngineStats()
+        first = backend.fetch_many("density", [("hit",), ("miss",)])
+        assert first == {("hit",): "value"}
+        assert client.get_many_keys == 2
+        # the miss is marked: the next batch only ships the unknown key
+        second = backend.fetch_many("density", [("miss",), ("other",)])
+        assert second == {}
+        assert client.get_many_keys == 3
+        assert backend.stats.remote_negative_hits == 1
+
+    def test_zero_ttl_disables_markers(self):
+        from repro.core.engine import RemoteCacheBackend
+
+        client = _CountingClient()
+        backend = RemoteCacheBackend(client, negative_ttl=0.0)
+        backend.fetch("density", ("k",))
+        backend.fetch("density", ("k",))
+        assert client.gets == 2
+
+    def test_negative_ttl_must_be_non_negative(self):
+        from repro.core.engine import RemoteCacheBackend
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            RemoteCacheBackend(_CountingClient(), negative_ttl=-1.0)
+
+    def test_marker_table_is_bounded(self):
+        from repro.core.engine import RemoteCacheBackend
+
+        client = _CountingClient()
+        backend = RemoteCacheBackend(client, negative_ttl=60.0)
+        limit = RemoteCacheBackend.MAX_NEGATIVE
+        for index in range(limit + 10):
+            backend.fetch("density", (index,))
+        assert len(backend._negative) <= limit
+
+    def test_cold_prefetch_tail_is_not_reasked(self, server, lib):
+        """End to end: density-range keys the server missed once are
+        not re-asked by the next evaluation's prefetch.
+
+        An early-exiting scan (``stop_at_area``) prefetches the whole
+        latency range but never computes (or stores) the tail, so only
+        the absent markers stop a second scan from re-asking the
+        server key by key — the diffeq live-pass regression.
+        """
+        from repro.core.cache_server import attach_engine
+
+        engine = EvaluationEngine()
+        assert attach_engine(engine, server.address)
+        graph = diffeq()
+        allocation = {op.op_id: lib.fastest_smallest(op.rtype)
+                      for op in graph}
+        bound = engine.min_latency(graph, allocation) + 4
+        first = engine.evaluate(graph, allocation, bound,
+                                stop_at_area=10 ** 6, scheduler="density")
+        assert first is not None  # scan stopped at the first point
+        gets_after_first = server.stats.gets
+        second = engine.evaluate(graph, allocation, bound,
+                                 scheduler="density")
+        assert second is not None
+        # the whole marked tail (4 density keys) answered locally
+        assert engine.stats.remote_negative_hits == 4
+        # remaining round trips are all first-time keys (the new memo
+        # entry and the tail's schedule points), never re-asked misses
+        assert server.stats.gets - gets_after_first <= 5

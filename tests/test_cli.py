@@ -358,3 +358,54 @@ class TestCacheServer:
         thread.join(timeout=10.0)
         assert not thread.is_alive()
         assert exit_codes == [0]
+
+
+class TestCacheStats:
+    """The cache-stats subcommand against a live server."""
+
+    def test_text_report(self, tmp_path, capsys):
+        from repro.core import cache_server
+
+        address = str(tmp_path / "srv.sock")
+        with cache_server.CacheServer(address) as server:
+            server.seed({"density": [((("g",), "sig", 7), "value")]})
+            assert main(["cache-stats", "--address", address]) == 0
+            out = capsys.readouterr().out
+        assert f"cache server at {address}" in out
+        assert "entries     : 1" in out
+        assert "density=1" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.core import cache_server
+
+        address = str(tmp_path / "srv.sock")
+        with cache_server.CacheServer(address) as server:
+            with cache_server.CacheClient(address) as client:
+                client.put("timing", ("k",), ("starts", 3))
+                client.get("timing", ("k",))
+                client.get("timing", ("absent",))
+            assert main(["cache-stats", "--address", address,
+                         "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["gets"] == 2 and payload["hits"] == 1
+        assert payload["hit_rate"] == 0.5
+        assert payload["layer_sizes"]["timing"] == 1
+
+    def test_cache_dir_resolves_default_socket(self, tmp_path, capsys):
+        from repro.core import cache_server
+
+        address = cache_server.default_address(str(tmp_path))
+        with cache_server.CacheServer(address):
+            assert main(["cache-stats", "--cache-dir",
+                         str(tmp_path)]) == 0
+            assert "cache server at" in capsys.readouterr().out
+
+    def test_requires_a_location(self, capsys):
+        assert main(["cache-stats"]) == 2
+        assert "--address or --cache-dir" in capsys.readouterr().err
+
+    def test_unreachable_server_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["cache-stats", "--address",
+                     str(tmp_path / "nothing.sock")]) == 1
+        assert "error" in capsys.readouterr().err

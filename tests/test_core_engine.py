@@ -270,10 +270,10 @@ class TestListTieBreak:
                 self.probed = []
 
             def _list_probe(self, graph, record, signature, allocation,
-                            counts):
+                            counts, impl):
                 self.probed.append(dict(counts))
                 return super()._list_probe(graph, record, signature,
-                                           allocation, counts)
+                                           allocation, counts, impl)
 
         engine = RecordingEngine()
         evaluation = engine.evaluate(graph, allocation, 2, scheduler="list")

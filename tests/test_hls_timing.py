@@ -72,6 +72,67 @@ class TestAsapAlap:
         assert alap["b"] == 4  # can slide right up against d@5
 
 
+class TestErrorPaths:
+    """Infeasible latencies and fixed-placement violations."""
+
+    def test_alap_reports_the_infeasible_operation(self):
+        g = diamond()
+        with pytest.raises(SchedulingError, match="latency 1 is infeasible"):
+            alap_starts(g, unit_delays(g), 1)
+
+    def test_alap_multicycle_infeasible(self):
+        g = diamond()
+        delays = {"a": 2, "b": 1, "c": 3, "d": 1}
+        with pytest.raises(SchedulingError, match="infeasible"):
+            alap_starts(g, delays, 5)  # critical path is 6
+
+    def test_asap_fixed_violation_names_offender_and_bound(self):
+        g = diamond()
+        with pytest.raises(SchedulingError,
+                           match=r"fixed start 0 of 'b' violates"):
+            asap_starts(g, unit_delays(g), fixed={"b": 0})
+
+    def test_asap_fixed_at_exact_boundary_is_legal(self):
+        g = diamond()
+        starts = asap_starts(g, unit_delays(g), fixed={"b": 1})
+        assert starts["b"] == 1
+
+    def test_alap_fixed_violation_names_latest_step(self):
+        g = diamond()
+        with pytest.raises(SchedulingError,
+                           match=r"fixed start 2 of 'b' exceeds the latest "
+                                 r"feasible step 1"):
+            alap_starts(g, unit_delays(g), 3, fixed={"b": 2})
+
+    def test_alap_fixed_at_exact_boundary_is_legal(self):
+        g = diamond()
+        starts = alap_starts(g, unit_delays(g), 3, fixed={"b": 1})
+        assert starts["b"] == 1
+
+    def test_time_frames_empty_frame_from_fixed_squeeze(self):
+        g = diamond()
+        # pinning d early and a late empties the middle ops' frames
+        with pytest.raises(SchedulingError):
+            time_frames(g, unit_delays(g), 5, fixed={"a": 2, "d": 3})
+
+    def test_time_frames_consistent_without_fixed(self):
+        g = diamond()
+        frames = time_frames(g, unit_delays(g), 4)
+        for lo, hi in frames.values():
+            assert 0 <= lo <= hi
+
+    def test_mobility_propagates_infeasibility(self):
+        g = diamond()
+        with pytest.raises(SchedulingError):
+            mobility(g, unit_delays(g), 2)
+
+    def test_fixed_producer_pushes_consumer_window(self):
+        g = diamond()
+        frames = time_frames(g, unit_delays(g), 5, fixed={"a": 2})
+        assert frames["a"] == (2, 2)
+        assert frames["b"][0] == 3 and frames["d"][1] == 4
+
+
 class TestFramesAndMobility:
     def test_frames_at_min_latency_zero_mobility_on_cp(self):
         g = diamond()
