@@ -1,15 +1,43 @@
 """Performance benchmarks of the synthesis primitives.
 
-These are true pytest-benchmark measurements (multiple rounds) of the
-substrate's hot paths, so regressions in the schedulers or the full
-flow show up as timing changes.
+Two kinds of measurement live here:
+
+* true pytest-benchmark measurements (multiple rounds) of the
+  substrate's hot paths, so regressions in the schedulers or the full
+  flow show up as timing changes;
+* the **batched-evaluation scalability gate** — cold evaluation of
+  whole request batches through the lockstep kernels
+  (``hls/fastsched.batched_density_schedules`` and
+  ``core/engine.evaluate_batch``) versus the per-item fast path and
+  the dict-based reference, on growing ``random_dag`` families and on
+  the Table 2 grids.  It asserts the three paths select **identical
+  designs** (the correctness gate) and that batching clears a
+  wall-clock speedup floor (``SCALABILITY_MIN_SPEEDUP``; relaxed
+  under ``CI`` where clocks are noisy).  Results are written to
+  ``BENCH_scalability.json`` (schema in README.md).
+
+Run the gate standalone (the CI perf-smoke job does, with ``--quick``):
+
+    PYTHONPATH=src python benchmarks/bench_scalability.py
 """
 
-from repro.bench import ewf, fir16
+import itertools
+import os
+import random
+import time
+
+from repro.bench import ewf, fir16, get_benchmark
 from repro.dfg import random_dag, unit_delays
 from repro.hls import density_schedule, left_edge_bind, list_schedule
+from repro.hls.fastsched import (
+    batched_density_schedules,
+    fast_density_schedule,
+)
 from repro.library import paper_library
-from repro.core import find_design
+from repro.core import EvaluationEngine, find_design
+from repro.experiments import ExperimentTable, paper_data
+
+from benchjson import write_bench_json
 
 
 def test_density_scheduler_speed(benchmark):
@@ -54,3 +82,229 @@ def test_find_design_speed_ewf(benchmark):
         find_design, args=(ewf(), library, 14, 9),
         rounds=3, iterations=1)
     assert result.meets_bounds()
+
+
+# ----------------------------------------------------------------------
+# batched-evaluation scalability gate
+# ----------------------------------------------------------------------
+
+CURVE_SIZES = (24, 48, 96)
+CURVE_VARIANTS = 12  # delay/latency columns batched per graph
+TABLE2_WORKLOADS = ("fir", "ew", "diffeq")
+
+
+def _curve_requests(graph, seed):
+    """CURVE_VARIANTS (delays, latency) requests with library delays
+    and a small latency slack — the shape a sweep's memo misses have."""
+    library = paper_library()
+    rng = random.Random(seed)
+    choices = {op.op_id: [v.delay for v in library.versions_of(op.rtype)]
+               for op in graph}
+    requests = []
+    for _ in range(CURVE_VARIANTS):
+        delays = {op_id: rng.choice(ds) for op_id, ds in choices.items()}
+        critical = fast_density_schedule(graph, delays, None).latency
+        requests.append((delays, critical + rng.randint(0, 3)))
+    return requests
+
+
+def _best_of(reps, func):
+    best = result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def measure_curve(quick=False):
+    """Cold kernel scaling: reference vs fast loop vs one batched call
+    on growing random-DAG families (identical starts asserted)."""
+    sizes = CURVE_SIZES[:1] if quick else CURVE_SIZES
+    reps = 1 if quick else 3
+    rows = {}
+    for size in sizes:
+        graph = random_dag(size, seed=900 + size)
+        requests = _curve_requests(graph, seed=17 * size)
+        ref_time, ref = _best_of(reps, lambda: [
+            density_schedule(graph, delays, latency)
+            for delays, latency in requests])
+        fast_time, fast = _best_of(reps, lambda: [
+            fast_density_schedule(graph, delays, latency)
+            for delays, latency in requests])
+        bat_time, bat = _best_of(
+            reps, lambda: batched_density_schedules(graph, requests))
+        for r, f, b in zip(ref, fast, bat):
+            assert r.starts == f.starts == b.starts, size
+        rows[size] = {
+            "requests": len(requests),
+            "reference_s": ref_time,
+            "fast_s": fast_time,
+            "batched_s": bat_time,
+            "batched_speedup_over_fast": fast_time / bat_time,
+            "batched_speedup_over_reference": ref_time / bat_time,
+        }
+    return rows
+
+
+def _table2_allocations(graph):
+    """Table-2-style uniform allocations: one library version per
+    rtype, every combination."""
+    library = paper_library()
+    rtypes = sorted({op.rtype for op in graph})
+    allocations = []
+    for combo in itertools.product(
+            *(library.versions_of(rt) for rt in rtypes)):
+        pick = dict(zip(rtypes, combo))
+        allocations.append({op.op_id: pick[op.rtype] for op in graph})
+    return allocations
+
+
+def _design_key(index, evaluation):
+    """Byte-comparable identity of a selected design."""
+    if evaluation is None:
+        return None
+    return repr((index, evaluation.area, evaluation.latency,
+                 tuple(sorted(evaluation.schedule.starts.items())))
+                ).encode()
+
+
+def _run_table2_mode(graph, allocations, lds, mode):
+    """One cold grid evaluation; returns (engine, selected designs).
+
+    All modes walk the latency bounds in the same (descending) order;
+    the batched mode submits each bound's whole allocation grid to
+    :meth:`EvaluationEngine.evaluate_batch` in one call.
+    """
+    impl = "reference" if mode == "reference" else "fast"
+    engine = EvaluationEngine(scheduler="density", scheduler_impl=impl)
+    selected = []
+    for ld in lds:
+        if mode == "batched":
+            evaluations = engine.evaluate_batch(graph, allocations, ld)
+        else:
+            evaluations = [engine.evaluate(graph, allocation, ld)
+                           for allocation in allocations]
+        winner = min(
+            ((ev.area, idx) for idx, ev in enumerate(evaluations)
+             if ev is not None), default=None)
+        selected.append(None if winner is None else
+                        _design_key(winner[1], evaluations[winner[1]]))
+    return engine, selected
+
+
+def measure_table2(quick=False):
+    """The ISSUE gate: cold Table 2 grids, batched vs per-item vs
+    reference, byte-identical selected designs asserted."""
+    reps = 1 if quick else 7
+    rows = {}
+    totals = {"reference": 0.0, "sequential": 0.0, "batched": 0.0}
+    for benchmark in TABLE2_WORKLOADS:
+        graph = get_benchmark(benchmark)
+        allocations = _table2_allocations(graph)
+        lds = sorted({ld for ld, _ in paper_data.table2_grid(benchmark)},
+                     reverse=True)
+        times = {}
+        designs = {}
+        stats = None
+        for mode in ("reference", "sequential", "batched"):
+            elapsed, (engine, selected) = _best_of(
+                reps, lambda m=mode: _run_table2_mode(
+                    graph, allocations, lds, m))
+            times[mode] = elapsed
+            designs[mode] = selected
+            if mode == "batched":
+                stats = engine.stats
+        assert designs["batched"] == designs["sequential"] \
+            == designs["reference"], benchmark
+        for mode, elapsed in times.items():
+            totals[mode] += elapsed
+        rows[benchmark] = {
+            "allocations": len(allocations),
+            "latency_bounds": lds,
+            "reference_cold_s": times["reference"],
+            "sequential_fast_cold_s": times["sequential"],
+            "batched_cold_s": times["batched"],
+            "batched_speedup_over_fast":
+                times["sequential"] / times["batched"],
+            "batched_speedup_over_reference":
+                times["reference"] / times["batched"],
+            "batch_fill": stats.batch_fill,
+            "batched_evals": stats.batched_evals,
+        }
+    return rows, totals
+
+
+def report(curve, table2, totals, floor=None):
+    table = ExperimentTable(
+        title="Batched evaluation: cold kernels and Table 2 grids",
+        headers=("workload", "batch", "reference s", "per-item s",
+                 "batched s", "vs per-item", "vs reference"),
+    )
+    for size, row in curve.items():
+        table.add_row(
+            f"random_dag({size})", row["requests"],
+            round(row["reference_s"], 4), round(row["fast_s"], 4),
+            round(row["batched_s"], 4),
+            round(row["batched_speedup_over_fast"], 2),
+            round(row["batched_speedup_over_reference"], 2),
+        )
+    for benchmark, row in table2.items():
+        table.add_row(
+            f"table2:{benchmark}", row["batched_evals"],
+            round(row["reference_cold_s"], 4),
+            round(row["sequential_fast_cold_s"], 4),
+            round(row["batched_cold_s"], 4),
+            round(row["batched_speedup_over_fast"], 2),
+            round(row["batched_speedup_over_reference"], 2),
+        )
+    aggregate = totals["sequential"] / totals["batched"]
+    table.add_note(
+        f"Table 2 aggregate: batched {aggregate:.2f}x over the "
+        f"per-item cold fast path, "
+        f"{totals['reference'] / totals['batched']:.2f}x over reference")
+    if floor is not None:
+        table.add_note(f"asserted floor: {floor}x")
+    path = write_bench_json("scalability", {
+        "curve": {str(size): row for size, row in curve.items()},
+        "table2": table2,
+        "table2_totals_s": totals,
+        "aggregate_batched_speedup_over_fast": aggregate,
+        "aggregate_batched_speedup_over_reference":
+            totals["reference"] / totals["batched"],
+    })
+    print("\n" + table.as_text())
+    print(f"\nresults written to {path}")
+    return aggregate
+
+
+def test_batched_scalability_gate():
+    curve = measure_curve()
+    table2, totals = measure_table2()
+    # design equivalence (asserted inside the measurements) is the hard
+    # gate; the wall-clock floor documents the >= 2x acceptance claim
+    # on a quiet machine and is deliberately loose on shared CI runners
+    floor = float(os.environ.get(
+        "SCALABILITY_MIN_SPEEDUP", "1.1" if os.environ.get("CI") else "1.5"))
+    aggregate = report(curve, table2, totals, floor)
+    assert aggregate >= floor, \
+        f"expected >= {floor}x batched speedup, measured {aggregate:.2f}x"
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single rep, smallest curve size (CI "
+                             "smoke); only design mismatches fail, "
+                             "never timing noise")
+    args = parser.parse_args()
+    if args.quick:
+        curve = measure_curve(quick=True)
+        table2, totals = measure_table2(quick=True)
+        report(curve, table2, totals)
+        print("batched == sequential == reference designs: ok")
+    else:
+        test_batched_scalability_gate()

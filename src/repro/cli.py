@@ -374,7 +374,8 @@ def _cmd_experiment(args) -> int:
         "extensions": [(experiments.run_pipeline_tradeoff, (), {}),
                        (experiments.run_self_recovery_comparison, (), {}),
                        (experiments.run_voter_sensitivity, (), {}),
-                       (experiments.run_extra_benchmarks, (), {})],
+                       (experiments.run_extra_benchmarks, (), {}),
+                       (experiments.run_montecarlo_validation, (), {})],
     }
     names = list(runs) if args.name == "all" else [args.name]
     state = {"unsaved": True}

@@ -29,6 +29,7 @@ from repro.core.cache_server import (
 from repro.core.evaluate import (
     SCHEDULER_IMPLS,
     evaluate_allocation,
+    evaluate_allocations,
     min_latency,
 )
 from repro.core.explore import (
@@ -41,7 +42,11 @@ from repro.core.explore import (
     synthesize,
 )
 from repro.core.find_design import find_design, uniform_allocations
-from repro.core.montecarlo import MonteCarloReport, simulate_design
+from repro.core.montecarlo import (
+    MonteCarloReport,
+    simulate_design,
+    simulate_designs,
+)
 from repro.core.objectives import minimize_area, minimize_latency
 from repro.core.optimal import optimal_design
 from repro.core.redundancy import apply_greedy_redundancy, best_upgrade
@@ -76,6 +81,7 @@ __all__ = [
     "apply_greedy_redundancy",
     "best_upgrade",
     "evaluate_allocation",
+    "evaluate_allocations",
     "min_latency",
     "SCHEDULER_IMPLS",
     "uniform_allocations",
@@ -83,6 +89,7 @@ __all__ = [
     "minimize_latency",
     "optimal_design",
     "simulate_design",
+    "simulate_designs",
     "MonteCarloReport",
     "self_recovery_design",
     "SelfRecoveryDesign",

@@ -91,12 +91,12 @@ from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
 
 from repro.dfg.compiled import compile_graph
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import ReproError, SchedulingError
+from repro.errors import BindingError, ReproError, SchedulingError
 from repro.hls import fastsched
 from repro.hls.binding import Binding, left_edge_bind, rebind_versions
 from repro.hls.density import density_schedule
 from repro.hls.listsched import list_schedule
-from repro.hls.metrics import AREA_INSTANCES, total_area
+from repro.hls.metrics import AREA_INSTANCES, AREA_VERSIONS, total_area
 from repro.hls.schedule import Schedule
 from repro.hls.timing import asap_starts
 from repro.library.version import ResourceVersion
@@ -119,6 +119,54 @@ def allocation_signature(allocation: Mapping[str, ResourceVersion]
     two libraries that reuse a version name cannot alias each other.
     """
     return tuple(sorted(allocation.items()))
+
+
+def _scan_area(schedule: Schedule,
+               allocation: Mapping[str, ResourceVersion],
+               area_model: str) -> Optional[int]:
+    """``total_area(left_edge_bind(schedule, allocation), area_model)``
+    without running the binder.
+
+    Left-edge packing is lane-minimal on interval graphs, so under the
+    instance model each version pool occupies exactly (max step
+    overlap) instances.  That identity needs every interval non-empty:
+    a zero-delay operation's empty interval may or may not open a lane
+    depending on pack order, so its presence returns ``None`` and the
+    caller binds for real.  The version model is schedule-independent
+    (distinct versions used) and always answered.
+
+    The batched evaluation path uses this to cost the non-winning
+    latencies of a density scan in O(pool size) instead of running a
+    full binding per latency.
+    """
+    pools: Dict[str, List[str]] = {}
+    versions: Dict[str, ResourceVersion] = {}
+    for op in schedule.graph:
+        version = allocation.get(op.op_id)
+        if version is None:
+            raise BindingError(f"operation {op.op_id!r} has no allocation")
+        pools.setdefault(version.name, []).append(op.op_id)
+        versions[version.name] = version
+    if area_model == AREA_VERSIONS:
+        return sum(version.area for version in versions.values())
+    area = 0
+    for name, ops in pools.items():
+        events = []
+        for op_id in ops:
+            start = schedule.start(op_id)
+            delay = schedule.delays[op_id]
+            if delay == 0:
+                return None
+            events.append((start, 1))
+            events.append((start + delay, -1))
+        events.sort()  # at equal steps, departures (-1) precede arrivals
+        lanes = running = 0
+        for _, change in events:
+            running += change
+            if running > lanes:
+                lanes = running
+        area += lanes * versions[name].area
+    return area
 
 
 @dataclass
@@ -144,6 +192,8 @@ class EngineStats:
     remote_hits: int = 0          # L1 misses answered by a cache server
     remote_negative_hits: int = 0  # round trips skipped by absent markers
     remote_fallbacks: int = 0     # times the remote backend was abandoned
+    batch_items: int = 0          # items submitted to evaluate_batch()
+    batched_evals: int = 0        # ... actually solved by the batched path
     wall_time: float = 0.0        # seconds spent inside evaluate()
 
     @property
@@ -155,6 +205,13 @@ class EngineStats:
     def hit_rate(self) -> float:
         """Fraction of evaluate() calls answered from the exact memo."""
         return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def batch_fill(self) -> float:
+        """Fraction of evaluate_batch() items that reached the batched
+        solver (the rest were memo hits, duplicates, or infeasible)."""
+        return self.batched_evals / self.batch_items if self.batch_items \
+            else 0.0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -173,6 +230,7 @@ class EngineStats:
         }
         snapshot["schedules_run"] = self.schedules_run
         snapshot["hit_rate"] = self.hit_rate
+        snapshot["batch_fill"] = self.batch_fill
         snapshot["evaluations_per_second"] = self.evaluations_per_second
         return snapshot
 
@@ -195,6 +253,9 @@ class EngineStats:
             f"  timing queries        : {self.timing_requests}"
             f" (cache hits {self.timing_hits},"
             f" incremental {self.incremental_timings})",
+            f"  batched evaluations   : {self.batched_evals}"
+            f" (of {self.batch_items} batch items,"
+            f" fill {self.batch_fill:.1%})",
             f"  lru evictions         : {self.evictions}",
             f"  remote cache          : {self.remote_hits} hits"
             f" (negative hits {self.remote_negative_hits},"
@@ -860,6 +921,37 @@ class EvaluationEngine:
         through = starts[op_id] + new_delay + (tail[i] - delays[op_id])
         return max(avoid[i], through)
 
+    def latencies_with_delays(self, graph: DataFlowGraph,
+                              delays: Mapping[str, int],
+                              probes: Sequence[Tuple[str, int]]
+                              ) -> List[int]:
+        """Batched :meth:`latency_with_delay`: the critical-path
+        latency for each ``(op_id, new_delay)`` probe.
+
+        Equivalent to probing one at a time, but the shared base
+        timing and the ``(tail, avoid)`` probe tables are resolved once
+        for the whole batch — the shape victim selection asks in
+        (candidates-per-round) bursts.
+        """
+        record = self._record(graph)
+        key = (record.key, tuple(sorted(delays.items())))
+        starts, base_latency = self._timing_for(graph, record, key, delays)
+        tables = None
+        index = record.compiled.index
+        out = []
+        for op_id, new_delay in probes:
+            if new_delay == delays[op_id]:
+                out.append(base_latency)
+                continue
+            self.stats.incremental_timings += 1
+            if tables is None:
+                tables = self._probe_tables(record, key, starts, delays)
+            tail, avoid = tables
+            i = index[op_id]
+            through = starts[op_id] + new_delay + (tail[i] - delays[op_id])
+            out.append(max(avoid[i], through))
+        return out
+
     def _probe_tables(self, record, key, starts, delays
                       ) -> Tuple[list, list]:
         """Per-op ``(tail, avoid)`` tables for one delays vector.
@@ -1009,6 +1101,253 @@ class EvaluationEngine:
         if self.cache_enabled:
             self._evaluations.put(memo_key, result)
         return result
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, graph: DataFlowGraph,
+                       allocations: Sequence[Mapping[str, ResourceVersion]],
+                       latency_bound: int,
+                       area_model: Optional[str] = None,
+                       stop_at_area: Optional[int] = None,
+                       scheduler: Optional[str] = None,
+                       scheduler_impl: Optional[str] = None,
+                       batch_size: Optional[int] = None
+                       ) -> List[Optional["Evaluation"]]:
+        """``[self.evaluate(graph, a, latency_bound, ...) for a in
+        allocations]`` with cache misses solved in vectorized batches.
+
+        Results are identical to the sequential loop: memo hits are
+        served from the evaluation memo, duplicates collapse onto one
+        computation, and the misses share one batched timing pass and
+        one lockstep density solve (:func:`repro.hls.fastsched.
+        batched_density_schedules`) instead of per-item kernel runs.
+        Only private cache *population* differs — the batched density
+        scan costs non-winning latencies with :func:`_scan_area`
+        (lane counts, no binder) and caches a density point only for
+        each item's winning latency, so a later sweep may re-bind a
+        point the sequential path would have had cached.  Never
+        observable in results; asserted design-identical by the test
+        suite.
+
+        ``EngineStats.batch_items`` counts submitted items,
+        ``EngineStats.batched_evals`` those that reached the batched
+        solver; their ratio is :attr:`EngineStats.batch_fill`.
+        *batch_size* splits the items into chunks solved one vectorized
+        round at a time (``None`` = one chunk; a ragged final chunk is
+        processed like any other).
+
+        Falls back to the exact sequential loop whenever the batched
+        kernels could diverge or cannot help: caching disabled, the
+        reference implementation selected, ``stop_at_area`` set (its
+        early break is inherently sequential), a remote cache backend
+        attached (it wants the per-item prefetch protocol), an empty
+        graph, or a pure ``"list"`` scheduler request.
+        """
+        allocations = list(allocations)
+        if not allocations:
+            return []
+        area_model = area_model if area_model is not None \
+            else self.area_model
+        scheduler = scheduler if scheduler is not None else self.scheduler
+        impl = scheduler_impl if scheduler_impl is not None \
+            else self.scheduler_impl
+        if scheduler not in SCHEDULERS:
+            raise ReproError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
+        if impl not in SCHEDULER_IMPLS:
+            raise ReproError(
+                f"unknown scheduler implementation {impl!r}; "
+                f"use one of {SCHEDULER_IMPLS}")
+        self.stats.batch_items += len(allocations)
+        if (not self.cache_enabled or impl != "fast"
+                or stop_at_area is not None or self._backend is not None
+                or scheduler == "list" or len(graph) == 0):
+            return [self.evaluate(graph, allocation, latency_bound,
+                                  area_model=area_model,
+                                  stop_at_area=stop_at_area,
+                                  scheduler=scheduler, scheduler_impl=impl)
+                    for allocation in allocations]
+        started = time.perf_counter()
+        self.stats.requests += len(allocations)
+        try:
+            results: List[Optional[Evaluation]] = [None] * len(allocations)
+            chunk = len(allocations) if batch_size is None \
+                else max(1, int(batch_size))
+            for base in range(0, len(allocations), chunk):
+                self._evaluate_chunk(
+                    graph, allocations, results,
+                    range(base, min(base + chunk, len(allocations))),
+                    latency_bound, area_model, scheduler)
+            return results
+        finally:
+            self.stats.wall_time += time.perf_counter() - started
+
+    def _evaluate_chunk(self, graph, allocations, results, indices,
+                        latency_bound, area_model, scheduler) -> None:
+        """One vectorized round of :meth:`evaluate_batch`."""
+        record = self._record(graph)
+        delayed = [(idx, {op_id: v.delay
+                          for op_id, v in allocations[idx].items()})
+                   for idx in indices]
+        # one batched level pass covers every distinct uncached delay
+        # vector; results land in the compiled graph's memo *and* the
+        # engine timing layer, exactly as per-item evaluations would
+        timings = fastsched.batched_timing(graph,
+                                           [d for _, d in delayed])
+        ids = record.compiled.op_ids
+        metas = []
+        for (idx, delays), timing in zip(delayed, timings):
+            delays_key = tuple(sorted(delays.items()))
+            self.stats.timing_requests += 1
+            timing_key = (record.key, delays_key)
+            cached = self._timing_cache.get(timing_key, _MISSING)
+            if cached is not _MISSING:
+                self.stats.timing_hits += 1
+                critical = cached[1]
+            else:
+                critical = timing.critical
+                self._timing_cache.put(
+                    timing_key, (dict(zip(ids, timing.asap)), critical))
+            metas.append((idx, delays, delays_key, critical))
+        # memo pass, preserving the sequential semantics exactly:
+        # bound-infeasible items return None *without* memoization
+        todo = []
+        dups: Dict[tuple, List[int]] = {}
+        for idx, delays, delays_key, critical in metas:
+            if critical > latency_bound:
+                results[idx] = None
+                continue
+            signature = allocation_signature(allocations[idx])
+            memo_key = (record.key, signature, latency_bound, area_model,
+                        scheduler, None)
+            memoized = self._evaluations.get(memo_key, _MISSING)
+            if memoized is not _MISSING:
+                self.stats.hits += 1
+                results[idx] = memoized
+                continue
+            if memo_key in dups:
+                dups[memo_key].append(idx)
+                continue
+            dups[memo_key] = []
+            todo.append((idx, delays, delays_key, critical, signature,
+                         memo_key))
+        solved: Dict[tuple, Optional[Evaluation]] = {}
+        if todo:
+            self.stats.batched_evals += len(todo)
+            self._solve_batch(graph, record, allocations, results, todo,
+                              latency_bound, area_model, scheduler, solved)
+        for memo_key, extra in dups.items():
+            for idx in extra:  # same allocation repeated within a chunk
+                self.stats.hits += 1
+                results[idx] = solved[memo_key]
+
+    def _solve_batch(self, graph, record, allocations, results, todo,
+                     latency_bound, area_model, scheduler, solved) -> None:
+        """Evaluate the chunk's memo misses through the batched kernels."""
+        density_best: Dict[int, Optional[Evaluation]] = {}
+        if scheduler in ("auto", "density"):
+            # plan every item's latency scan: served density points and
+            # cached schedule points are reused; the rest is collected
+            # into one lockstep density solve
+            needed: Dict[tuple, Tuple[Mapping[str, int], int]] = {}
+            plans = []
+            for idx, delays, delays_key, critical, signature, _ in todo:
+                plan = []
+                for latency in range(critical, latency_bound + 1):
+                    self.stats.density_points += 1
+                    pair = self._density.get_local(
+                        (record.key, signature, latency), _MISSING)
+                    if pair is not _MISSING:
+                        self.stats.density_hits += 1
+                        plan.append(("pair", latency, pair))
+                        continue
+                    point_key = (record.key, delays_key, latency)
+                    point = self._schedules.get(point_key, _MISSING)
+                    if point is not _MISSING:
+                        self.stats.schedule_reuses += 1
+                        plan.append(("point", latency, point))
+                        continue
+                    plan.append(("solve", latency, point_key))
+                    if point_key not in needed:
+                        needed[point_key] = (delays, latency)
+                plans.append(plan)
+            fresh: Dict[tuple, _SchedulePoint] = {}
+            if needed:
+                self.stats.density_schedules += len(needed)
+                schedules = fastsched.batched_density_schedules(
+                    graph, list(needed.values()))
+                for point_key, schedule in zip(needed, schedules):
+                    point = _SchedulePoint(schedule)
+                    self._schedules.put(point_key, point)
+                    fresh[point_key] = point
+            for item, plan in zip(todo, plans):
+                idx, delays, delays_key, critical, signature, _ = item
+                allocation = allocations[idx]
+                best = None  # (area, latency, evaluation-or-point)
+                for how, latency, obj in plan:
+                    if how == "pair":
+                        if obj is None:
+                            continue  # cached infeasible point
+                        schedule, binding = obj
+                        area = total_area(binding, area_model)
+                        if best is None or area < best[0]:
+                            best = (area, latency,
+                                    Evaluation(schedule, binding,
+                                               schedule.latency, area))
+                        continue
+                    point = obj if how == "point" else fresh[obj]
+                    if point.schedule is None:
+                        continue
+                    area = _scan_area(point.schedule, allocation,
+                                      area_model)
+                    if area is None:
+                        # zero-delay pool: lane counts are ambiguous,
+                        # bind for real (and cache the pair, exactly as
+                        # the sequential scan would)
+                        binding = self._bind_point(point, allocation,
+                                                   signature)
+                        pair = (point.schedule, binding)
+                        self._density.put(
+                            (record.key, signature, latency), pair)
+                        area = total_area(binding, area_model)
+                        if best is None or area < best[0]:
+                            best = (area, latency,
+                                    Evaluation(point.schedule, binding,
+                                               point.schedule.latency,
+                                               area))
+                    elif best is None or area < best[0]:
+                        best = (area, latency, point)
+                if best is not None and isinstance(best[2], _SchedulePoint):
+                    # realize only the winning latency with a real
+                    # binding — identical to the full left-edge bind the
+                    # sequential scan would have produced there
+                    area, latency, point = best
+                    binding = self._bind_point(point, allocation,
+                                               signature)
+                    assert total_area(binding, area_model) == area
+                    pair = (point.schedule, binding)
+                    self._density.put((record.key, signature, latency),
+                                      pair)
+                    best = (area, latency,
+                            Evaluation(point.schedule, binding,
+                                       point.schedule.latency, area))
+                density_best[idx] = None if best is None else best[2]
+        for item in todo:
+            idx, delays, delays_key, critical, signature, memo_key = item
+            candidates = []
+            if scheduler in ("auto", "density"):
+                candidates.append(density_best.get(idx))
+            if scheduler in ("auto", "list"):
+                candidates.append(self._list_best(
+                    graph, record, signature, allocations[idx],
+                    latency_bound, area_model, "fast"))
+            feasible = [c for c in candidates if c is not None]
+            result = min(feasible, key=lambda e: e.area) if feasible \
+                else None
+            self._evaluations.put(memo_key, result)
+            solved[memo_key] = result
+            results[idx] = result
 
     # -- density -------------------------------------------------------
     def _density_best(self, graph, record, signature, allocation, delays,

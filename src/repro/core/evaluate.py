@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.dfg.graph import DataFlowGraph
 from repro.hls.binding import Binding
@@ -109,3 +109,33 @@ def evaluate_allocation(graph: DataFlowGraph,
                            area_model=area_model, stop_at_area=stop_at_area,
                            scheduler=scheduler,
                            scheduler_impl=scheduler_impl)
+
+
+def evaluate_allocations(graph: DataFlowGraph,
+                         allocations: Sequence[Mapping[str,
+                                                       ResourceVersion]],
+                         latency_bound: int,
+                         area_model: str = AREA_INSTANCES,
+                         scheduler: str = "auto",
+                         scheduler_impl: Optional[str] = None,
+                         batch_size: Optional[int] = None,
+                         engine=None) -> List[Optional[Evaluation]]:
+    """Batched :func:`evaluate_allocation` over many candidate
+    allocations of one graph.
+
+    Equivalent to evaluating each allocation in order — identical
+    results, asserted by the test suite — but cache misses are solved
+    through the engine's vectorized kernels
+    (:meth:`repro.core.engine.EvaluationEngine.evaluate_batch`): one
+    level pass times every distinct delay vector, and one lockstep
+    density solve covers every missing schedule point of the whole
+    sweep.
+    """
+    from repro.core.engine import default_engine
+
+    engine = engine if engine is not None else default_engine()
+    return engine.evaluate_batch(graph, allocations, latency_bound,
+                                 area_model=area_model,
+                                 scheduler=scheduler,
+                                 scheduler_impl=scheduler_impl,
+                                 batch_size=batch_size)

@@ -97,6 +97,12 @@ def sweep_bounds(graph: DataFlowGraph,
                  **kwargs) -> List[SweepPoint]:
     """Synthesize at every (Ld, Ad) pair; infeasible points yield None.
 
+    Each grid point's search batches its candidate-allocation rounds
+    through :meth:`EvaluationEngine.evaluate_batch` (see
+    :mod:`repro.core.find_design`), so cold sweeps solve memo misses
+    through the vectorized scheduling kernels rather than one
+    allocation at a time.
+
     Parameters
     ----------
     workers:

@@ -103,6 +103,28 @@ class _Search:
         evaluation = self.engine.evaluate(
             self.graph, allocation, self.latency_bound,
             area_model=self.area_model)
+        return self._absorb(allocation, evaluation)
+
+    def consider_batch(self, allocations) -> list:
+        """:meth:`consider` for many candidates in one engine batch.
+
+        Equivalent to considering them in order (the engine's batched
+        path is result-identical to its sequential one), but cache
+        misses share vectorized timing and density solves.  Used by the
+        neighbor-generation scans of the area-repair, group-refinement
+        and uniform-fallback loops, whose candidate sets within one
+        round are pairwise distinct and judged only after the whole
+        round — so batching cannot change which candidate wins.
+        """
+        evaluations = self.engine.evaluate_batch(
+            self.graph, allocations, self.latency_bound,
+            area_model=self.area_model)
+        return [self._absorb(allocation, evaluation)
+                for allocation, evaluation in zip(allocations, evaluations)]
+
+    def _absorb(self, allocation: Dict[str, ResourceVersion], evaluation
+                ) -> Optional[DesignResult]:
+        """Record one engine evaluation into the search state."""
         signature = allocation_signature(allocation)
         if evaluation is None:
             self.realized[signature] = None
@@ -203,10 +225,18 @@ def find_design(graph: DataFlowGraph,
     for horizon in horizons:
         _trajectory(search, horizon, repair, refine, seen_allocations)
 
-    # Fallback: uniform single-version allocations.
+    # Fallback: uniform single-version allocations, realized in
+    # lazily-drained batches (the generator stays unmaterialized; the
+    # final ragged chunk is processed like any other).
     if fallback and search.best is None:
+        pending = []
         for combo in uniform_allocations(graph, library):
-            search.consider(combo)
+            pending.append(combo)
+            if len(pending) >= 64:
+                search.consider_batch(pending)
+                pending = []
+        if pending:
+            search.consider_batch(pending)
 
     if search.best is None:
         achieved = search_achievements(graph, library, latency_bound,
@@ -256,8 +286,10 @@ def _trajectory(search: _Search, horizon: int, repair: str,
             guard += 1
             if guard > 10 * max(1, len(library)) * len(graph):
                 raise ReproError("area repair loop failed to terminate")
-            chosen = None
-            chosen_key = None
+            # one round's candidate swaps are pairwise-distinct
+            # allocations judged only after the whole scan, so the
+            # non-pruned ones batch into a single engine evaluation
+            candidates = []
             for swap in group_swaps(library, allocation,
                                     smaller_only=(repair == "paper")):
                 trial_alloc = swap.apply(allocation)
@@ -267,7 +299,12 @@ def _trajectory(search: _Search, horizon: int, repair: str,
                     # dominance prune: already realized this search and
                     # cannot beat the current area — skip re-evaluation
                     continue
-                trial = search.consider(trial_alloc)
+                candidates.append((swap, trial_alloc))
+            trials = search.consider_batch(
+                [trial_alloc for _, trial_alloc in candidates])
+            chosen = None
+            chosen_key = None
+            for (swap, trial_alloc), trial in zip(candidates, trials):
                 if trial is None:     # violates the latency bound
                     continue
                 if trial.area >= current.area:
@@ -289,8 +326,10 @@ def _trajectory(search: _Search, horizon: int, repair: str,
         improved = True
         while improved:
             improved = False
-            chosen = None
-            chosen_gain = 0.0
+            # the gain filter is constant per swap (it never depends on
+            # earlier trials in the round), so the surviving candidates
+            # batch into one engine evaluation like the repair loop's
+            candidates = []
             for swap in group_swaps(library, allocation):
                 gain = (len(swap.ops)
                         * (math.log(swap.new_version.reliability)
@@ -302,7 +341,12 @@ def _trajectory(search: _Search, horizon: int, repair: str,
                 if known is not _UNSEEN and (known is None
                                              or known > area_bound):
                     continue  # dominance prune: known infeasible
-                trial = search.consider(trial_alloc)
+                candidates.append((swap, gain, trial_alloc))
+            trials = search.consider_batch(
+                [trial_alloc for _, _, trial_alloc in candidates])
+            chosen = None
+            chosen_gain = 0.0
+            for (swap, gain, _), trial in zip(candidates, trials):
                 if trial is None or trial.area > area_bound:
                     continue
                 if gain > chosen_gain:
@@ -322,6 +366,12 @@ def _refine_per_op(search: _Search,
     largest reliability gain is applied; the climb stops when no
     single change both improves reliability and stays within bounds.
     Feasible intermediate states are recorded in *search* as usual.
+
+    Deliberately *not* batched: the ``gain <= chosen_gain + 1e-12``
+    filter tightens as the scan progresses, so which candidates get
+    evaluated depends on earlier results within the same round —
+    batching would evaluate (and record in ``search.realized``) a
+    different candidate set than the sequential reference.
     """
     while True:
         chosen = None

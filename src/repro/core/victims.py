@@ -78,21 +78,35 @@ def select_latency_victim(graph: DataFlowGraph,
     else:
         baseline = asap_latency(graph, delays)
 
-    best: Optional[LatencyVictim] = None
-    best_key = None
+    candidates = []
     for op_id in critical_operations(graph, delays, timing):
         current = allocation[op_id]
         faster = library.faster_than(current)
         if not faster:
             continue
-        replacement = faster[0]  # most reliable among the faster ones
-        if timing is not None:
-            swapped = timing.latency_with_delay(graph, delays, op_id,
-                                                replacement.delay)
-        else:
-            trial = dict(delays)
-            trial[op_id] = replacement.delay
-            swapped = asap_latency(graph, trial)
+        candidates.append((op_id, current, faster[0]))  # most reliable
+
+    if timing is not None and hasattr(timing, "latencies_with_delays"):
+        # one probe-table resolution for the whole candidate burst
+        swapped_list = timing.latencies_with_delays(
+            graph, delays,
+            [(op_id, replacement.delay)
+             for op_id, _, replacement in candidates])
+    else:
+        swapped_list = []
+        for op_id, _, replacement in candidates:
+            if timing is not None:
+                swapped_list.append(timing.latency_with_delay(
+                    graph, delays, op_id, replacement.delay))
+            else:
+                trial = dict(delays)
+                trial[op_id] = replacement.delay
+                swapped_list.append(asap_latency(graph, trial))
+
+    best: Optional[LatencyVictim] = None
+    best_key = None
+    for (op_id, current, replacement), swapped in zip(candidates,
+                                                      swapped_list):
         benefit = baseline - swapped
         loss = current.reliability - replacement.reliability
         key = (-current.delay, -benefit, loss, op_id)

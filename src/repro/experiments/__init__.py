@@ -9,6 +9,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.extensions import (
     run_extra_benchmarks,
+    run_montecarlo_validation,
     run_pipeline_tradeoff,
     run_self_recovery_comparison,
     run_voter_sensitivity,
@@ -56,4 +57,5 @@ __all__ = [
     "run_self_recovery_comparison",
     "run_voter_sensitivity",
     "run_extra_benchmarks",
+    "run_montecarlo_validation",
 ]

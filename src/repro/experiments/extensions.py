@@ -105,6 +105,53 @@ def run_voter_sensitivity(
     return table
 
 
+def run_montecarlo_validation(
+        grid: Sequence[Tuple[int, int]] = ((12, 20), (14, 24), (16, 30)),
+        trials: int = 20_000,
+        seed: int = 0) -> ExperimentTable:
+    """Fault-injection cross-check of the analytic reliability model.
+
+    Synthesizes DiffEq designs over a Table-2-style grid with both the
+    paper's method and the NMR baseline, then validates every analytic
+    reliability figure with a single batched Monte-Carlo campaign
+    (:func:`repro.core.simulate_designs`): replica-group shapes are
+    pooled once across all designs, so the whole table costs one
+    binomial draw per distinct shape instead of a per-design simulation
+    loop.
+    """
+    from repro.bench import diffeq
+    from repro.core import simulate_designs
+
+    library = paper_library()
+    designs = []
+    rows = []
+    for latency_bound, area_bound in grid:
+        for method, func in (("ours", find_design),
+                             ("NMR", baseline_design)):
+            try:
+                result = func(diffeq(), library, latency_bound, area_bound)
+            except NoSolutionError:
+                continue
+            designs.append(result)
+            rows.append((method, latency_bound, area_bound))
+    reports = simulate_designs(designs, trials=trials, seed=seed)
+    table = ExperimentTable(
+        title="Extension — Monte-Carlo validation of the analytic model "
+              "(DiffEq)",
+        headers=("method", "Ld", "Ad", "analytic", "estimate", "stderr",
+                 "consistent"),
+    )
+    for (method, latency_bound, area_bound), report in zip(rows, reports):
+        table.add_row(method, latency_bound, area_bound,
+                      round(report.analytic, 5),
+                      round(report.estimate, 5),
+                      round(report.stderr, 5),
+                      report.consistent())
+    table.add_note(f"{trials} trials per design, drawn as one pooled "
+                   "campaign across the whole table")
+    return table
+
+
 def run_extra_benchmarks(
         grid: Sequence[Tuple[int, int]] = ((16, 10), (16, 12), (18, 12)),
 ) -> ExperimentTable:

@@ -11,6 +11,9 @@ serves as an ablation point and test oracle.
 from repro.hls.binding import Binding, Instance, left_edge_bind
 from repro.hls.density import asap_schedule, density_schedule
 from repro.hls.fastsched import (
+    batched_density_schedules,
+    batched_time_frames,
+    batched_timing,
     density_schedule_range,
     fast_alap_starts,
     fast_asap_latency,
@@ -67,6 +70,9 @@ __all__ = [
     "fast_density_schedule",
     "fast_list_schedule",
     "density_schedule_range",
+    "batched_timing",
+    "batched_time_frames",
+    "batched_density_schedules",
     "list_schedule",
     "min_latency_with_counts",
     "Binding",

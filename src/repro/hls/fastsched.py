@@ -84,6 +84,12 @@ MAX_EXACT_WORK = 10_000
 #: Entries kept in each compiled graph's delays-keyed base-timing memo.
 TIMING_MEMO_ENTRIES = 128
 
+#: Route a whole batch through the per-item solver when
+#: ``n_ops * n_columns`` is below this: the lockstep solver's fixed
+#: per-round array overhead only amortizes once the batch carries
+#: enough placement work (results are identical either way).
+LOCKSTEP_MIN_WORK = 32
+
 #: The reference scheduler's cost tolerance, as an exact rational.
 _TOL_P, _TOL_Q = (1e-12).as_integer_ratio()
 
@@ -362,8 +368,12 @@ def _solve_density(cg: CompiledGraph, d: List[int], timing: _BaseTiming,
     # occupancy coverage counts: rows[rtype][window][step] is the
     # number of (operation, feasible start) pairs of that window size
     # covering the step; density[step] = sum_w rows[w][step] / w.
+    # Each row keeps a cached prefix-sum (csums) so the candidate scan
+    # reads window sums in O(1) per start; a patch invalidates only the
+    # touched row's prefix sums.
     n_rtypes = len(cg.rtype_names)
-    rows: List[Dict[int, List[int]]] = [{} for _ in range(n_rtypes)]
+    rows: List[Dict[int, np.ndarray]] = [{} for _ in range(n_rtypes)]
+    csums: List[Dict[int, np.ndarray]] = [{} for _ in range(n_rtypes)]
     wcount: List[Dict[int, int]] = [{} for _ in range(n_rtypes)]
 
     def patch(r: int, w: int, lo_: int, hi_: int, d_: int,
@@ -372,9 +382,11 @@ def _solve_density(cg: CompiledGraph, d: List[int], timing: _BaseTiming,
             return
         row = rows[r].get(w)
         if row is None:
-            row = rows[r][w] = [0] * latency
-        for t in range(lo_, hi_ + d_):
-            row[t] += sign * (min(hi_, t) - max(lo_, t - d_ + 1) + 1)
+            row = rows[r][w] = np.zeros(latency, dtype=np.int64)
+        t = np.arange(lo_, hi_ + d_)
+        row[lo_:hi_ + d_] += sign * (np.minimum(hi_, t)
+                                     - np.maximum(lo_, t - d_ + 1) + 1)
+        csums[r].pop(w, None)
 
     for i in range(n):
         w = hi[i] - lo[i] + 1
@@ -397,7 +409,7 @@ def _solve_density(cg: CompiledGraph, d: List[int], timing: _BaseTiming,
         remaining.pop()
 
         lo_i, hi_i, d_i, r_i = lo[i], hi[i], d[i], rcode[i]
-        start = _least_dense_start(rows[r_i], wcount[r_i],
+        start = _least_dense_start(rows[r_i], csums[r_i], wcount[r_i],
                                    lo_i, hi_i, d_i)
         fixed[cg.op_ids[i]] = start
 
@@ -461,12 +473,18 @@ def _solve_density(cg: CompiledGraph, d: List[int], timing: _BaseTiming,
     return fixed
 
 
-def _least_dense_start(rtype_rows: Dict[int, List[int]],
+def _least_dense_start(rtype_rows: Dict[int, np.ndarray],
+                       rtype_csums: Dict[int, np.ndarray],
                        rtype_wcount: Dict[int, int],
                        lo: int, hi: int, d: int) -> int:
     """Earliest start minimizing the exact occupancy sum over the
     operation's busy window (the reference's cost less its constant
-    own-weight term, which cancels in every comparison)."""
+    own-weight term, which cancels in every comparison).
+
+    Window sums are read off cached per-(rtype, window) prefix sums, so
+    one candidate scan costs O(windows + candidates) instead of
+    O(windows * (candidates + delay)).
+    """
     if hi == lo or d == 0:
         # a single candidate, or zero-delay costs are all zero: the
         # reference keeps the earliest start either way
@@ -481,25 +499,20 @@ def _least_dense_start(rtype_rows: Dict[int, List[int]],
     if scale > MAX_EXACT_LCM:
         raise _PrecisionFallback
     k_count = hi - lo + 1
-    nums = [0] * k_count
+    nums = np.zeros(k_count, dtype=np.int64)
     for w in active:
-        row = rtype_rows[w]
-        mult = scale // w
-        acc = 0
-        for t in range(lo, lo + d):
-            acc += row[t]
-        nums[0] += acc * mult
-        for k in range(1, k_count):
-            acc += row[lo + d + k - 1] - row[lo + k - 1]
-            nums[k] += acc * mult
-    best_num = nums[0]
-    best_k = 0
-    threshold = _TOL_P * scale
-    for k in range(1, k_count):
-        if (best_num - nums[k]) * _TOL_Q > threshold:
-            best_num = nums[k]
-            best_k = k
-    return lo + best_k
+        cs = rtype_csums.get(w)
+        if cs is None:
+            cs = rtype_csums[w] = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(rtype_rows[w])))
+        nums += (scale // w) * (cs[lo + d:lo + d + k_count]
+                                - cs[lo:lo + k_count])
+    # Costs are integer multiples of 1/scale, and scale <= MAX_EXACT_LCM
+    # keeps the reference tolerance (1e-12 * scale < 1) strictly below
+    # the minimal integer cost gap — so "improves by more than the
+    # tolerance" is exactly "strictly smaller", and the earliest strict
+    # minimum is NumPy's first-occurrence argmin.
+    return lo + int(np.argmin(nums))
 
 
 # ----------------------------------------------------------------------
@@ -592,3 +605,432 @@ def fast_list_schedule(graph: DataFlowGraph, allocation,
 
     starts = dict(placed)  # placement order, as the reference builds it
     return schedule_from_starts(graph, starts, delays)
+
+
+# ----------------------------------------------------------------------
+# batched kernels: propagate B delay assignments in one level pass
+# ----------------------------------------------------------------------
+def _batched_base_timing(cg: CompiledGraph, matrix: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-parallel :func:`_compute_base_timing`: *matrix* stacks B
+    delay rows and every level pass propagates all B columns at once
+    (``reduceat`` along axis 1).  Returns ``(asap, tail, critical)`` as
+    ``(B, n)``, ``(B, n)`` and ``(B,)`` arrays."""
+    n_batch, n = matrix.shape
+    asap = np.zeros((n_batch, n), dtype=np.int64)
+    finish = matrix.copy()
+    for nodes, gather, seg_ptr in cg.fwd_levels:
+        earliest = np.maximum.reduceat(finish[:, gather], seg_ptr, axis=1)
+        asap[:, nodes] = earliest
+        finish[:, nodes] = earliest + matrix[:, nodes]
+    tail = matrix.copy()
+    for nodes, gather, seg_ptr in cg.rev_levels:
+        tail[:, nodes] += np.maximum.reduceat(tail[:, gather], seg_ptr,
+                                              axis=1)
+    if n:
+        critical = finish.max(axis=1)
+    else:
+        critical = np.zeros(n_batch, dtype=np.int64)
+    return asap, tail, critical
+
+
+def batched_timing(graph: DataFlowGraph,
+                   delays_list: List[Mapping[str, int]]
+                   ) -> List[_BaseTiming]:
+    """:func:`base_timing` for many delay assignments at once.
+
+    Distinct uncached rows are stacked and propagated in a single
+    batched level pass; duplicates and memo hits cost nothing extra.
+    The per-row results land in the same compiled-graph memo the
+    per-item path reads, so follow-up single evaluations stay warm.
+    """
+    cg = compile_graph(graph)
+    memo = cg._timing_cache
+    keyed = []
+    missing: Dict[bytes, np.ndarray] = {}
+    for delays in delays_list:
+        arr = cg.delays_array(delays)
+        key = arr.tobytes()
+        keyed.append(key)
+        if key not in memo and key not in missing:
+            missing[key] = arr
+    computed: Dict[bytes, _BaseTiming] = {}
+    if missing:
+        matrix = np.stack(list(missing.values()))
+        asap, tail, critical = _batched_base_timing(cg, matrix)
+        for b, key in enumerate(missing):
+            timing = _BaseTiming(asap[b].tolist(), tail[b].tolist(),
+                                 int(critical[b]))
+            computed[key] = timing
+            if len(memo) >= TIMING_MEMO_ENTRIES:
+                memo.clear()
+            memo[key] = timing
+    # the memo may have been cleared mid-insert; ``computed`` keeps this
+    # call's results alive either way
+    return [memo.get(key) or computed[key] for key in keyed]
+
+
+def batched_time_frames(graph: DataFlowGraph,
+                        delays_list: List[Mapping[str, int]],
+                        latencies: List[int],
+                        fixed_list: Optional[List[Optional[
+                            Mapping[str, int]]]] = None
+                        ) -> List[Dict[str, Tuple[int, int]]]:
+    """``[fast_time_frames(g, d, L, f) for d, L, f in zip(...)]`` with
+    one shared batched timing pass.
+
+    Items carrying ``fixed`` placements take the per-item constrained
+    propagation (their frames are not derivable from base timing); all
+    error messages and the first-error-wins order match the sequential
+    loop exactly.
+    """
+    if fixed_list is None:
+        fixed_list = [None] * len(delays_list)
+    if not (len(delays_list) == len(latencies) == len(fixed_list)):
+        raise ValueError("batched_time_frames arguments differ in length")
+    cg = compile_graph(graph)
+    timings = batched_timing(graph, delays_list)
+    ids = cg.op_ids
+    topo = cg.topo.tolist()
+    results = []
+    for delays, latency, fixed, timing in zip(delays_list, latencies,
+                                              fixed_list, timings):
+        if not fixed:
+            asap, tail = timing.asap, timing.tail
+            alap = [latency - t for t in tail]
+            _check_alap(cg, alap, latency)
+        else:
+            arr = cg.delays_array(delays)
+            asap = _asap_with_fixed(cg, arr, fixed)
+            alap = _alap_with_fixed(cg, arr, latency, fixed)
+        frames: Dict[str, Tuple[int, int]] = {}
+        for i in topo:  # first empty frame in topo order wins
+            if asap[i] > alap[i]:
+                raise SchedulingError(
+                    f"operation {ids[i]!r} has an empty time frame "
+                    f"[{asap[i]}, {alap[i]}] at latency {latency}")
+            frames[ids[i]] = (int(asap[i]), int(alap[i]))
+        results.append(frames)
+    return results
+
+
+def batched_density_schedules(graph: DataFlowGraph,
+                              requests: List[Tuple[Mapping[str, int],
+                                                   Optional[int]]]
+                              ) -> List[Schedule]:
+    """``[fast_density_schedule(g, d, L) for d, L in requests]`` with
+    the placement loops of all requests advanced in lockstep.
+
+    Requests are deduplicated on (delays, latency); every distinct
+    column whose exact-arithmetic guards hold joins one vectorized
+    solver (:func:`_solve_density_lockstep`) where each of the ``n``
+    placement rounds runs selection, candidate scan, re-patching and
+    the frame recompute across all columns at once.  Columns outside
+    the guards — and hence possibly subject to the per-item path's own
+    reference fallback — are routed through
+    :func:`fast_density_schedule` unchanged, so results and raised
+    errors (first failing request wins) are identical to the
+    sequential loop by construction.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    if len(graph) == 0:
+        raise SchedulingError("cannot schedule an empty graph")
+    cg = compile_graph(graph)
+    timings = batched_timing(graph, [d for d, _ in requests])
+    resolved = []
+    for (delays, latency), timing in zip(requests, timings):
+        minimum = timing.critical
+        if latency is None:
+            latency = minimum
+        if latency < minimum:
+            raise SchedulingError(
+                f"latency {latency} is below the critical path "
+                f"length {minimum}")
+        resolved.append((delays, latency, timing))
+
+    # dedupe into columns; remember each request's column
+    columns: Dict[Tuple[bytes, int], int] = {}
+    order: List[Tuple[Mapping[str, int], int, _BaseTiming]] = []
+    assign: List[int] = []
+    for delays, latency, timing in resolved:
+        dedup_key = (cg.delays_array(delays).tobytes(), latency)
+        col = columns.get(dedup_key)
+        if col is None:
+            col = columns[dedup_key] = len(order)
+            order.append((delays, latency, timing))
+        assign.append(col)
+
+    # a column joins the lockstep solver only when the per-item path is
+    # guaranteed to stay on its exact integer arithmetic for the whole
+    # solve: windows can only tighten, so every window ever active is
+    # <= the largest initial window and lcm(1..w0max) bounds every
+    # active-window lcm the per-item scan could form
+    lockstep: List[int] = []
+    solo: List[int] = []
+    for col, (delays, latency, timing) in enumerate(order):
+        d = [delays[op_id] for op_id in cg.op_ids]
+        w0max = max(latency - t - a for t, a in zip(timing.tail,
+                                                    timing.asap)) + 1
+        if (cg.n_ops * (max(d) if d else 0) <= MAX_EXACT_WORK
+                and math.lcm(*range(1, w0max + 1)) <= MAX_EXACT_LCM):
+            lockstep.append(col)
+        else:
+            solo.append(col)
+
+    if cg.n_ops * len(lockstep) < LOCKSTEP_MIN_WORK:
+        solo.extend(lockstep)
+        lockstep = []
+
+    schedules: List[Optional[Schedule]] = [None] * len(order)
+    if lockstep:
+        solved = _solve_density_lockstep(
+            cg, [order[col] for col in lockstep])
+        for col, fixed in zip(lockstep, solved):
+            delays = order[col][0]
+            schedules[col] = schedule_from_starts(graph, fixed, delays)
+    for col in solo:
+        delays, latency, _ = order[col]
+        schedules[col] = fast_density_schedule(graph, delays, latency)
+    return [schedules[col] for col in assign]
+
+
+def _solve_density_lockstep(cg: CompiledGraph,
+                            cols: List[Tuple[Mapping[str, int], int,
+                                             _BaseTiming]]
+                            ) -> List[Dict[str, int]]:
+    """Vectorized :func:`_solve_density` over B independent columns.
+
+    Per-column equivalence with the per-item solver:
+
+    * **Selection.**  The per-item most-constrained-first choice
+      ``min((hi - lo, rank))`` equals ``argmin((hi - lo) * n + rank)``
+      because ranks are the integers ``0..n-1`` (injective encoding).
+    * **Cost scale.**  Each column uses the fixed scale
+      ``lcm(1..w0max)``, a positive multiple of every active-window
+      lcm the per-item scan could use (windows only tighten), so every
+      candidate cost here is the per-item exact cost times a positive
+      constant — the argmin and all comparisons are unchanged.  The
+      caller admits a column only when that scale is ``<=``
+      :data:`MAX_EXACT_LCM` ``< 1/tolerance``, where the reference's
+      tolerance comparison degenerates to strict integer ``<`` and the
+      earliest strict minimum is NumPy's first-occurrence argmin.
+    * **Frames.**  After each pin, every column's time frames tighten
+      by the *same* rank-ordered worklist recursion the per-item solver
+      runs (the code is a per-column copy of it), so the frames — and
+      therefore the occupancy patches — agree exactly; only the
+      selection, candidate scan and occupancy re-patching are
+      vectorized across columns.
+
+    Returns one placement-ordered ``{op_id: start}`` dict per column.
+    """
+    n = cg.n_ops
+    n_batch = len(cols)
+    matrix = np.stack([cg.delays_array(delays) for delays, _, _ in cols])
+    lat = np.array([latency for _, latency, _ in cols], dtype=np.int64)
+    lo = np.stack([np.asarray(t.asap, dtype=np.int64)
+                   for _, _, t in cols])
+    hi = lat[:, None] - np.stack([np.asarray(t.tail, dtype=np.int64)
+                                  for _, _, t in cols])
+    pinned = np.zeros((n_batch, n), dtype=bool)
+    rank = cg.topo_rank.astype(np.int64)
+    rcode = cg.rtype_codes.astype(np.int64)
+    lat_max = int(lat.max())
+    scale = np.array(
+        [math.lcm(*range(1, int((hi[c] - lo[c]).max()) + 2))
+         for c in range(n_batch)], dtype=np.int64)
+
+    # merged scaled occupancy: scaled[c, r, t] = scale[c] * density of
+    # rtype r at step t (an exact integer by choice of scale)
+    n_rtypes = len(cg.rtype_names)
+    scaled = np.zeros((n_batch, n_rtypes, lat_max), dtype=np.int64)
+    t_grid = np.arange(lat_max, dtype=np.int64)[None, :]
+
+    def coverage(lo_, hi_, d_):
+        """(rows, lat_max) trapezoid coverage counts; zero outside the
+        occupied span [lo, hi + d) and for zero-delay rows."""
+        return np.maximum(np.minimum(hi_, t_grid)
+                          - np.maximum(lo_, t_grid - d_ + 1) + 1, 0)
+
+    # initial occupancy: all (column, op) windows patched in one pass
+    w0 = (hi - lo + 1).reshape(-1, 1)
+    contrib = (np.repeat(scale, n)[:, None] // w0) * coverage(
+        lo.reshape(-1, 1), hi.reshape(-1, 1), matrix.reshape(-1, 1))
+    np.add.at(scaled, (np.repeat(np.arange(n_batch), n),
+                       np.tile(rcode, n_batch)), contrib)
+
+    # per-column Python mirrors drive the worklist frame updates (the
+    # exact per-item recursion); the numpy arrays stay authoritative
+    # for selection, scanning and patching
+    preds, succs = cg.preds, cg.succs
+    rank_py = cg.topo_rank.tolist()
+    d_py = matrix.tolist()
+    lat_py = lat.tolist()
+    lo_py = lo.tolist()
+    hi_py = hi.tolist()
+    pin_py = [[False] * n for _ in range(n_batch)]
+
+    placements: List[List[Tuple[int, int]]] = [[] for _ in range(n_batch)]
+    big = np.int64(2) ** 62
+
+    # drain forced placements eagerly: a width-1 window pins at its
+    # only feasible start, which moves no frame (the worklist recursion
+    # finds nothing to tighten) and adds no occupancy beyond what its
+    # window already contributes (``scale * cov - (scale // 1) * cov
+    # == 0``) — the per-item solver runs its full machinery over these
+    # rounds to the same effect.  The per-item selection key
+    # (width, rank) prefers every width-1 window over any wider one, so
+    # draining them all before the next contested pin reproduces the
+    # per-item sequence exactly.  A window can only reach width 1 at
+    # setup or by a frame move, so past the initial sweep only the
+    # ``changed`` ops of each cascade need checking.
+    drained_c: List[int] = []
+    drained_i: List[int] = []
+    remaining = [n] * n_batch
+    for c in range(n_batch):
+        lo_c, hi_c, pin_c = lo_py[c], hi_py[c], pin_py[c]
+        for i in range(n):
+            if lo_c[i] == hi_c[i]:
+                pin_c[i] = True
+                placements[c].append((i, lo_c[i]))
+                drained_c.append(c)
+                drained_i.append(i)
+                remaining[c] -= 1
+    if drained_c:
+        pinned[drained_c, drained_i] = True
+    active = [c for c in range(n_batch) if remaining[c]]
+    # round-loop scratch: a single prefix-sum buffer (column 0 stays
+    # zero) and a single offset ramp, sliced per round instead of
+    # reallocated — with a handful of columns the per-call overhead of
+    # small numpy allocations dominates the arithmetic
+    arange_b = np.arange(n_batch)
+    track = scaled.shape[2]
+    csum_buf = np.zeros((n_batch, track + 1), dtype=np.int64)
+    offs_buf = np.arange(track + 1, dtype=np.int64)
+    while active:
+        # one contested placement per still-active column (every
+        # remaining window has width >= 2 after the drains):
+        # most-constrained first, topological order breaking ties
+        n_act = len(active)
+        if n_act == n_batch:
+            # equal-length columns finish together, so the batch stays
+            # full for every round but the last: index the arrays
+            # directly instead of materialising subset copies
+            act = arange_b
+            lo_a, hi_a, pin_a = lo, hi, pinned
+        else:
+            act = np.array(active)
+            lo_a, hi_a, pin_a = lo[act], hi[act], pinned[act]
+        arange_a = arange_b[:n_act]
+        keys = np.where(pin_a, big, (hi_a - lo_a) * n + rank[None, :])
+        sel = np.argmin(keys, axis=1)
+        d_sel = matrix[act, sel]
+        lo_sel = lo_a[arange_a, sel]
+        hi_sel = hi_a[arange_a, sel]
+        r_sel = rcode[sel]
+        # earliest least-dense start per column, via one prefix-sum of
+        # the column's merged row and a padded candidate-window gather
+        sel_rows = scaled[act, r_sel]
+        csum = csum_buf[:n_act]
+        np.cumsum(sel_rows, axis=1, out=csum[:, 1:])
+        k_count = hi_sel - lo_sel + 1
+        k_max = int(k_count.max())
+        offs = offs_buf[:k_max][None, :]
+        # padding candidates clamp to hi (within bounds); they lose
+        # the argmin to the first-occurrence minimum via the mask
+        cand = np.minimum(lo_sel[:, None] + offs, hi_sel[:, None])
+        valid = offs < k_count[:, None]
+        nums = (csum[arange_a[:, None], cand + d_sel[:, None]]
+                - csum[arange_a[:, None], cand])
+        nums[~valid] = big
+        start = lo_sel + np.argmin(nums, axis=1)
+        lo[act, sel] = start
+        hi[act, sel] = start
+        pinned[act, sel] = True
+        # tighten every column's frames with the per-item worklists
+        # (descendants' ASAP rises, ancestors' ALAP falls) and collect
+        # the moved windows for one vectorized occupancy re-patch
+        sel_py = sel.tolist()
+        start_py = start.tolist()
+        moved: List[Tuple[int, int, int, int, int, int]] = []
+        drained_c = []
+        drained_i = []
+        for c, i, s in zip(active, sel_py, start_py):
+            placements[c].append((i, s))
+            remaining[c] -= 1
+            lo_c, hi_c, pin_c, d_c = lo_py[c], hi_py[c], pin_py[c], d_py[c]
+            # the pin itself is a window move [lo, hi] -> [s, s]; it
+            # rides the same vectorized re-patch as the frame updates
+            moved.append((c, i, lo_c[i], hi_c[i], s, s))
+            lo_c[i] = hi_c[i] = s
+            pin_c[i] = True
+            changed: Dict[int, Tuple[int, int]] = {}
+            heap = [(rank_py[j], j) for j in succs[i]]
+            heapq.heapify(heap)
+            seen = set()
+            while heap:
+                _, j = heapq.heappop(heap)
+                if j in seen or pin_c[j]:
+                    continue
+                seen.add(j)
+                new_lo = 0
+                for p in preds[j]:
+                    finish = lo_c[p] + d_c[p]
+                    if finish > new_lo:
+                        new_lo = finish
+                if new_lo != lo_c[j]:
+                    changed.setdefault(j, (lo_c[j], hi_c[j]))
+                    lo_c[j] = new_lo
+                    for t in succs[j]:
+                        heapq.heappush(heap, (rank_py[t], t))
+            heap = [(-rank_py[j], j) for j in preds[i]]
+            heapq.heapify(heap)
+            seen = set()
+            while heap:
+                _, j = heapq.heappop(heap)
+                if j in seen or pin_c[j]:
+                    continue
+                seen.add(j)
+                new_hi = lat_py[c]
+                for t in succs[j]:
+                    if hi_c[t] < new_hi:
+                        new_hi = hi_c[t]
+                new_hi -= d_c[j]
+                if new_hi != hi_c[j]:
+                    changed.setdefault(j, (lo_c[j], hi_c[j]))
+                    hi_c[j] = new_hi
+                    for p in preds[j]:
+                        heapq.heappush(heap, (-rank_py[p], p))
+            for j, (old_lo, old_hi) in changed.items():
+                moved.append((c, j, old_lo, old_hi, lo_c[j], hi_c[j]))
+                # a cascade that squeezes a window to width 1 forces
+                # that op: drain it now (see the pre-loop drain note)
+                if lo_c[j] == hi_c[j]:
+                    pin_c[j] = True
+                    placements[c].append((j, lo_c[j]))
+                    drained_c.append(c)
+                    drained_i.append(j)
+                    remaining[c] -= 1
+        if moved:
+            m_arr = np.array(moved, dtype=np.int64)
+            c_arr = m_arr[:, 0]
+            j_arr = m_arr[:, 1]
+            ol = m_arr[:, 2:3]
+            oh = m_arr[:, 3:4]
+            nl = m_arr[:, 4:5]
+            nh = m_arr[:, 5:6]
+            d_j = matrix[c_arr, j_arr][:, None]
+            s_j = scale[c_arr][:, None]
+            delta = (s_j // (nh - nl + 1)) * coverage(nl, nh, d_j)
+            delta -= (s_j // (oh - ol + 1)) * coverage(ol, oh, d_j)
+            np.add.at(scaled, (c_arr, rcode[j_arr]), delta)
+            lo[c_arr, j_arr] = nl[:, 0]
+            hi[c_arr, j_arr] = nh[:, 0]
+        if drained_c:
+            pinned[drained_c, drained_i] = True
+        active = [c for c in active if remaining[c]]
+    ids = cg.op_ids
+    return [{ids[i]: start for i, start in placement}
+            for placement in placements]
+

@@ -1,0 +1,417 @@
+"""Equivalence of the batched evaluation pipeline with the per-item path.
+
+The contract of every batched entry point — :func:`repro.hls.
+batched_timing`, :func:`repro.hls.batched_time_frames`,
+:func:`repro.hls.batched_density_schedules`,
+:meth:`repro.core.EvaluationEngine.evaluate_batch` and
+:func:`repro.core.evaluate_allocations` — is *identical output* to the
+sequential loop it replaces: same schedules, same selected designs,
+same errors with the same messages, first failing item wins.  These
+tests drive the Table 2 benchmarks and randomized graphs through both
+paths and assert exact agreement.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench import diffeq, ewf, fir16
+from repro.dfg import BatchedDelays, GraphBatch, compile_graph, random_dag
+from repro.dfg.graph import DataFlowGraph, Operation
+from repro.errors import DFGError, SchedulingError
+from repro.hls import (
+    batched_density_schedules,
+    batched_time_frames,
+    batched_timing,
+    density_schedule,
+    fast_density_schedule,
+    fast_time_frames,
+    left_edge_bind,
+    total_area,
+)
+from repro.hls.fastsched import base_timing
+from repro.hls.metrics import AREA_INSTANCES, AREA_VERSIONS
+from repro.core import EvaluationEngine, evaluate_allocations, find_design
+from repro.core.engine import _scan_area
+from repro.library import paper_library
+
+BENCHES = (fir16, ewf, diffeq)
+
+
+def random_delays(graph, seed, low=1, high=4):
+    rng = random.Random(seed)
+    return {op.op_id: rng.randint(low, high) for op in graph}
+
+
+def library_requests(graph, count, seed, slack=3):
+    """(delays, latency) pairs drawn from the paper library's delays."""
+    library = paper_library()
+    rng = random.Random(seed)
+    choices = {op.op_id: [v.delay for v in library.versions_of(op.rtype)]
+               for op in graph}
+    requests = []
+    for _ in range(count):
+        delays = {op_id: rng.choice(ds) for op_id, ds in choices.items()}
+        critical = base_timing(graph, delays).critical
+        requests.append((delays, critical + rng.randint(0, slack)))
+    return requests
+
+
+def random_allocations(graph, count, seed):
+    library = paper_library()
+    rng = random.Random(seed)
+    return [{op.op_id: rng.choice(library.versions_of(op.rtype))
+             for op in graph} for _ in range(count)]
+
+
+class TestBatchedTiming:
+    def test_matches_per_item_on_benches(self):
+        for bench in BENCHES:
+            graph = bench()
+            delays_list = [random_delays(graph, seed) for seed in range(8)]
+            batched = batched_timing(graph, delays_list)
+            for delays, timing in zip(delays_list, batched):
+                single = base_timing(graph, delays)
+                assert timing.asap == single.asap
+                assert timing.tail == single.tail
+                assert timing.critical == single.critical
+
+    def test_duplicates_share_one_row(self):
+        graph = fir16()
+        delays = random_delays(graph, 3)
+        batched = batched_timing(graph, [delays, dict(delays), delays])
+        assert batched[0] is batched[1] is batched[2]
+
+    def test_random_graphs(self):
+        for seed in range(6):
+            graph = random_dag(4 + 5 * seed, seed=seed)
+            delays_list = [random_delays(graph, 31 * seed + k)
+                           for k in range(5)]
+            batched = batched_timing(graph, delays_list)
+            for delays, timing in zip(delays_list, batched):
+                assert timing.critical == base_timing(graph, delays).critical
+
+
+class TestBatchedTimeFrames:
+    def test_matches_per_item(self):
+        graph = ewf()
+        requests = library_requests(graph, 6, seed=5)
+        delays_list = [d for d, _ in requests]
+        latencies = [latency for _, latency in requests]
+        batched = batched_time_frames(graph, delays_list, latencies)
+        for delays, latency, frames in zip(delays_list, latencies, batched):
+            assert frames == fast_time_frames(graph, delays, latency)
+
+    def test_fixed_placements_match(self):
+        graph = fir16()
+        delays = random_delays(graph, 9)
+        latency = base_timing(graph, delays).critical + 2
+        op = next(iter(graph)).op_id
+        plain = fast_time_frames(graph, delays, latency)
+        fixed = {op: plain[op][1]}
+        batched = batched_time_frames(
+            graph, [delays, delays], [latency, latency], [None, fixed])
+        assert batched[0] == plain
+        assert batched[1] == fast_time_frames(graph, delays, latency, fixed)
+        assert batched[1] != batched[0]
+
+    def test_error_message_parity(self):
+        graph = diffeq()
+        delays = random_delays(graph, 2)
+        bad = base_timing(graph, delays).critical  # make one op's frame
+        op = next(iter(graph)).op_id               # empty via fixed
+        fixed = {op: bad + 5}
+        with pytest.raises(SchedulingError) as batched_err:
+            batched_time_frames(graph, [delays], [bad], [fixed])
+        with pytest.raises(SchedulingError) as single_err:
+            fast_time_frames(graph, delays, bad, fixed)
+        assert str(batched_err.value) == str(single_err.value)
+
+    def test_length_mismatch_raises(self):
+        graph = diffeq()
+        delays = random_delays(graph, 1)
+        with pytest.raises(ValueError, match="differ in length"):
+            batched_time_frames(graph, [delays, delays], [9])
+
+
+class TestBatchedDensitySchedules:
+    def test_matches_fast_and_reference_on_benches(self):
+        for bench in BENCHES:
+            graph = bench()
+            requests = library_requests(graph, 12, seed=len(graph))
+            batched = batched_density_schedules(graph, requests)
+            for (delays, latency), got in zip(requests, batched):
+                assert got.starts == fast_density_schedule(
+                    graph, delays, latency).starts
+                assert got.starts == density_schedule(
+                    graph, delays, latency).starts
+
+    def test_random_graphs_match_reference(self):
+        for seed in range(5):
+            graph = random_dag(6 + 6 * seed, seed=200 + seed)
+            requests = [(random_delays(graph, 7 * seed + k),
+                         base_timing(graph,
+                                     random_delays(graph, 7 * seed + k))
+                         .critical + k % 3)
+                        for k in range(6)]
+            batched = batched_density_schedules(graph, requests)
+            for (delays, latency), got in zip(requests, batched):
+                assert got.starts == density_schedule(
+                    graph, delays, latency).starts, (seed, latency)
+
+    def test_infeasible_latency_message_parity(self):
+        graph = fir16()
+        delays = random_delays(graph, 4)
+        bad = base_timing(graph, delays).critical - 1
+        with pytest.raises(SchedulingError) as batched_err:
+            batched_density_schedules(graph, [(delays, bad)])
+        with pytest.raises(SchedulingError) as single_err:
+            fast_density_schedule(graph, delays, bad)
+        assert str(batched_err.value) == str(single_err.value)
+
+    def test_first_failing_request_wins(self):
+        graph = diffeq()
+        good = random_delays(graph, 5)
+        latency = base_timing(graph, good).critical
+        with pytest.raises(SchedulingError, match="below the critical"):
+            batched_density_schedules(
+                graph, [(good, latency), (good, latency - 1)])
+
+    def test_empty_request_list(self):
+        assert batched_density_schedules(fir16(), []) == []
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(SchedulingError, match="empty graph"):
+            batched_density_schedules(
+                DataFlowGraph("empty"), [({}, 0)])
+
+    def test_duplicate_requests_collapse(self):
+        graph = ewf()
+        delays = random_delays(graph, 8)
+        latency = base_timing(graph, delays).critical + 1
+        batched = batched_density_schedules(
+            graph, [(delays, latency)] * 4)
+        assert len(batched) == 4
+        assert all(s.starts == batched[0].starts for s in batched)
+
+
+class TestEvaluateBatch:
+    def grids(self):
+        for bench, latency in ((fir16, 12), (ewf, 15), (diffeq, 7)):
+            graph = bench()
+            yield graph, random_allocations(graph, 10, len(graph)), latency
+
+    def assert_same_evaluation(self, got, want, context):
+        if want is None:
+            assert got is None, context
+            return
+        assert got is not None, context
+        assert got.area == want.area, context
+        assert got.latency == want.latency, context
+        assert got.schedule.starts == want.schedule.starts, context
+        assert got.binding.area == want.binding.area, context
+
+    def test_batch_matches_sequential_and_oracle(self):
+        for graph, allocations, latency in self.grids():
+            batched_engine = EvaluationEngine(scheduler="density")
+            sequential_engine = EvaluationEngine(scheduler="density")
+            oracle = EvaluationEngine(scheduler="density", cache=False)
+            batched = batched_engine.evaluate_batch(
+                graph, allocations, latency)
+            for idx, (allocation, got) in enumerate(
+                    zip(allocations, batched)):
+                want = sequential_engine.evaluate(graph, allocation, latency)
+                self.assert_same_evaluation(got, want, (graph.name, idx))
+                self.assert_same_evaluation(
+                    got, oracle.evaluate(graph, allocation, latency),
+                    (graph.name, idx))
+
+    def test_ragged_batch_sizes(self):
+        graph = fir16()
+        allocations = random_allocations(graph, 7, seed=1)
+        want = EvaluationEngine(scheduler="density").evaluate_batch(
+            graph, allocations, 12)
+        for batch_size in (1, 2, 3, 5, 100):
+            engine = EvaluationEngine(scheduler="density")
+            got = engine.evaluate_batch(graph, allocations, 12,
+                                        batch_size=batch_size)
+            for g, w, allocation in zip(got, want, allocations):
+                self.assert_same_evaluation(g, w, batch_size)
+
+    def test_duplicates_and_memo_hits(self):
+        graph = diffeq()
+        allocations = random_allocations(graph, 4, seed=2)
+        engine = EvaluationEngine(scheduler="density")
+        first = engine.evaluate_batch(
+            graph, allocations + allocations, 7)
+        self.assert_same_evaluation(first[0], first[len(allocations)], 0)
+        # feasible results are memoized; infeasible bounds short-circuit
+        # on the timing check and never reach the memo
+        feasible = sum(1 for r in first[:len(allocations)] if r is not None)
+        assert feasible > 0
+        hits_before = engine.stats.hits
+        again = engine.evaluate_batch(graph, allocations, 7)
+        assert engine.stats.hits >= hits_before + feasible
+        for g, w in zip(again, first):
+            self.assert_same_evaluation(g, w, "memo")
+
+    def test_stats_counters(self):
+        graph = ewf()
+        allocations = random_allocations(graph, 6, seed=3)
+        engine = EvaluationEngine(scheduler="density")
+        engine.evaluate_batch(graph, allocations, 15)
+        assert engine.stats.batch_items == len(allocations)
+        assert 0 < engine.stats.batched_evals <= len(allocations)
+        assert 0.0 < engine.stats.batch_fill <= 1.0
+
+    def test_empty_batch(self):
+        engine = EvaluationEngine()
+        assert engine.evaluate_batch(fir16(), [], 12) == []
+
+    def test_auto_scheduler_and_wrapper(self):
+        graph = diffeq()
+        allocations = random_allocations(graph, 5, seed=4)
+        engine = EvaluationEngine()  # "auto": density and list compete
+        got = evaluate_allocations(graph, allocations, 7, engine=engine)
+        check = EvaluationEngine()
+        for allocation, g in zip(allocations, got):
+            self.assert_same_evaluation(
+                g, check.evaluate(graph, allocation, 7), "auto")
+
+    def test_infeasible_bound_yields_nones(self):
+        graph = fir16()
+        allocations = random_allocations(graph, 3, seed=5)
+        engine = EvaluationEngine(scheduler="density")
+        assert engine.evaluate_batch(graph, allocations, 1) \
+            == [None, None, None]
+
+
+class TestScanArea:
+    def test_matches_binder_on_benches(self):
+        for bench in BENCHES:
+            graph = bench()
+            for seed in range(4):
+                allocation = random_allocations(graph, 1, seed)[0]
+                delays = {o: v.delay for o, v in allocation.items()}
+                latency = base_timing(graph, delays).critical + seed % 3
+                schedule = fast_density_schedule(graph, delays, latency)
+                binding = left_edge_bind(schedule, allocation)
+                for model in (AREA_INSTANCES, AREA_VERSIONS):
+                    assert _scan_area(schedule, allocation, model) \
+                        == total_area(binding, model), (graph.name, model)
+
+    def test_zero_delay_returns_none_under_instances(self):
+        # library versions always have positive delay, but schedules
+        # from other frontends may carry zero-delay operations; the
+        # scan must refuse the lane-count identity there
+        graph = DataFlowGraph("z")
+        graph.add_operation(Operation("a", "read", "add"))
+        version = paper_library().versions_of("add")[0]
+        allocation = {"a": version}
+        schedule = fast_density_schedule(graph, {"a": 0}, 1)
+        assert _scan_area(schedule, allocation, AREA_INSTANCES) is None
+        assert _scan_area(schedule, allocation, AREA_VERSIONS) \
+            == version.area
+
+
+class TestFindDesignBatchedParity:
+    def test_fast_matches_reference_engine(self):
+        library = paper_library()
+        for bench, latency, area in ((fir16, 11, 9), (diffeq, 7, 20)):
+            fast_engine = EvaluationEngine(scheduler_impl="fast")
+            ref_engine = EvaluationEngine(scheduler_impl="reference")
+            fast = find_design(bench(), library, latency, area,
+                               engine=fast_engine)
+            ref = find_design(bench(), library, latency, area,
+                              engine=ref_engine)
+            assert fast.area == ref.area
+            assert fast.reliability == ref.reliability
+            assert fast.schedule.starts == ref.schedule.starts
+            assert {o: v.name for o, v in fast.allocation.items()} \
+                == {o: v.name for o, v in ref.allocation.items()}
+            assert fast_engine.stats.batch_items > 0
+
+
+class TestGraphBatch:
+    def test_union_timing_decomposes(self):
+        graphs = [random_dag(8 + 4 * k, seed=40 + k) for k in range(3)]
+        batch = GraphBatch(graphs)
+        delays_list = [random_delays(g, 60 + k)
+                       for k, g in enumerate(graphs)]
+        union_delays = batch.union_delays(delays_list)
+        timing = base_timing(batch.union, union_delays)
+        cg = compile_graph(batch.union)
+        union_asap = dict(zip(cg.op_ids, timing.asap))
+        per_member = batch.split(union_asap)
+        for graph, delays, asap in zip(graphs, delays_list, per_member):
+            single = base_timing(graph, delays)
+            assert asap == dict(zip(compile_graph(graph).op_ids,
+                                    single.asap))
+
+    def test_split_round_trip(self):
+        graphs = [diffeq(), fir16()]
+        batch = GraphBatch(graphs)
+        delays_list = [random_delays(g, k) for k, g in enumerate(graphs)]
+        assert batch.split(batch.union_delays(delays_list)) == delays_list
+
+    def test_wrong_arity_raises(self):
+        batch = GraphBatch([diffeq()])
+        with pytest.raises(DFGError, match="expected 1 delay mappings"):
+            batch.union_delays([])
+
+    def test_zero_graphs_raises(self):
+        with pytest.raises(DFGError, match="zero graphs"):
+            GraphBatch([])
+
+
+class TestBatchedDelays:
+    def test_keys_match_per_item_memo_keys(self):
+        graph = fir16()
+        delays_list = [random_delays(graph, k) for k in range(3)]
+        batch = BatchedDelays.from_mappings(graph, delays_list)
+        cg = compile_graph(graph)
+        assert len(batch) == 3
+        for b, delays in enumerate(delays_list):
+            assert batch.key(b) == cg.delays_array(delays).tobytes()
+            assert list(batch.row(b)) == list(cg.delays_array(delays))
+
+    def test_shape_validation(self):
+        import numpy as np
+
+        cg = compile_graph(fir16())
+        with pytest.raises(DFGError, match="does not match"):
+            BatchedDelays(cg, np.zeros((2, cg.n_ops + 1), dtype=np.int64))
+
+    def test_empty_batch(self):
+        batch = BatchedDelays.from_mappings(fir16(), [])
+        assert len(batch) == 0
+
+
+def test_table2_style_grid_end_to_end():
+    """The acceptance shape: a full uniform-allocation grid per latency
+    bound, batched vs sequential vs reference, identical selections."""
+    library = paper_library()
+    for bench, lds in ((fir16, (12, 11, 10)), (diffeq, (7, 6, 5))):
+        graph = bench()
+        rtypes = sorted({op.rtype for op in graph})
+        allocations = []
+        for combo in itertools.product(
+                *(library.versions_of(rt) for rt in rtypes)):
+            pick = dict(zip(rtypes, combo))
+            allocations.append(
+                {op.op_id: pick[op.rtype] for op in graph})
+        batched_engine = EvaluationEngine(scheduler="density")
+        oracle = EvaluationEngine(scheduler="density", cache=False)
+        for ld in lds:
+            batched = batched_engine.evaluate_batch(graph, allocations, ld)
+            selections = []
+            for evaluations in (batched,
+                                [oracle.evaluate(graph, a, ld)
+                                 for a in allocations]):
+                selections.append(min(
+                    ((ev.area, idx,
+                      tuple(sorted(ev.schedule.starts.items())))
+                     for idx, ev in enumerate(evaluations)
+                     if ev is not None), default=None))
+            assert selections[0] == selections[1], (graph.name, ld)

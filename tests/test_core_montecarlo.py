@@ -11,6 +11,7 @@ from repro.core import (
     combined_design,
     find_design,
     simulate_design,
+    simulate_designs,
 )
 
 
@@ -92,3 +93,51 @@ class TestVectorizedCampaign:
         runs = [simulate_design(result, trials=10_000, seed=42)
                 for _ in range(2)]
         assert runs[0].successes == runs[1].successes
+
+
+class TestPooledCampaign:
+    def designs(self, lib):
+        return [find_design(diffeq(), lib, 6, 11),
+                baseline_design(fir16(), lib, 10, 13),
+                combined_design(diffeq(), lib, 6, 14)]
+
+    def test_every_design_consistent(self, lib):
+        designs = self.designs(lib)
+        reports = simulate_designs(designs, trials=40_000, seed=5)
+        assert len(reports) == len(designs)
+        for design, report in zip(designs, reports):
+            assert report.analytic == design.reliability
+            assert report.trials == 40_000
+            assert report.consistent(sigmas=4.0), (
+                f"analytic {report.analytic:.5f} vs simulated "
+                f"{report.estimate:.5f} ± {report.stderr:.5f}")
+
+    def test_deterministic_per_seed(self, lib):
+        designs = self.designs(lib)
+        first = simulate_designs(designs, trials=10_000, seed=6)
+        second = simulate_designs(designs, trials=10_000, seed=6)
+        assert [r.successes for r in first] \
+            == [r.successes for r in second]
+
+    def test_scalar_oracle_path(self, lib):
+        import random
+
+        designs = self.designs(lib)[:2]
+        pooled = simulate_designs(designs, trials=30_000, seed=8)
+        scalar = simulate_designs(designs, trials=30_000, seed=8,
+                                  rng=random.Random(8))
+        # per-design scalar simulation from one stream, in order
+        oracle = []
+        stream = random.Random(8)
+        for design in designs:
+            oracle.append(simulate_design(design, trials=30_000,
+                                          rng=stream))
+        for got, want, batched in zip(scalar, oracle, pooled):
+            assert got.successes == want.successes
+            assert abs(batched.estimate - got.estimate) <= 4.0 * (
+                batched.stderr + got.stderr)
+
+    def test_empty_and_bad_inputs(self, lib):
+        assert simulate_designs([], trials=100) == []
+        with pytest.raises(ReproError):
+            simulate_designs(self.designs(lib)[:1], trials=0)
