@@ -1,0 +1,276 @@
+"""Benchmark: the evaluation service under multi-client load.
+
+PR 7 turned the cache sidecar into a network service: TCP transport
+with a safe json wire encoding, an event-loop server core, and a
+``synthesize`` RPC that runs whole searches server-side.  This
+benchmark puts numbers behind both halves:
+
+* **load generator** — ``WORKERS`` client processes replay real cache
+  traffic (the layer entries a Table 2 search produces — schedules,
+  evaluations, density points) against the same server over both
+  transports, recording per-request p50/p99 latency and aggregate
+  throughput for AF_UNIX+pickle and TCP+json;
+* **remote synthesize** — the Table 2 grids are swept twice, once via
+  the ``synthesize`` RPC of a TCP server and once locally, and every
+  selected design must be identical (the acceptance gate; timing is
+  reported but never asserted — the equivalence carries the claim).
+
+Results land in ``BENCH_cache_service.json`` (schema in README.md).
+
+Run with ``-s`` to see the table::
+
+    PYTHONPATH=src python -m pytest -s benchmarks/bench_cache_service.py
+
+or standalone (the CI smoke job does), where ``--quick`` trims the
+traffic and the grid::
+
+    PYTHONPATH=src python benchmarks/bench_cache_service.py --quick
+"""
+
+import multiprocessing
+import statistics
+import time
+
+from repro.bench import get_benchmark
+from repro.core import CacheServer, EvaluationEngine, find_design
+from repro.core.cache_server import CacheClient
+from repro.errors import NoSolutionError
+from repro.experiments import ExperimentTable, paper_data
+from repro.library import paper_library
+
+from benchjson import write_bench_json
+
+WORKERS = 4
+ROUNDS = 6
+QUICK_ROUNDS = 2
+AUTH_TOKEN = "bench-cache-service"
+WORKLOADS = ("fir", "ew", "diffeq")
+
+
+def _traffic_entries():
+    """Real layer records to replay: export a warmed engine's caches."""
+    engine = EvaluationEngine()
+    library = paper_library()
+    find_design(get_benchmark("diffeq"), library, 8, 20, engine=engine)
+    return [(layer, key, value)
+            for layer, entries in engine.export_cache_state().items()
+            for key, value in entries]
+
+
+def _client_worker(address, token, entries, rounds, worker_id, out):
+    """One load-generator process: timed puts then timed gets."""
+    try:
+        client = CacheClient(address, auth_token=token, timeout=60.0)
+        latencies = []
+        for round_no in range(rounds):
+            for layer, key, value in entries:
+                unique = key + ("w", worker_id, round_no)
+                started = time.perf_counter()
+                client.put(layer, unique, value)
+                latencies.append(time.perf_counter() - started)
+            for layer, key, _value in entries:
+                unique = key + ("w", worker_id, round_no)
+                started = time.perf_counter()
+                found, _ = client.get(layer, unique)
+                latencies.append(time.perf_counter() - started)
+                assert found, (layer, unique)
+        client.close()
+        out.put((worker_id, latencies))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out.put((worker_id, repr(exc)))
+
+
+def _drive_transport(address, token, entries, rounds):
+    """Fan WORKERS load processes at *address*; aggregate latencies."""
+    context = multiprocessing.get_context("fork")
+    out = context.Queue()
+    processes = [
+        context.Process(target=_client_worker,
+                        args=(address, token, entries, rounds, i, out))
+        for i in range(WORKERS)
+    ]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    latencies = []
+    for _ in processes:
+        worker_id, payload = out.get(timeout=600.0)
+        assert isinstance(payload, list), \
+            f"load worker {worker_id} failed: {payload}"
+        latencies.extend(payload)
+    wall = time.perf_counter() - started
+    for process in processes:
+        process.join(timeout=60.0)
+        assert process.exitcode == 0
+    latencies.sort()
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "workers": WORKERS,
+        "ops": len(latencies),
+        "wall_s": wall,
+        "throughput_ops_s": len(latencies) / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": quantiles[98] * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+    }
+
+
+def measure_load(quick=False):
+    """Replay the same traffic against a unix and a tcp server."""
+    entries = _traffic_entries()
+    rounds = QUICK_ROUNDS if quick else ROUNDS
+    results = {}
+    with CacheServer() as server:  # AF_UNIX in a server-owned temp dir
+        results["unix"] = _drive_transport(server.address, None,
+                                           entries, rounds)
+        results["unix"]["server_stats"] = server.stats.as_dict()
+    with CacheServer("tcp://127.0.0.1:0", auth_token=AUTH_TOKEN) as server:
+        results["tcp"] = _drive_transport(server.address, AUTH_TOKEN,
+                                          entries, rounds)
+        results["tcp"]["server_stats"] = server.stats.as_dict()
+    for transport, row in results.items():
+        stats = row["server_stats"]
+        expected = WORKERS * rounds * len(entries)
+        assert stats["puts"] == expected, (transport, stats["puts"])
+        assert stats["gets"] == expected and stats["hits"] == expected, \
+            (transport, stats["gets"], stats["hits"])
+        assert stats["bad_frames"] == 0 and stats["auth_failures"] == 0
+    return {"rounds": rounds, "entries": len(entries),
+            "transports": results}
+
+
+def _design_fingerprint(result):
+    if result is None:
+        return None
+    return (result.area, result.latency, result.reliability,
+            dict(result.schedule.starts),
+            dict(result.binding.op_to_instance))
+
+
+def _grid(benchmark, quick):
+    grid = paper_data.table2_grid(benchmark)
+    latencies = sorted({latency for latency, _ in grid})
+    areas = sorted({area for _, area in grid})
+    if quick:
+        # the loosest bounds: the trimmed grid must keep feasible
+        # points, or the quick gate would compare nothing but misses
+        latencies, areas = latencies[-2:], areas[-2:]
+    return [(latency, area) for latency in latencies for area in areas]
+
+
+def measure_synthesize(quick=False):
+    """Sweep the Table 2 grids through the synthesize RPC vs locally."""
+    library = paper_library()
+    workloads = ("diffeq",) if quick else WORKLOADS
+    rows = {}
+    with CacheServer("tcp://127.0.0.1:0", auth_token=AUTH_TOKEN) as server:
+        client = CacheClient(server.address, auth_token=AUTH_TOKEN)
+        for benchmark in workloads:
+            graph = get_benchmark(benchmark)
+            pairs = _grid(benchmark, quick)
+            remote, local = [], []
+            remote_started = time.perf_counter()
+            for latency_bound, area_bound in pairs:
+                try:
+                    remote.append(client.synthesize(
+                        graph, library, latency_bound, area_bound))
+                except NoSolutionError:
+                    remote.append(None)
+            remote_time = time.perf_counter() - remote_started
+            engine = EvaluationEngine()
+            local_started = time.perf_counter()
+            for latency_bound, area_bound in pairs:
+                try:
+                    local.append(find_design(graph, library, latency_bound,
+                                             area_bound, engine=engine))
+                except NoSolutionError:
+                    local.append(None)
+            local_time = time.perf_counter() - local_started
+            mismatches = [
+                pair for pair, ours, theirs in zip(pairs, local, remote)
+                if _design_fingerprint(ours) != _design_fingerprint(theirs)
+            ]
+            assert not mismatches, \
+                f"{benchmark}: remote != local at {mismatches}"
+            rows[benchmark] = {
+                "grid_points": len(pairs),
+                "feasible_points": sum(1 for r in local if r is not None),
+                "remote_s": remote_time,
+                "local_s": local_time,
+                "designs_identical": True,
+            }
+        client.close()
+        streamed = server.stats.designs_streamed
+    return {"workloads": rows, "designs_streamed": streamed}
+
+
+def report(load, synthesize):
+    table = ExperimentTable(
+        title=f"Evaluation service under load (workers={WORKERS})",
+        headers=("transport", "ops", "p50 ms", "p99 ms", "max ms",
+                 "ops/s", "server puts", "server hits"),
+    )
+    for transport, row in load["transports"].items():
+        stats = row["server_stats"]
+        table.add_row(
+            transport,
+            row["ops"],
+            round(row["p50_ms"], 3),
+            round(row["p99_ms"], 3),
+            round(row["max_ms"], 3),
+            int(row["throughput_ops_s"]),
+            int(stats["puts"]),
+            int(stats["hits"]),
+        )
+    unix_p50 = load["transports"]["unix"]["p50_ms"]
+    tcp_p50 = load["transports"]["tcp"]["p50_ms"]
+    table.add_note(f"tcp/unix p50 ratio {tcp_p50 / unix_p50:.2f}")
+    rpc = ExperimentTable(
+        title="Remote synthesize vs local compute (Table 2 grids)",
+        headers=("benchmark", "grid", "feasible", "remote s", "local s",
+                 "identical"),
+    )
+    for benchmark, row in synthesize["workloads"].items():
+        rpc.add_row(
+            benchmark,
+            row["grid_points"],
+            row["feasible_points"],
+            round(row["remote_s"], 3),
+            round(row["local_s"], 3),
+            "yes" if row["designs_identical"] else "NO",
+        )
+    rpc.add_note(f"improving designs streamed: "
+                 f"{synthesize['designs_streamed']}")
+    path = write_bench_json("cache_service", {
+        "load": load,
+        "synthesize": synthesize,
+    })
+    print("\n" + table.as_text())
+    print("\n" + rpc.as_text())
+    print(f"\nresults written to {path}")
+
+
+def test_cache_service_load_and_rpc():
+    load = measure_load()
+    synthesize = measure_synthesize()
+    report(load, synthesize)
+    for transport, row in load["transports"].items():
+        assert row["p50_ms"] > 0.0 and row["p99_ms"] >= row["p50_ms"], \
+            transport
+    for benchmark, row in synthesize["workloads"].items():
+        assert row["designs_identical"], benchmark
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="trim the traffic and the grid (CI smoke); "
+                             "only design mismatches fail, never timing")
+    args = parser.parse_args()
+    if args.quick:
+        report(measure_load(quick=True), measure_synthesize(quick=True))
+        print("remote synthesize == local compute on the quick grid: ok")
+    else:
+        test_cache_service_load_and_rpc()

@@ -19,12 +19,14 @@ from repro.core.engine import (
     default_engine,
     set_default_engine,
 )
-from repro.core import cache_server
+from repro.core import cache_server, wire
 from repro.core.cache_server import (
     CacheClient,
     CacheServer,
     attach_engine,
     detach_engine,
+    evaluate_batch_remote,
+    synthesize_remote,
 )
 from repro.core.evaluate import (
     SCHEDULER_IMPLS,
@@ -67,8 +69,11 @@ __all__ = [
     "CacheServer",
     "cache_store",
     "cache_server",
+    "wire",
     "attach_engine",
     "detach_engine",
+    "synthesize_remote",
+    "evaluate_batch_remote",
     "snapshot_engine",
     "merge_snapshot",
     "compact_snapshot",

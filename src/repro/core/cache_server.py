@@ -1,76 +1,110 @@
-"""Live shared-cache service for concurrent evaluations.
+"""Network evaluation service: shared caches + remote synthesis jobs.
 
 Snapshots (:mod:`repro.core.cache_store`) let engine caches outlive a
 process, but concurrent long-lived processes — parallel ``experiment``
-runs, several CLI invocations pointed at one ``--cache-dir`` — still
-only exchange results at fork/join or snapshot boundaries.  This
-module closes that gap with a lightweight local *cache server*: one
-process owns the content-addressed cache layers and serves ``get`` /
-``put`` / ``multi-get`` over a unix-domain socket to any number of
-client engines, which therefore hit each other's results *mid-run*.
+runs, several CLI invocations pointed at one ``--cache-dir``,
+cross-host client fleets — still only exchange results at fork/join or
+snapshot boundaries.  This module closes that gap with a *cache and
+evaluation server*: one process owns the content-addressed cache
+layers and serves ``get`` / ``put`` / ``multi-get`` — plus whole
+``synthesize`` and ``evaluate_batch`` jobs — to any number of client
+engines over a unix-domain or TCP socket.
 
 Pieces, bottom to top:
 
 ``frames``
-    Length-prefixed pickled tuples (a 4-byte big-endian length, then
-    the payload).  A frame that is oversized, truncated, or
-    undecodable raises a clean :class:`~repro.errors.CacheError` on
-    whichever side reads it — never a hang (both sides run with socket
-    timeouts) and never a crash.
+    Length-prefixed payloads (a 4-byte big-endian length, then the
+    payload) in one of two :mod:`repro.core.wire` codecs.  A frame
+    that is oversized, truncated, or undecodable raises a clean
+    :class:`~repro.errors.CacheError` on whichever side reads it —
+    never a hang (both sides run on bounded clocks) and never a crash.
 ``CacheClient``
     A blocking request/response client over one connection.  Every
-    transport failure surfaces as :class:`CacheError`.
+    transport failure surfaces as :class:`CacheError`; the connection
+    is re-established after a failure or across ``fork()`` (an
+    inherited socket is never written — the child reconnects).
 ``CacheServer``
-    A threaded server (one daemon thread per connection, one lock
-    around the layers) holding the same per-layer LRU caches as an
+    A single-threaded :mod:`selectors` event loop owning every
+    connection (one process sustains thousands of idle clients without
+    a thread apiece), with the same per-layer LRU caches as an
     :class:`~repro.core.engine.EvaluationEngine` — eviction is
     enforced server-side, so a runaway client cannot balloon the
-    service.  An optional *write-behind flusher* thread persists the
-    layers to a snapshot file every ``flush_interval`` seconds (only
-    when dirty), compacting bound-dominated density entries and
-    capping the file size first (:func:`repro.core.cache_store.
-    compact_snapshot`), so a server crash loses at most one interval
-    of cache warmth — never correctness.
+    service.  Blocking work (snapshot flushes, synthesis jobs) runs on
+    a small thread pool; replies are queued back through the loop.  An
+    optional *write-behind flusher* persists the layers to a snapshot
+    file every ``flush_interval`` seconds (only when dirty),
+    compacting bound-dominated density entries first, so a server
+    crash loses at most one interval of cache warmth — never
+    correctness.
+``synthesize`` / ``evaluate_batch`` jobs
+    Remote clients submit whole :func:`~repro.core.find_design.
+    find_design` searches and :meth:`~repro.core.engine.
+    EvaluationEngine.evaluate_batch` calls that execute server-side on
+    the compiled batched core, reading and writing the server's own
+    cache layers.  ``synthesize`` streams every improving design back
+    (``("design", result)`` frames) before the final reply, so a
+    latency-bounded caller always holds the best design found so far.
 ``attach_engine`` / ``detach_engine``
     Put a :class:`~repro.core.engine.RemoteCacheBackend` speaking this
     protocol behind an engine's cache layers (local LRUs stay as
     read-through L1s).  Attachment is best-effort and fail-open: an
     unreachable or dying server leaves the engine computing locally
-    with identical results.
+    with identical results.  :func:`synthesize_remote` and
+    :func:`evaluate_batch_remote` extend the same contract to job
+    submission — a dead server means the job runs locally, with
+    identical results.
+
+Transports, encodings and trust:
+
+* ``AF_UNIX`` (a filesystem path): filesystem permissions gate access
+  — the same trust boundary as a ``--cache-dir``.  Both wire codecs
+  are allowed; legacy clients that speak pickle without a handshake
+  keep working (the server sniffs the first frame).
+* TCP (``tcp://host:port``): crosses the local trust domain, so the
+  pickle codec is refused outright — unpickling attacker-controlled
+  bytes executes arbitrary code, and no pickle bytes ever cross a TCP
+  socket in either direction.  Every TCP connection must open with a
+  ``hello`` handshake carrying :data:`PROTOCOL_VERSION`, the ``json``
+  encoding, and the server's shared-secret auth token; anything else
+  is rejected with a clean error and a closed connection.
 
 Wire values use the same encoding as snapshot files (content-tuple
 graph keys; ``schedules`` entries as plain tuples), so the server's
 layers can be seeded from an engine export and merged back verbatim.
-
-Trust model: frames are pickles, exactly like snapshot files —
-unpickling attacker-controlled bytes executes arbitrary code.  The
-server therefore binds only unix-domain sockets (filesystem
-permissions gate access); treat a socket path with the same trust as a
-``--cache-dir``.
 """
 
 from __future__ import annotations
 
+import hmac
 import os
-import pickle
+import selectors
 import socket
+import stat
 import struct
 import tempfile
 import threading
-from dataclasses import dataclass, field
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import CacheError, ReproError
-from repro.core import cache_store
+from repro.errors import CacheError, NoSolutionError, ProtocolError, \
+    ReproError
+from repro.core import cache_store, wire
+from repro.core.design import DesignResult
 from repro.core.engine import (
     EvaluationEngine,
     LRUCache,
     RemoteCacheBackend,
 )
+from repro.dfg.graph import DataFlowGraph
+from repro.library.library import ResourceLibrary
 
 #: Bumped whenever request/response shapes change; a client refuses to
-#: attach to a server speaking a different version.
-PROTOCOL_VERSION = 1
+#: attach to a server speaking a different version.  Version 2 added
+#: the ``hello`` handshake, the json codec and the job operations.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on a single frame; anything larger is rejected with
 #: :class:`CacheError` before its payload is read.
@@ -79,8 +113,12 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: Default client-side timeout for connect and each request round trip.
 CLIENT_TIMEOUT = 10.0
 
-#: Default server-side per-connection read timeout (idle connections
-#: are dropped, and a stalled client can never wedge a serving thread).
+#: Default client-side timeout for a whole server-side job (synthesize
+#: / evaluate_batch); streamed design frames reset the clock.
+JOB_TIMEOUT = 600.0
+
+#: Default server-side idle limit: a connection with no traffic (and
+#: no job in flight) for this long is dropped.
 SERVER_TIMEOUT = 60.0
 
 #: Default write-behind flush period, seconds.
@@ -92,6 +130,16 @@ SOCKET_BASENAME = "cache-server.sock"
 #: Server-side total entry budget, split across layers by the engine's
 #: :attr:`~repro.core.engine.EvaluationEngine.LAYER_SHARES`.
 SERVER_MAX_ENTRIES = 1_000_000
+
+#: Worker threads executing synthesize/evaluate_batch/flush jobs.
+JOB_WORKERS = 4
+
+#: Options a remote ``synthesize`` job may carry.
+SYNTH_OPTIONS = ("area_model", "repair", "refine", "fallback",
+                 "latency_sweep")
+
+#: Options a remote ``evaluate_batch`` job may carry.
+BATCH_OPTIONS = ("area_model", "scheduler")
 
 _LEN = struct.Struct("!I")
 _MISSING = object()
@@ -111,13 +159,27 @@ def default_address(base_dir: Optional[str] = None) -> str:
                         SOCKET_BASENAME)
 
 
+def parse_address(address: str) -> tuple:
+    """``("tcp", host, port)`` for ``tcp://host:port``, else
+    ``("unix", path)``; :class:`CacheError` on a malformed tcp form."""
+    if not address.startswith("tcp://"):
+        return ("unix", address)
+    rest = address[len("tcp://"):]
+    host, sep, port = rest.rpartition(":")
+    if not sep or not port.isdigit():
+        raise CacheError(
+            f"malformed tcp address {address!r}; use tcp://host:port")
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
 # ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
 def _send_frame(sock: socket.socket, message: tuple,
-                max_bytes: int = MAX_FRAME_BYTES) -> None:
-    """Pickle *message* and send it length-prefixed."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+                max_bytes: int = MAX_FRAME_BYTES,
+                encoding: str = "pickle") -> None:
+    """Encode *message* with *encoding* and send it length-prefixed."""
+    payload = wire.encode(message, encoding)
     if len(payload) > max_bytes:
         raise CacheError(
             f"cache frame of {len(payload)} bytes exceeds the "
@@ -160,7 +222,8 @@ def _recv_exact(sock: socket.socket, n: int,
 
 
 def _recv_frame(sock: socket.socket,
-                max_bytes: int = MAX_FRAME_BYTES) -> Optional[tuple]:
+                max_bytes: int = MAX_FRAME_BYTES,
+                encoding: str = "pickle") -> Optional[tuple]:
     """Read one frame; ``None`` on clean EOF, :class:`CacheError` on
     anything malformed (oversized, truncated, undecodable)."""
     header = _recv_exact(sock, _LEN.size, allow_eof=True)
@@ -172,10 +235,7 @@ def _recv_frame(sock: socket.socket,
             f"cache frame of {length} bytes exceeds the "
             f"{max_bytes}-byte limit")
     payload = _recv_exact(sock, length)
-    try:
-        message = pickle.loads(payload)
-    except Exception as exc:  # pickle raises a zoo of error types
-        raise CacheError(f"undecodable cache frame: {exc}") from exc
+    message = wire.decode(payload, encoding)
     if not isinstance(message, tuple) or not message \
             or not isinstance(message[0], str):
         raise CacheError("malformed cache frame "
@@ -190,47 +250,143 @@ class CacheClient:
     """Blocking request/response client for one :class:`CacheServer`.
 
     Thread-safe (one lock per client, requests are serialized on the
-    single connection).  Every transport problem — refused connection,
-    timeout, oversized or corrupt frame, server-reported error —
-    raises :class:`~repro.errors.CacheError`; after a transport
-    failure the connection is dropped and the next request
-    reconnects.
+    single connection) and fork-safe: a socket inherited across
+    ``fork()`` is never written — the child drops it and reconnects on
+    its own (writing on the shared descriptor would interleave frames
+    with the parent's requests).  Every transport problem — refused
+    connection, timeout, oversized or corrupt frame, a handshake
+    rejection, a server-reported error — raises
+    :class:`~repro.errors.CacheError`; after a transport failure the
+    connection is dropped and the next request reconnects.
+
+    Parameters
+    ----------
+    address:
+        ``tcp://host:port`` or a unix socket path.
+    encoding:
+        Wire codec (:data:`repro.core.wire.ENCODINGS`).  Defaults to
+        ``"json"`` on tcp (where pickle is refused) and the legacy
+        ``"pickle"`` on unix sockets.  A json client opens every
+        connection with the versioned ``hello`` handshake.
+    auth_token:
+        Shared secret presented in the handshake; required by TCP
+        servers.
+    job_timeout:
+        Per-reply timeout while a server-side job is in flight.
     """
 
     def __init__(self, address: str, timeout: float = CLIENT_TIMEOUT,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES, *,
+                 encoding: Optional[str] = None,
+                 auth_token: Optional[str] = None,
+                 job_timeout: float = JOB_TIMEOUT):
         self.address = address
+        self.transport = parse_address(address)[0]
+        if encoding is None:
+            encoding = "json" if self.transport == "tcp" else "pickle"
+        wire.check_encoding(encoding)
+        if self.transport == "tcp" and encoding != "json":
+            raise ProtocolError(
+                "the pickle encoding is not allowed on tcp transports; "
+                "use encoding='json'")
+        self.encoding = encoding
+        self.auth_token = auth_token
         self.timeout = timeout
+        self.job_timeout = job_timeout
         self.max_frame_bytes = max_frame_bytes
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
 
     def _connect(self) -> socket.socket:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        parsed = parse_address(self.address)
+        if parsed[0] == "tcp":
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target: object = (parsed[1], parsed[2])
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target = parsed[1]
         sock.settimeout(self.timeout)
         try:
-            sock.connect(self.address)
+            sock.connect(target)
         except OSError as exc:
             sock.close()
             raise CacheError(
                 f"cannot reach cache server at {self.address!r}: "
                 f"{exc}") from exc
+        if self.encoding == "json":
+            try:
+                self._handshake(sock)
+            except CacheError:
+                sock.close()
+                raise
         return sock
 
-    def _request(self, message: tuple):
+    def _handshake(self, sock: socket.socket) -> None:
+        """Negotiate version + encoding + auth (always json-encoded)."""
+        _send_frame(sock, ("hello", PROTOCOL_VERSION, self.encoding,
+                           self.auth_token or ""),
+                    self.max_frame_bytes, encoding="json")
+        reply = _recv_frame(sock, self.max_frame_bytes, encoding="json")
+        if reply is None:
+            raise ProtocolError(
+                "cache server closed the connection during the handshake")
+        if reply[0] == "error":
+            detail = reply[1] if len(reply) > 1 else "unspecified"
+            raise ProtocolError(
+                f"cache server rejected the handshake: {detail}")
+        if reply[0] != "ok" or len(reply) != 2:
+            raise ProtocolError(
+                "cache server sent a malformed handshake reply")
+        ack = reply[1]
+        if not isinstance(ack, tuple) or len(ack) != 3 \
+                or ack[0] != "hello":
+            raise ProtocolError(
+                "cache server sent a malformed handshake reply")
+        if ack[1] != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"cache server speaks protocol {ack[1]!r}, this build "
+                f"speaks {PROTOCOL_VERSION}")
+        if ack[2] != self.encoding:
+            raise ProtocolError(
+                f"cache server switched to encoding {ack[2]!r}, "
+                f"{self.encoding!r} was requested")
+
+    def _ensure_sock(self) -> socket.socket:
+        """Under ``self._lock``: a usable socket owned by this process."""
+        if self._sock is not None and os.getpid() != self._owner_pid:
+            # inherited across fork(): the descriptor is shared with
+            # the parent, so never write on it — reconnect instead
+            self._drop()
+        if self._sock is None:
+            self._sock = self._connect()
+            self._owner_pid = os.getpid()
+        return self._sock
+
+    def _request(self, message: tuple, timeout: Optional[float] = None):
         with self._lock:
-            if self._sock is None:
-                self._sock = self._connect()
+            sock = self._ensure_sock()
             try:
-                _send_frame(self._sock, message, self.max_frame_bytes)
-                reply = _recv_frame(self._sock, self.max_frame_bytes)
+                if timeout is not None:
+                    sock.settimeout(timeout)
+                _send_frame(sock, message, self.max_frame_bytes,
+                            self.encoding)
+                reply = _recv_frame(sock, self.max_frame_bytes,
+                                    self.encoding)
             except CacheError:
                 self._drop()
                 raise
+            finally:
+                if timeout is not None and self._sock is not None:
+                    self._sock.settimeout(self.timeout)
+        return self._finish(reply)
+
+    def _finish(self, reply: Optional[tuple]):
+        """Validate a final ``("ok", value)`` / ``("error", msg)`` reply."""
         if reply is None:
             self._drop()
             raise CacheError("cache server closed the connection")
-        if reply[0] == "error":
+        if reply[0] == "error" and len(reply) > 1:
             raise CacheError(f"cache server error: {reply[1]}")
         if reply[0] != "ok" or len(reply) != 2:
             self._drop()
@@ -249,10 +405,12 @@ class CacheClient:
     def ping(self) -> None:
         """Round-trip liveness + protocol version check."""
         reply = self._request(("ping",))
-        version = reply[1] if isinstance(reply, tuple) and len(reply) > 1 \
-            else None
+        if not isinstance(reply, tuple) or len(reply) != 2 \
+                or reply[0] != "pong":
+            raise CacheError("cache server sent a malformed ping reply")
+        version = reply[1]
         if version != PROTOCOL_VERSION:
-            raise CacheError(
+            raise ProtocolError(
                 f"cache server speaks protocol {version!r}, "
                 f"this build speaks {PROTOCOL_VERSION}")
 
@@ -280,15 +438,88 @@ class CacheClient:
 
     def flush(self) -> Optional[str]:
         """Force a write-behind flush; returns the snapshot path."""
-        return self._request(("flush",))
+        return self._request(("flush",), timeout=self.job_timeout)
 
     def shutdown(self) -> None:
         """Ask the server to stop (it replies before exiting)."""
         self._request(("shutdown",))
 
+    # -- jobs ----------------------------------------------------------
+    def evaluate_batch(self, graph: DataFlowGraph, allocations,
+                       latency_bound: int, **options) -> list:
+        """Run one server-side :meth:`EvaluationEngine.evaluate_batch`.
+
+        Returns the evaluations list (``None`` per infeasible item),
+        exactly as the local call would.  *options* may carry
+        ``area_model`` and ``scheduler``.
+        """
+        reply = self._request(
+            ("evaluate_batch", graph, list(allocations), latency_bound,
+             dict(options)),
+            timeout=self.job_timeout)
+        if not isinstance(reply, tuple) or len(reply) != 2 \
+                or reply[0] != "evals" or not isinstance(reply[1], list):
+            raise CacheError(
+                "cache server sent a malformed evaluate_batch reply")
+        return reply[1]
+
+    def synthesize(self, graph: DataFlowGraph, library: ResourceLibrary,
+                   latency_bound: int, area_bound: int, *,
+                   on_design=None, **options) -> DesignResult:
+        """Run one server-side :func:`find_design` job.
+
+        The server streams every improving design as it is found;
+        *on_design* (when given) receives each one before the final
+        result arrives.  Raises :class:`NoSolutionError` exactly as
+        the local search would, and :class:`CacheError` on any
+        transport problem.  *options* may carry ``area_model``,
+        ``repair``, ``refine``, ``fallback`` and ``latency_sweep``.
+        """
+        message = ("synthesize", graph, library, int(latency_bound),
+                   int(area_bound), dict(options))
+        with self._lock:
+            sock = self._ensure_sock()
+            try:
+                sock.settimeout(self.job_timeout)
+                _send_frame(sock, message, self.max_frame_bytes,
+                            self.encoding)
+                while True:
+                    reply = _recv_frame(sock, self.max_frame_bytes,
+                                        self.encoding)
+                    if reply is None:
+                        raise CacheError(
+                            "cache server closed the connection "
+                            "mid-job")
+                    if reply[0] == "design" and len(reply) == 2:
+                        if on_design is not None:
+                            on_design(reply[1])
+                        continue
+                    break
+            except BaseException:
+                # transport errors *and* a raising on_design callback:
+                # the stream position is unknowable now
+                self._drop()
+                raise
+            finally:
+                if self._sock is not None:
+                    self._sock.settimeout(self.timeout)
+        outcome = self._finish(reply)
+        if isinstance(outcome, tuple) and len(outcome) == 2 \
+                and outcome[0] == "done" \
+                and isinstance(outcome[1], DesignResult):
+            return outcome[1]
+        if isinstance(outcome, tuple) and len(outcome) == 4 \
+                and outcome[0] == "nosolution":
+            raise NoSolutionError(str(outcome[1]), latency=outcome[2],
+                                  area=outcome[3])
+        raise CacheError("cache server sent a malformed synthesize reply")
+
     def close(self) -> None:
         with self._lock:
-            self._drop()
+            if os.getpid() != self._owner_pid:
+                self._sock = None  # inherited: the parent owns the fd
+            else:
+                self._drop()
 
     def __enter__(self) -> "CacheClient":
         return self
@@ -314,6 +545,11 @@ class ServerStats:
     flushes: int = 0         # write-behind snapshots written
     flush_errors: int = 0    # failed flush attempts (kept serving)
     bad_frames: int = 0      # malformed/oversized frames rejected
+    handshakes: int = 0      # hello exchanges accepted
+    auth_failures: int = 0   # handshakes rejected (token/version/codec)
+    jobs: int = 0            # synthesize/evaluate_batch jobs accepted
+    job_errors: int = 0      # ... that ended in an error reply
+    designs_streamed: int = 0  # improving designs pushed to clients
 
     @property
     def hit_rate(self) -> float:
@@ -327,18 +563,97 @@ class ServerStats:
         return snapshot
 
 
+class _Connection:
+    """Per-connection state owned by the server's event loop."""
+
+    __slots__ = ("sock", "transport", "codec", "handshaken", "inbuf",
+                 "outbuf", "frame_len", "last_active", "close_after_send",
+                 "busy", "closed")
+
+    def __init__(self, sock: socket.socket, transport: str, now: float):
+        self.sock = sock
+        self.transport = transport
+        self.codec: Optional[str] = None   # sniffed or negotiated
+        self.handshaken = False
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.frame_len: Optional[int] = None
+        self.last_active = now
+        self.close_after_send = False
+        self.busy = False        # a job owns the request stream
+        self.closed = False
+
+    @property
+    def reply_codec(self) -> str:
+        """Codec for replies, incl. before the first frame decoded."""
+        if self.codec is not None:
+            return self.codec
+        return "json" if self.transport == "tcp" else "pickle"
+
+
+class _LoopbackClient:
+    """In-process CacheClient double: jobs read/write the server layers.
+
+    Duck-types the client surface :class:`~repro.core.engine.
+    RemoteCacheBackend` needs (``get`` / ``get_many`` / ``put_many`` /
+    ``close``), operating directly on the owning server's LRU layers
+    under its lock — so job engines share cache warmth with every
+    remote client, and results computed for one client serve the next.
+    """
+
+    def __init__(self, server: "CacheServer"):
+        self._server = server
+
+    def get(self, layer: str, key: tuple) -> Tuple[bool, object]:
+        return self._server._get(layer, key)
+
+    def get_many(self, layer: str, keys) -> Dict[tuple, object]:
+        return self._server._get_many(layer, keys)
+
+    def put_many(self, entries) -> int:
+        return self._server._adopt(entries)
+
+    def close(self) -> None:
+        pass
+
+
+class _LoopbackBackend(RemoteCacheBackend):
+    """The job engines' backend: batch-safe, marker-free.
+
+    ``BATCH_SAFE`` keeps :meth:`EvaluationEngine.evaluate_batch` on
+    the vectorized compiled core — the loopback "round trip" is a dict
+    lookup, so the per-item prefetch protocol that justifies the
+    remote fallback does not apply.  Negative markers are disabled:
+    the server's layers *are* the shared truth, so a miss marker could
+    only mask a store made milliseconds later.
+    """
+
+    BATCH_SAFE = True
+
+    def __init__(self, client: _LoopbackClient):
+        super().__init__(client, negative_ttl=0.0)
+
+
 class CacheServer:
-    """A threaded unix-domain-socket cache service.
+    """A selector-driven cache and evaluation service.
 
     Owns one content-addressed LRU per engine cache layer and serves
-    the frame protocol above.  ``start()`` binds and returns
-    immediately (accepting on a background thread); ``serve_forever``
-    blocks until :meth:`stop` or a remote ``shutdown`` request.
+    the frame protocol above on a unix-domain socket (a filesystem
+    path) or TCP (``tcp://host:port``, requires *auth_token*).
+    ``start()`` binds and returns immediately (the event loop runs on
+    a background thread); ``serve_forever`` blocks until :meth:`stop`
+    or a remote ``shutdown`` request.
 
     Parameters
     ----------
     address:
-        Socket path; default :func:`default_address`.
+        Socket path or ``tcp://host:port`` (port 0 picks a free port;
+        :attr:`address` is rewritten to the bound one).  Default
+        :func:`default_address`.
+    auth_token:
+        Shared secret TCP clients must present in their handshake.
+        Required for TCP; optional (and unused by legacy pickle
+        clients) on unix sockets.
     max_entries / layer_capacities:
         Server-side LRU budget, split across layers exactly like an
         engine's (:attr:`EvaluationEngine.LAYER_SHARES`).
@@ -349,16 +664,20 @@ class CacheServer:
     max_snapshot_bytes:
         File-size cap handed to :func:`~repro.core.cache_store.
         compact_snapshot` before each flush.
+    job_workers:
+        Thread-pool width for synthesize/evaluate_batch/flush jobs.
     """
 
     def __init__(self, address: Optional[str] = None, *,
+                 auth_token: Optional[str] = None,
                  max_entries: int = SERVER_MAX_ENTRIES,
                  layer_capacities: Optional[Mapping[str, int]] = None,
                  snapshot_path: Optional[str] = None,
                  flush_interval: float = DEFAULT_FLUSH_INTERVAL,
                  max_snapshot_bytes: Optional[int] = None,
                  timeout: float = SERVER_TIMEOUT,
-                 max_frame_bytes: int = MAX_FRAME_BYTES):
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 job_workers: int = JOB_WORKERS):
         overrides = dict(layer_capacities or {})
         unknown = sorted(set(overrides)
                          - set(EvaluationEngine.LAYER_SHARES))
@@ -370,11 +689,18 @@ class CacheServer:
         # again on stop(); a caller-provided path is never cleaned up
         self._owns_directory = address is None
         self.address = address if address is not None else default_address()
+        self.transport = parse_address(self.address)[0]
+        if self.transport == "tcp" and not auth_token:
+            raise ReproError(
+                "a tcp cache server requires auth_token= (TCP peers "
+                "authenticate with a shared secret)")
+        self.auth_token = auth_token
         self.snapshot_path = snapshot_path
         self.flush_interval = flush_interval
         self.max_snapshot_bytes = max_snapshot_bytes
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
+        self.job_workers = max(1, int(job_workers))
         self.stats = ServerStats()
         self._layers: Dict[str, LRUCache] = {
             name: LRUCache(
@@ -388,43 +714,119 @@ class CacheServer:
         self._stop = threading.Event()
         self._stopped = False
         self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []   # accept + flusher
-        self._client_threads: set = set()            # live connections only
-        self._client_socks: set = set()
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._flush_thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._job_local = threading.local()
+        self._conns: set = set()
+        # job threads hand (conn, message) frames and job completions
+        # back to the loop through this queue + the waker socketpair
+        self._io_lock = threading.Lock()
+        self._io_queue: deque = deque()
+        self._waker_r: Optional[socket.socket] = None
+        self._waker_w: Optional[socket.socket] = None
 
     def _note_eviction(self) -> None:
         self.stats.evictions += 1  # under self._lock (all layer ops are)
 
     # -- lifecycle -----------------------------------------------------
-    def start(self) -> "CacheServer":
-        """Bind the socket and start accepting in the background."""
-        directory = os.path.dirname(os.path.abspath(self.address))
+    def _bind_unix(self) -> socket.socket:
+        path = self.address
+        directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        if os.path.exists(self.address):
-            os.unlink(self.address)  # a previous server's stale socket
+        if os.path.exists(path):
+            self._clear_stale_socket(path)
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
-            listener.bind(self.address)
+            listener.bind(path)
+        except OSError as exc:
+            listener.close()
+            raise CacheError(
+                f"cannot bind cache server socket {path!r}: "
+                f"{exc}") from exc
+        return listener
+
+    @staticmethod
+    def _clear_stale_socket(path: str) -> None:
+        """Unlink *path* iff it is a dead server's leftover socket.
+
+        A server killed hard (SIGKILL, power loss) cannot unlink its
+        socket file, and a later bind on the same path fails even
+        though nobody is serving.  Probe-connect distinguishes the
+        cases: connect refused / vanished means stale (unlink it), a
+        successful connect means a live server (refuse to steal the
+        address), and a non-socket file is never touched.
+        """
+        try:
+            if not stat.S_ISSOCK(os.stat(path).st_mode):
+                raise CacheError(
+                    f"cache server path {path!r} exists and is not a "
+                    f"socket; refusing to replace it")
+        except FileNotFoundError:
+            return  # raced with another cleanup; bind decides
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(path)
+        except (ConnectionRefusedError, FileNotFoundError):
+            try:
+                os.unlink(path)  # a previous server's stale socket
+            except OSError:
+                pass
+        except OSError as exc:
+            raise CacheError(
+                f"cannot probe cache server socket {path!r}: "
+                f"{exc}") from exc
+        else:
+            raise CacheError(
+                f"cache server socket {path!r} is already in use by a "
+                f"live server")
+        finally:
+            probe.close()
+
+    def _bind_tcp(self) -> socket.socket:
+        _, host, port = parse_address(self.address)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
         except OSError as exc:
             listener.close()
             raise CacheError(
                 f"cannot bind cache server socket {self.address!r}: "
                 f"{exc}") from exc
-        listener.listen(64)
-        # a short accept timeout so the accept loop notices stop();
-        # closing a socket does not reliably wake a blocked accept()
-        listener.settimeout(0.2)
+        bound_host, bound_port = listener.getsockname()[:2]
+        self.address = f"tcp://{host or bound_host}:{bound_port}"
+        return listener
+
+    def start(self) -> "CacheServer":
+        """Bind the socket and start the event loop in the background."""
+        listener = self._bind_tcp() if self.transport == "tcp" \
+            else self._bind_unix()
+        listener.listen(128)
+        listener.setblocking(False)
         self._listener = listener
-        accept = threading.Thread(target=self._accept_loop,
-                                  name="cache-server-accept", daemon=True)
-        accept.start()
-        self._threads.append(accept)
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ,
+                                "listener")
+        self._selector.register(self._waker_r, selectors.EVENT_READ,
+                                "waker")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.job_workers,
+            thread_name_prefix="cache-server-job")
+        loop = threading.Thread(target=self._loop,
+                                name="cache-server-loop", daemon=True)
+        loop.start()
+        self._loop_thread = loop
         if self.snapshot_path:
             flusher = threading.Thread(target=self._flush_loop,
                                        name="cache-server-flush",
                                        daemon=True)
             flusher.start()
-            self._threads.append(flusher)
+            self._flush_thread = flusher
         return self
 
     def serve_forever(self) -> None:
@@ -439,40 +841,30 @@ class CacheServer:
             if self._stopped:
                 return
             self._stopped = True
-            socks = list(self._client_socks)
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        for sock in socks:  # unblocks serving threads mid-recv
-            try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                sock.close()
-            except OSError:
-                pass
-        current = threading.current_thread()
-        with self._lock:
-            client_threads = list(self._client_threads)
-        for thread in self._threads + client_threads:
-            if thread is not current:
-                thread.join(timeout=5.0)
+        self._wake()
+        if self._loop_thread is not None \
+                and self._loop_thread is not threading.current_thread():
+            self._loop_thread.join(timeout=5.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._flush_thread is not None \
+                and self._flush_thread is not threading.current_thread():
+            self._flush_thread.join(timeout=5.0)
         try:
             self.flush()
         except ReproError:
             self.stats.flush_errors += 1
-        try:
-            os.unlink(self.address)
-        except OSError:
-            pass
-        if self._owns_directory:
+        if self.transport == "unix":
             try:
-                os.rmdir(os.path.dirname(os.path.abspath(self.address)))
+                os.unlink(self.address)
             except OSError:
-                pass  # someone else put files there; leave it
+                pass
+            if self._owns_directory:
+                try:
+                    os.rmdir(os.path.dirname(
+                        os.path.abspath(self.address)))
+                except OSError:
+                    pass  # someone else put files there; leave it
 
     def __enter__(self) -> "CacheServer":
         return self.start()
@@ -552,79 +944,421 @@ class CacheServer:
                 with self._lock:
                     self.stats.flush_errors += 1
 
-    # -- serving -------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
+    # -- event loop ----------------------------------------------------
+    def _wake(self) -> None:
+        if self._waker_w is not None:
             try:
-                conn, _ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listener closed by stop()
-            conn.settimeout(self.timeout)
-            with self._lock:
-                if self._stopped:
-                    conn.close()
-                    break
-                self._client_socks.add(conn)
-                self.stats.connections += 1
-            thread = threading.Thread(target=self._serve_client,
-                                      args=(conn,),
-                                      name="cache-server-client",
-                                      daemon=True)
-            with self._lock:
-                self._client_threads.add(thread)
-            thread.start()
-
-    def _serve_client(self, conn: socket.socket) -> None:
-        try:
-            while not self._stop.is_set():
-                try:
-                    message = _recv_frame(conn, self.max_frame_bytes)
-                except CacheError as exc:
-                    # oversized/corrupt/timed-out frame: report, then
-                    # close — the stream position is unknowable now
-                    with self._lock:
-                        self.stats.bad_frames += 1
-                    try:
-                        _send_frame(conn, ("error", str(exc)),
-                                    self.max_frame_bytes)
-                    except CacheError:
-                        pass
-                    return
-                if message is None:
-                    return  # clean disconnect
-                try:
-                    reply = ("ok", self._dispatch(message))
-                except CacheError as exc:
-                    reply = ("error", str(exc))
-                except Exception as exc:  # never let a client kill us
-                    reply = ("error", f"internal server error: {exc}")
-                try:
-                    _send_frame(conn, reply, self.max_frame_bytes)
-                except CacheError:
-                    return
-                if message[0] == "shutdown" and reply[0] == "ok":
-                    # reply first (the caller is waiting), then tear
-                    # down from a helper thread — stop() joins client
-                    # threads, so it must not run on this one
-                    threading.Thread(target=self.stop,
-                                     daemon=True).start()
-                    return
-        finally:
-            with self._lock:
-                self._client_socks.discard(conn)
-                self._client_threads.discard(threading.current_thread())
-            try:
-                conn.close()
+                self._waker_w.send(b"\0")
             except OSError:
                 pass
 
+    def _loop(self) -> None:
+        try:
+            while not self._stop.is_set():
+                events = self._selector.select(timeout=0.2)
+                now = time.monotonic()
+                for key, mask in events:
+                    if key.data == "listener":
+                        self._accept(now)
+                    elif key.data == "waker":
+                        try:
+                            while self._waker_r.recv(4096):
+                                pass
+                        except OSError:
+                            pass
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_WRITE:
+                            self._writable(conn)
+                        if mask & selectors.EVENT_READ \
+                                and not conn.closed:
+                            self._readable(conn, now)
+                self._drain_io_queue()
+                self._sweep_idle(now)
+        finally:
+            for conn in list(self._conns):
+                self._close_conn(conn)
+            for sock in (self._listener, self._waker_r, self._waker_w):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            if self._selector is not None:
+                self._selector.close()
+            self._stop.set()
+
+    def _accept(self, now: float) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _Connection(sock, self.transport, now)
+            self._conns.add(conn)
+            with self._lock:
+                self.stats.connections += 1
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _set_mask(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        mask = selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, mask, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _readable(self, conn: _Connection, now: float) -> None:
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)  # jobs in flight discard their reply
+            return
+        conn.inbuf += data
+        conn.last_active = now
+        self._process(conn)
+
+    def _writable(self, conn: _Connection) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(conn.outbuf))
+                del conn.outbuf[:sent]
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+        if not conn.outbuf and conn.close_after_send:
+            self._close_conn(conn)
+            return
+        self._set_mask(conn)
+
+    def _process(self, conn: _Connection) -> None:
+        """Parse and serve every complete frame buffered on *conn*."""
+        while not conn.closed and not conn.busy \
+                and not conn.close_after_send:
+            if conn.frame_len is None:
+                if len(conn.inbuf) < _LEN.size:
+                    return
+                (length,) = _LEN.unpack(bytes(conn.inbuf[:_LEN.size]))
+                if length > self.max_frame_bytes:
+                    self._bad_frame(conn, (
+                        f"cache frame of {length} bytes exceeds the "
+                        f"{self.max_frame_bytes}-byte limit"))
+                    return
+                del conn.inbuf[:_LEN.size]
+                conn.frame_len = length
+            if len(conn.inbuf) < conn.frame_len:
+                return
+            payload = bytes(conn.inbuf[:conn.frame_len])
+            del conn.inbuf[:conn.frame_len]
+            conn.frame_len = None
+            self._handle_payload(conn, payload)
+
+    def _bad_frame(self, conn: _Connection, message: str) -> None:
+        """Report a frame-level violation, then close: the stream
+        position is unknowable now."""
+        with self._lock:
+            self.stats.bad_frames += 1
+        self._queue_send(conn, ("error", message), close_after=True)
+
+    def _handle_payload(self, conn: _Connection, payload: bytes) -> None:
+        if conn.codec is None:
+            if conn.transport == "tcp":
+                # TCP never negotiates down to pickle, and the server
+                # never unpickles TCP bytes — decode is json or reject
+                conn.codec = "json"
+            else:
+                conn.codec = wire.sniff_encoding(payload)
+                if conn.codec == "pickle":
+                    # a legacy client; no handshake is coming
+                    conn.handshaken = True
+        try:
+            message = wire.decode(payload, conn.codec)
+            if not isinstance(message, tuple) or not message \
+                    or not isinstance(message[0], str):
+                raise CacheError("malformed cache frame "
+                                 "(expected an operation tuple)")
+        except CacheError as exc:
+            self._bad_frame(conn, str(exc))
+            return
+        if not conn.handshaken:
+            self._handle_handshake(conn, message)
+            return
+        self._serve_message(conn, message)
+
+    def _handle_handshake(self, conn: _Connection, message: tuple) -> None:
+        def reject(reason: str) -> None:
+            with self._lock:
+                self.stats.auth_failures += 1
+            self._queue_send(conn, ("error", reason), close_after=True)
+
+        if message[0] != "hello":
+            reject("handshake required: open the connection with a "
+                   "('hello', version, encoding, token) frame")
+            return
+        if len(message) != 4:
+            reject("malformed hello frame")
+            return
+        _, version, encoding, token = message
+        if version != PROTOCOL_VERSION:
+            reject(f"cache server speaks protocol {PROTOCOL_VERSION}, "
+                   f"peer speaks {version!r}")
+            return
+        if encoding not in wire.ENCODINGS:
+            reject(f"unknown wire encoding {encoding!r}")
+            return
+        if conn.transport == "tcp" and encoding != "json":
+            reject("the pickle encoding is not allowed on tcp "
+                   "transports")
+            return
+        if conn.transport == "tcp":
+            if not isinstance(token, str) or not hmac.compare_digest(
+                    token, self.auth_token):
+                reject("authentication failed")
+                return
+        # reply in the handshake codec, then switch to the negotiated
+        # one for everything that follows
+        self._queue_send(conn, ("ok", ("hello", PROTOCOL_VERSION,
+                                       encoding)))
+        conn.codec = encoding
+        conn.handshaken = True
+        with self._lock:
+            self.stats.handshakes += 1
+
+    def _serve_message(self, conn: _Connection, message: tuple) -> None:
+        op = message[0]
+        if op in ("synthesize", "evaluate_batch", "flush"):
+            # blocking work: hand the request stream to a job thread
+            conn.busy = True
+            with self._lock:
+                self.stats.requests += 1
+                if op != "flush":
+                    self.stats.jobs += 1
+            self._executor.submit(self._run_job, conn, message)
+            return
+        try:
+            reply = ("ok", self._dispatch(message))
+        except CacheError as exc:
+            reply = ("error", str(exc))
+        except Exception as exc:  # never let a client kill the loop
+            reply = ("error", f"internal server error: {exc}")
+        self._queue_send(conn, reply)
+        if op == "shutdown" and reply[0] == "ok":
+            # the reply is flushed eagerly by _queue_send; tear down
+            # from a helper thread — stop() joins the loop thread, so
+            # it must not run on it
+            conn.close_after_send = True
+            threading.Thread(target=self.stop, daemon=True).start()
+
+    def _queue_send(self, conn: _Connection, message: tuple,
+                    close_after: bool = False) -> None:
+        """Encode and buffer *message* on *conn*; eager first write."""
+        if conn.closed:
+            return
+        try:
+            payload = wire.encode(message, conn.reply_codec)
+        except CacheError as exc:
+            payload = wire.encode(
+                ("error", f"reply is not encodable on the "
+                          f"{conn.reply_codec} wire: {exc}"),
+                conn.reply_codec)
+        if len(payload) > self.max_frame_bytes:
+            payload = wire.encode(
+                ("error", f"cache frame of {len(payload)} bytes exceeds "
+                          f"the {self.max_frame_bytes}-byte limit"),
+                conn.reply_codec)
+        conn.outbuf += _LEN.pack(len(payload)) + payload
+        if close_after:
+            conn.close_after_send = True
+        self._writable(conn)  # eager write; leftovers wait for EVENT_WRITE
+
+    def _sweep_idle(self, now: float) -> None:
+        if self.timeout is None:
+            return
+        for conn in list(self._conns):
+            if conn.busy or conn.closed:
+                continue
+            if now - conn.last_active > self.timeout:
+                self._close_conn(conn)
+
+    def _drain_io_queue(self) -> None:
+        """Apply frames and job completions queued by worker threads."""
+        while True:
+            with self._io_lock:
+                if not self._io_queue:
+                    return
+                kind, conn, message = self._io_queue.popleft()
+            if conn.closed:
+                continue
+            if kind == "done":
+                conn.busy = False
+                conn.last_active = time.monotonic()
+            self._queue_send(conn, message)
+            if kind == "done" and not conn.closed:
+                self._process(conn)  # frames buffered while busy
+
+    def _post(self, kind: str, conn: _Connection, message: tuple) -> None:
+        if self._stop.is_set():
+            return
+        with self._io_lock:
+            self._io_queue.append((kind, conn, message))
+        self._wake()
+
+    # -- jobs ----------------------------------------------------------
+    def _job_engine(self) -> EvaluationEngine:
+        """This job thread's engine, layered over the server caches."""
+        engine = getattr(self._job_local, "engine", None)
+        if engine is None:
+            engine = EvaluationEngine()
+            engine.attach_backend(_LoopbackBackend(_LoopbackClient(self)))
+            self._job_local.engine = engine
+        return engine
+
+    def _run_job(self, conn: _Connection, message: tuple) -> None:
+        op = message[0]
+        try:
+            if op == "flush":
+                reply = ("ok", self.flush())
+            elif op == "synthesize":
+                reply = ("ok", self._job_synthesize(conn, message))
+            else:
+                reply = ("ok", self._job_evaluate_batch(message))
+        except CacheError as exc:
+            reply = ("error", str(exc))
+        except ReproError as exc:
+            reply = ("error", str(exc))
+        except Exception as exc:  # never let a job kill the worker
+            reply = ("error", f"internal server error: {exc}")
+        if reply[0] == "error" and op != "flush":
+            with self._lock:
+                self.stats.job_errors += 1
+        self._post("done", conn, reply)
+
+    @staticmethod
+    def _job_options(options, allowed: tuple, op: str) -> dict:
+        if not isinstance(options, dict):
+            raise CacheError(f"malformed {op!r} request: options must "
+                             f"be a dict")
+        unknown = sorted(set(options) - set(allowed))
+        if unknown:
+            raise CacheError(
+                f"unknown {op!r} options {unknown}; use one of "
+                f"{sorted(allowed)}")
+        return dict(options)
+
+    def _job_synthesize(self, conn: _Connection, message: tuple) -> tuple:
+        try:
+            _, graph, library, latency_bound, area_bound, options = message
+        except ValueError as exc:
+            raise CacheError(
+                f"malformed 'synthesize' request: {exc}") from exc
+        if not isinstance(graph, DataFlowGraph) \
+                or not isinstance(library, ResourceLibrary) \
+                or not isinstance(latency_bound, int) \
+                or not isinstance(area_bound, int):
+            raise CacheError(
+                "malformed 'synthesize' request: expected (graph, "
+                "library, latency_bound, area_bound, options)")
+        options = self._job_options(options, SYNTH_OPTIONS, "synthesize")
+        from repro.core.find_design import find_design
+
+        def stream(result: DesignResult) -> None:
+            with self._lock:
+                self.stats.designs_streamed += 1
+            self._post("frame", conn, ("design", result))
+
+        engine = self._job_engine()
+        try:
+            result = find_design(graph, library, latency_bound,
+                                 area_bound, engine=engine,
+                                 on_improvement=stream, **options)
+        except NoSolutionError as exc:
+            # an "ok" payload, not an "error": the client re-raises
+            # NoSolutionError exactly as the local search would
+            return ("nosolution", str(exc), exc.latency, exc.area)
+        finally:
+            backend = engine.backend
+            if backend is not None:
+                backend.flush()
+        return ("done", result)
+
+    def _job_evaluate_batch(self, message: tuple) -> tuple:
+        try:
+            _, graph, allocations, latency_bound, options = message
+        except ValueError as exc:
+            raise CacheError(
+                f"malformed 'evaluate_batch' request: {exc}") from exc
+        if not isinstance(graph, DataFlowGraph) \
+                or not isinstance(allocations, list) \
+                or not isinstance(latency_bound, int):
+            raise CacheError(
+                "malformed 'evaluate_batch' request: expected (graph, "
+                "allocations, latency_bound, options)")
+        options = self._job_options(options, BATCH_OPTIONS,
+                                    "evaluate_batch")
+        engine = self._job_engine()
+        try:
+            evals = engine.evaluate_batch(graph, allocations,
+                                          latency_bound, **options)
+        finally:
+            backend = engine.backend
+            if backend is not None:
+                backend.flush()
+        return ("evals", list(evals))
+
+    # -- dispatch ------------------------------------------------------
     def _layer(self, name) -> LRUCache:
         cache = self._layers.get(name)
         if cache is None:
             raise CacheError(f"unknown cache layer {name!r}")
         return cache
+
+    def _get(self, layer: str, key: tuple) -> Tuple[bool, object]:
+        with self._lock:
+            value = self._layer(layer).get(key, _MISSING)
+            self.stats.gets += 1
+            if value is _MISSING:
+                return (False, None)
+            self.stats.hits += 1
+            return (True, value)
+
+    def _get_many(self, layer: str, keys) -> Dict[tuple, object]:
+        found = {}
+        with self._lock:
+            cache = self._layer(layer)
+            for key in keys:
+                value = cache.get(key, _MISSING)
+                self.stats.gets += 1
+                if value is not _MISSING:
+                    self.stats.hits += 1
+                    found[key] = value
+        return found
 
     def _dispatch(self, message: tuple):
         with self._lock:
@@ -635,25 +1369,10 @@ class CacheServer:
                 return ("pong", PROTOCOL_VERSION)
             if op == "get":
                 _, layer, key = message
-                with self._lock:
-                    value = self._layer(layer).get(key, _MISSING)
-                    self.stats.gets += 1
-                    if value is _MISSING:
-                        return (False, None)
-                    self.stats.hits += 1
-                    return (True, value)
+                return self._get(layer, key)
             if op == "get_many":
                 _, layer, keys = message
-                found = {}
-                with self._lock:
-                    cache = self._layer(layer)
-                    for key in keys:
-                        value = cache.get(key, _MISSING)
-                        self.stats.gets += 1
-                        if value is not _MISSING:
-                            self.stats.hits += 1
-                            found[key] = value
-                return found
+                return self._get_many(layer, keys)
             if op == "put":
                 _, layer, key, value = message
                 return self._adopt([(layer, key, value)])
@@ -669,10 +1388,8 @@ class CacheServer:
                         name: len(cache)
                         for name, cache in self._layers.items()}
                 return snapshot
-            if op == "flush":
-                return self.flush()
             if op == "shutdown":
-                return None  # the serving loop tears down after replying
+                return None  # the loop tears down after replying
         except ValueError as exc:
             raise CacheError(f"malformed {op!r} request: {exc}") from exc
         raise CacheError(f"unknown cache request {op!r}")
@@ -692,19 +1409,25 @@ class CacheServer:
 
 
 # ----------------------------------------------------------------------
-# engine attachment
+# engine attachment + fail-open job submission
 # ----------------------------------------------------------------------
 def attach_engine(engine: EvaluationEngine, address: str, *,
                   timeout: float = CLIENT_TIMEOUT,
-                  batch_size: int = RemoteCacheBackend.PUT_BATCH) -> bool:
+                  batch_size: int = RemoteCacheBackend.PUT_BATCH,
+                  auth_token: Optional[str] = None,
+                  encoding: Optional[str] = None) -> bool:
     """Attach *engine* to the cache server at *address* (best-effort).
 
     Returns ``True`` on success; ``False`` when the server is
-    unreachable or speaks a different protocol version — the engine is
-    left untouched and computes locally, which is always
-    behaviourally identical.
+    unreachable, rejects the handshake, or speaks a different protocol
+    version — the engine is left untouched and computes locally, which
+    is always behaviourally identical.
     """
-    client = CacheClient(address, timeout=timeout)
+    try:
+        client = CacheClient(address, timeout=timeout,
+                             auth_token=auth_token, encoding=encoding)
+    except ReproError:
+        return False
     try:
         client.ping()
     except ReproError:
@@ -719,3 +1442,77 @@ def detach_engine(engine: EvaluationEngine) -> None:
     backend = engine.detach_backend()
     if backend is not None:
         backend.close()
+
+
+def synthesize_remote(graph: DataFlowGraph, library: ResourceLibrary,
+                      latency_bound: int, area_bound: int, *,
+                      address: str,
+                      auth_token: Optional[str] = None,
+                      encoding: Optional[str] = None,
+                      timeout: float = CLIENT_TIMEOUT,
+                      job_timeout: float = JOB_TIMEOUT,
+                      on_design=None,
+                      engine: Optional[EvaluationEngine] = None,
+                      **options) -> DesignResult:
+    """:func:`find_design` through a server's ``synthesize`` RPC,
+    fail-open.
+
+    Any transport problem — unreachable server, auth rejection, the
+    server dying mid-job — falls back to computing locally (streaming
+    restarts from scratch), with results identical to the remote path:
+    both sides run the same deterministic search.
+    :class:`NoSolutionError` is a *search* outcome, not a transport
+    failure, and propagates without any local re-run.
+    """
+    from repro.core.find_design import find_design
+
+    try:
+        client = CacheClient(address, timeout=timeout,
+                             auth_token=auth_token, encoding=encoding,
+                             job_timeout=job_timeout)
+    except CacheError:
+        client = None
+    if client is not None:
+        try:
+            return client.synthesize(graph, library, latency_bound,
+                                     area_bound, on_design=on_design,
+                                     **options)
+        except CacheError:
+            pass  # fail open: compute locally below
+        finally:
+            client.close()
+    return find_design(graph, library, latency_bound, area_bound,
+                       engine=engine, on_improvement=on_design, **options)
+
+
+def evaluate_batch_remote(graph: DataFlowGraph, allocations,
+                          latency_bound: int, *,
+                          address: str,
+                          auth_token: Optional[str] = None,
+                          encoding: Optional[str] = None,
+                          timeout: float = CLIENT_TIMEOUT,
+                          job_timeout: float = JOB_TIMEOUT,
+                          engine: Optional[EvaluationEngine] = None,
+                          **options) -> list:
+    """:meth:`EvaluationEngine.evaluate_batch` through the server,
+    fail-open: a dead server means evaluating locally, identically."""
+    from repro.core.engine import default_engine
+
+    allocations = list(allocations)
+    try:
+        client = CacheClient(address, timeout=timeout,
+                             auth_token=auth_token, encoding=encoding,
+                             job_timeout=job_timeout)
+    except CacheError:
+        client = None
+    if client is not None:
+        try:
+            return client.evaluate_batch(graph, allocations,
+                                         latency_bound, **options)
+        except CacheError:
+            pass  # fail open: compute locally below
+        finally:
+            client.close()
+    engine = engine if engine is not None else default_engine()
+    return engine.evaluate_batch(graph, allocations, latency_bound,
+                                 **options)

@@ -431,6 +431,14 @@ class RemoteCacheBackend:
     #: buffered stores shipped per ``put_many`` round trip.
     PUT_BATCH = 32
 
+    #: Whether :meth:`EvaluationEngine.evaluate_batch` may stay on its
+    #: vectorized path with this backend attached.  False here: over a
+    #: real socket the per-item path's range prefetch amortizes round
+    #: trips that the batched kernels would pay key-by-key.  In-process
+    #: backends whose "round trip" is a dict lookup (the cache server's
+    #: loopback backend) override this to True.
+    BATCH_SAFE = False
+
     #: seconds a remote miss is remembered before the key is re-asked.
     NEGATIVE_TTL = 5.0
 
@@ -1141,7 +1149,8 @@ class EvaluationEngine:
         kernels could diverge or cannot help: caching disabled, the
         reference implementation selected, ``stop_at_area`` set (its
         early break is inherently sequential), a remote cache backend
-        attached (it wants the per-item prefetch protocol), an empty
+        attached that is not batch-safe (over a socket, the per-item
+        prefetch protocol amortizes round trips better), an empty
         graph, or a pure ``"list"`` scheduler request.
         """
         allocations = list(allocations)
@@ -1161,7 +1170,9 @@ class EvaluationEngine:
                 f"use one of {SCHEDULER_IMPLS}")
         self.stats.batch_items += len(allocations)
         if (not self.cache_enabled or impl != "fast"
-                or stop_at_area is not None or self._backend is not None
+                or stop_at_area is not None
+                or (self._backend is not None
+                    and not self._backend.BATCH_SAFE)
                 or scheduler == "list" or len(graph) == 0):
             return [self.evaluate(graph, allocation, latency_bound,
                                   area_model=area_model,

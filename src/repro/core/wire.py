@@ -1,0 +1,450 @@
+"""Wire encodings for the cache/evaluation service frame protocol.
+
+:mod:`repro.core.cache_server` frames are length-prefixed payloads; this
+module owns how a message tuple becomes payload bytes and back.  Two
+codecs:
+
+``"pickle"``
+    The legacy encoding — compact and complete, but unpickling
+    attacker-controlled bytes executes arbitrary code, so it is only
+    ever used on ``AF_UNIX`` sockets (filesystem permissions gate
+    access, the same trust boundary as a ``--cache-dir``).
+``"json"``
+    A safe, self-describing encoding for TCP peers (and available on
+    unix sockets too).  Values are plain JSON scalars plus *tagged
+    arrays*: ``["t", ...]`` tuple, ``["l", ...]`` list, ``["d", [k,
+    v], ...]`` dict, ``["b", base64]`` bytes, and one explicit tag per
+    domain type that crosses the wire (resource versions, graphs,
+    schedules, bindings, evaluations, design results, libraries).
+    Decoding constructs objects only through the library's own
+    validating constructors — no code execution is reachable from the
+    byte stream.
+
+Shared subobjects (the same graph under every schedule of a sweep, the
+same schedule inside an evaluation and its binding) are encoded once
+and referenced by ``["ref", index]`` afterwards, where *index* is the
+pre-order count of domain objects seen by the encoder.  This keeps
+payloads near pickle-sized and — because the decoder resolves a ref to
+the one object it already built — preserves object identity across a
+round trip.
+
+Encoding is deterministic: dict insertion order is preserved (both by
+the ``"d"`` tag and by the raw JSON objects inside domain tags, which
+``json.loads`` rebuilds in order), and no whitespace is emitted — so
+``encode(decode(encode(x))) == encode(x)`` (byte stability, relied on
+by the round-trip property tests).
+
+Anything malformed — an unknown tag, a wrong arity, a type the codec
+does not know, bytes that are not valid JSON/pickle — raises
+:class:`~repro.errors.CacheError` on whichever side hits it; never an
+arbitrary exception, never code execution.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import pickle
+from typing import Any, Callable, Dict, List
+
+from repro.errors import CacheError, DFGError, LibraryError, ReproError
+from repro.dfg.graph import DataFlowGraph
+from repro.hls.binding import Binding, Instance
+from repro.hls.schedule import Schedule
+from repro.library.library import ResourceLibrary
+from repro.library.version import ResourceVersion
+from repro.core.design import DesignResult
+from repro.core.evaluate import Evaluation
+
+#: Codecs a peer may ask for in the protocol handshake.
+ENCODINGS = ("pickle", "json")
+
+#: Container/leaf tags of the JSON codec.
+_TAG_TUPLE = "t"
+_TAG_LIST = "l"
+_TAG_DICT = "d"
+_TAG_BYTES = "b"
+_TAG_REF = "ref"
+
+#: Domain-type tags; every cache-layer value shape is built from these.
+_TAG_VERSION = "rv"
+_TAG_GRAPH = "g"
+_TAG_SCHEDULE = "sch"
+_TAG_INSTANCE = "ins"
+_TAG_BINDING = "bnd"
+_TAG_EVALUATION = "ev"
+_TAG_DESIGN = "dr"
+_TAG_LIBRARY = "lib"
+
+#: Types the encoder memoizes (shared-subobject ``ref`` scheme).
+_MEMO_TYPES = (ResourceVersion, DataFlowGraph, Schedule, Instance,
+               Binding, Evaluation, DesignResult, ResourceLibrary)
+
+_SCALARS = (type(None), bool, int, float, str)
+
+#: Placeholder occupying a decoder memo slot while the object's own
+#: fields are still being decoded; a ``ref`` must never resolve to it.
+_PENDING = object()
+
+
+def check_encoding(encoding: str) -> str:
+    """Validate an encoding name; returns it for chaining."""
+    if encoding not in ENCODINGS:
+        raise CacheError(
+            f"unknown wire encoding {encoding!r}; use one of {ENCODINGS}")
+    return encoding
+
+
+# ----------------------------------------------------------------------
+# JSON codec: encode
+# ----------------------------------------------------------------------
+class _Encoder:
+    """One encode() call's state: the pre-order domain-object memo."""
+
+    def __init__(self):
+        self._memo: Dict[int, int] = {}
+
+    def _enter(self, obj) -> int:
+        index = len(self._memo)
+        self._memo[id(obj)] = index
+        return index
+
+    def encode(self, obj) -> Any:
+        if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+            return obj
+        if isinstance(obj, (int, float)):
+            return obj
+        if isinstance(obj, _MEMO_TYPES):
+            seen = self._memo.get(id(obj))
+            if seen is not None:
+                return [_TAG_REF, seen]
+            return self._encode_domain(obj)
+        if isinstance(obj, tuple):
+            return [_TAG_TUPLE] + [self.encode(item) for item in obj]
+        if isinstance(obj, list):
+            return [_TAG_LIST] + [self.encode(item) for item in obj]
+        if isinstance(obj, dict):
+            return [_TAG_DICT] + [[self.encode(k), self.encode(v)]
+                                  for k, v in obj.items()]
+        if isinstance(obj, (bytes, bytearray)):
+            return [_TAG_BYTES,
+                    base64.b64encode(bytes(obj)).decode("ascii")]
+        raise CacheError(
+            f"cannot encode a {type(obj).__name__} on the json wire "
+            f"encoding")
+
+    def _encode_domain(self, obj) -> list:
+        # _enter() first: children encoded below get higher indices, so
+        # a later ``ref`` always points at an earlier, complete object
+        self._enter(obj)
+        if isinstance(obj, ResourceVersion):
+            return [_TAG_VERSION, obj.rtype, obj.name, obj.area,
+                    obj.delay, obj.reliability, obj.description]
+        if isinstance(obj, DataFlowGraph):
+            return [_TAG_GRAPH, obj.to_dict()]
+        if isinstance(obj, Schedule):
+            return [_TAG_SCHEDULE, self.encode(obj.graph),
+                    dict(obj.starts), dict(obj.delays),
+                    bool(obj._validated)]
+        if isinstance(obj, Instance):
+            return [_TAG_INSTANCE, obj.name, self.encode(obj.version),
+                    [self.encode(op) for op in obj.ops]]
+        if isinstance(obj, Binding):
+            return [_TAG_BINDING, self.encode(obj.schedule),
+                    [self.encode(inst) for inst in obj.instances],
+                    dict(obj.op_to_instance)]
+        if isinstance(obj, Evaluation):
+            return [_TAG_EVALUATION, self.encode(obj.schedule),
+                    self.encode(obj.binding), obj.latency, obj.area]
+        if isinstance(obj, DesignResult):
+            return [_TAG_DESIGN, self.encode(obj.graph),
+                    self.encode(obj.allocation),
+                    self.encode(obj.schedule), self.encode(obj.binding),
+                    dict(obj.instance_copies), obj.latency_bound,
+                    obj.area_bound, obj.area_model, obj.method]
+        if isinstance(obj, ResourceLibrary):
+            return [_TAG_LIBRARY, obj.to_dict()]
+        raise CacheError(  # pragma: no cover - _MEMO_TYPES is exhaustive
+            f"cannot encode a {type(obj).__name__} on the json wire "
+            f"encoding")
+
+
+# ----------------------------------------------------------------------
+# JSON codec: decode
+# ----------------------------------------------------------------------
+class _Decoder:
+    """One decode() call's state: the pre-order memo being rebuilt."""
+
+    def __init__(self):
+        self._memo: List[Any] = []
+
+    def decode(self, node) -> Any:
+        if isinstance(node, _SCALARS):
+            return node
+        if not isinstance(node, list) or not node \
+                or not isinstance(node[0], str):
+            raise CacheError("malformed json wire value "
+                             "(expected a scalar or a tagged array)")
+        tag, args = node[0], node[1:]
+        if tag == _TAG_TUPLE:
+            return tuple(self.decode(item) for item in args)
+        if tag == _TAG_LIST:
+            return [self.decode(item) for item in args]
+        if tag == _TAG_DICT:
+            result = {}
+            for pair in args:
+                if not isinstance(pair, list) or len(pair) != 2:
+                    raise CacheError("malformed json wire dict entry")
+                key = self.decode(pair[0])
+                try:
+                    result[key] = self.decode(pair[1])
+                except TypeError as exc:
+                    raise CacheError(
+                        f"unhashable json wire dict key: {exc}") from exc
+            return result
+        if tag == _TAG_BYTES:
+            if len(args) != 1 or not isinstance(args[0], str):
+                raise CacheError("malformed json wire bytes value")
+            try:
+                return base64.b64decode(args[0].encode("ascii"),
+                                        validate=True)
+            except (binascii.Error, ValueError, UnicodeError) as exc:
+                raise CacheError(
+                    f"malformed json wire bytes value: {exc}") from exc
+        if tag == _TAG_REF:
+            if len(args) != 1 or not isinstance(args[0], int) \
+                    or isinstance(args[0], bool):
+                raise CacheError("malformed json wire reference")
+            index = args[0]
+            if not 0 <= index < len(self._memo) \
+                    or self._memo[index] is _PENDING:
+                raise CacheError(
+                    f"json wire reference to unknown object {index}")
+            return self._memo[index]
+        builder = _DOMAIN_BUILDERS.get(tag)
+        if builder is None:
+            raise CacheError(f"unknown json wire tag {tag!r}")
+        index = len(self._memo)
+        self._memo.append(_PENDING)
+        try:
+            obj = builder(self, args)
+        except CacheError:
+            raise
+        except (ReproError, TypeError, ValueError, KeyError,
+                AttributeError) as exc:
+            raise CacheError(
+                f"malformed {tag!r} value on the json wire: {exc}") from exc
+        self._memo[index] = obj
+        return obj
+
+
+def _need(args, n: int, tag: str) -> list:
+    if len(args) != n:
+        raise CacheError(
+            f"malformed {tag!r} value on the json wire "
+            f"(expected {n} fields, got {len(args)})")
+    return args
+
+
+def _str_dict(node, what: str) -> dict:
+    """A raw JSON object with string keys (starts, delays, copies...)."""
+    if not isinstance(node, dict) \
+            or not all(isinstance(key, str) for key in node):
+        raise CacheError(f"malformed {what} on the json wire")
+    return node
+
+
+def _build_version(dec: "_Decoder", args) -> ResourceVersion:
+    _need(args, 6, _TAG_VERSION)
+    try:
+        return ResourceVersion.from_dict({
+            "rtype": args[0], "name": args[1], "area": args[2],
+            "delay": args[3], "reliability": args[4],
+            "description": args[5],
+        })
+    except LibraryError as exc:
+        raise CacheError(str(exc)) from exc
+
+
+def _build_graph(dec: "_Decoder", args) -> DataFlowGraph:
+    _need(args, 1, _TAG_GRAPH)
+    try:
+        return DataFlowGraph.from_dict(args[0])
+    except DFGError as exc:
+        raise CacheError(str(exc)) from exc
+
+
+def _build_schedule(dec: "_Decoder", args) -> Schedule:
+    _need(args, 4, _TAG_SCHEDULE)
+    graph = dec.decode(args[0])
+    if not isinstance(graph, DataFlowGraph):
+        raise CacheError("schedule on the json wire lacks its graph")
+    starts = {op: int(step) for op, step
+              in _str_dict(args[1], "schedule starts").items()}
+    delays = {op: int(delay) for op, delay
+              in _str_dict(args[2], "schedule delays").items()}
+    return Schedule(graph, starts, delays, _validated=bool(args[3]))
+
+
+def _build_instance(dec: "_Decoder", args) -> Instance:
+    _need(args, 3, _TAG_INSTANCE)
+    version = dec.decode(args[1])
+    if not isinstance(version, ResourceVersion):
+        raise CacheError("instance on the json wire lacks its version")
+    if not isinstance(args[2], list):
+        raise CacheError("malformed instance ops on the json wire")
+    return Instance(str(args[0]), version,
+                    tuple(str(dec.decode(op)) for op in args[2]))
+
+
+def _build_binding(dec: "_Decoder", args) -> Binding:
+    _need(args, 3, _TAG_BINDING)
+    schedule = dec.decode(args[0])
+    if not isinstance(schedule, Schedule):
+        raise CacheError("binding on the json wire lacks its schedule")
+    if not isinstance(args[1], list):
+        raise CacheError("malformed binding instances on the json wire")
+    instances = []
+    for node in args[1]:
+        instance = dec.decode(node)
+        if not isinstance(instance, Instance):
+            raise CacheError("malformed binding instance on the json wire")
+        instances.append(instance)
+    op_to_instance = {op: str(name) for op, name
+                      in _str_dict(args[2], "binding op map").items()}
+    return Binding(schedule, instances, op_to_instance)
+
+
+def _build_evaluation(dec: "_Decoder", args) -> Evaluation:
+    _need(args, 4, _TAG_EVALUATION)
+    schedule = dec.decode(args[0])
+    binding = dec.decode(args[1])
+    if not isinstance(schedule, Schedule) \
+            or not isinstance(binding, Binding):
+        raise CacheError("malformed evaluation on the json wire")
+    return Evaluation(schedule, binding, int(args[2]), int(args[3]))
+
+
+def _build_design(dec: "_Decoder", args) -> DesignResult:
+    _need(args, 9, _TAG_DESIGN)
+    graph = dec.decode(args[0])
+    allocation = dec.decode(args[1])
+    schedule = dec.decode(args[2])
+    binding = dec.decode(args[3])
+    if not isinstance(graph, DataFlowGraph) \
+            or not isinstance(schedule, Schedule) \
+            or not isinstance(binding, Binding) \
+            or not isinstance(allocation, dict) \
+            or not all(isinstance(op, str)
+                       and isinstance(v, ResourceVersion)
+                       for op, v in allocation.items()):
+        raise CacheError("malformed design result on the json wire")
+    copies = {name: int(count) for name, count
+              in _str_dict(args[4], "design instance copies").items()}
+    for bound in (args[5], args[6]):
+        if bound is not None and not isinstance(bound, int):
+            raise CacheError("malformed design bound on the json wire")
+    return DesignResult(
+        graph=graph, allocation=allocation, schedule=schedule,
+        binding=binding, instance_copies=copies, latency_bound=args[5],
+        area_bound=args[6], area_model=str(args[7]), method=str(args[8]))
+
+
+def _build_library(dec: "_Decoder", args) -> ResourceLibrary:
+    _need(args, 1, _TAG_LIBRARY)
+    try:
+        return ResourceLibrary.from_dict(args[0])
+    except LibraryError as exc:
+        raise CacheError(str(exc)) from exc
+
+
+_DOMAIN_BUILDERS: Dict[str, Callable] = {
+    _TAG_VERSION: _build_version,
+    _TAG_GRAPH: _build_graph,
+    _TAG_SCHEDULE: _build_schedule,
+    _TAG_INSTANCE: _build_instance,
+    _TAG_BINDING: _build_binding,
+    _TAG_EVALUATION: _build_evaluation,
+    _TAG_DESIGN: _build_design,
+    _TAG_LIBRARY: _build_library,
+}
+
+
+# ----------------------------------------------------------------------
+# codec entry points
+# ----------------------------------------------------------------------
+def _encode_json(message) -> bytes:
+    try:
+        tree = _Encoder().encode(message)
+        return json.dumps(tree, separators=(",", ":"),
+                          sort_keys=False, allow_nan=True,
+                          ensure_ascii=True).encode("ascii")
+    except CacheError:
+        raise
+    except (TypeError, ValueError, RecursionError) as exc:
+        raise CacheError(
+            f"cannot encode message on the json wire: {exc}") from exc
+
+
+def _decode_json(payload: bytes):
+    try:
+        tree = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError, RecursionError) as exc:
+        raise CacheError(f"undecodable json wire payload: {exc}") from exc
+    try:
+        return _Decoder().decode(tree)
+    except CacheError:
+        raise
+    except RecursionError as exc:
+        raise CacheError("json wire payload nests too deeply") from exc
+
+
+def _encode_pickle(message) -> bytes:
+    try:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise CacheError(
+            f"cannot encode message on the pickle wire: {exc}") from exc
+
+
+def _decode_pickle(payload: bytes):
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CacheError(f"undecodable cache frame: {exc}") from exc
+
+
+def encode(message, encoding: str = "pickle") -> bytes:
+    """Serialize one frame payload with *encoding*.
+
+    Raises :class:`CacheError` on an unknown encoding or a value the
+    codec cannot represent.
+    """
+    check_encoding(encoding)
+    if encoding == "json":
+        return _encode_json(message)
+    return _encode_pickle(message)
+
+
+def decode(payload: bytes, encoding: str = "pickle"):
+    """Inverse of :func:`encode`; :class:`CacheError` on anything
+    malformed."""
+    check_encoding(encoding)
+    if encoding == "json":
+        return _decode_json(payload)
+    return _decode_pickle(payload)
+
+
+def sniff_encoding(payload: bytes) -> str:
+    """Guess the codec of a raw frame payload from its first byte.
+
+    JSON payloads are tagged arrays or scalars (``[``, ``"``, digits,
+    ``n``/``t``/``f``/``-``); every pickle the library emits starts
+    with the ``\\x80`` opcode.  Used by the server on AF_UNIX sockets,
+    where both codecs are trusted, to keep speaking pickle to legacy
+    clients that never send a handshake.
+    """
+    if payload[:1] == b"\x80":
+        return "pickle"
+    return "json"

@@ -53,6 +53,17 @@ class CacheError(ReproError):
     """
 
 
+class ProtocolError(CacheError):
+    """A cache-service peer violated the wire protocol.
+
+    Raised by :mod:`repro.core.cache_server` for handshake failures:
+    a mismatched ``PROTOCOL_VERSION``, an unsupported or forbidden
+    wire encoding (pickle on TCP), or a rejected auth token.  A
+    subclass of :class:`CacheError`, so every fail-open call site
+    treats it as "compute locally", never as a crash.
+    """
+
+
 class CharacterizationError(ReproError):
     """Gate-level characterization failed (bad netlist, no vectors, ...)."""
 

@@ -647,27 +647,33 @@ def batched_timing(graph: DataFlowGraph,
     cg = compile_graph(graph)
     memo = cg._timing_cache
     keyed = []
+    # every memo hit is copied out *now*: a capacity clear later in
+    # this call (or from a concurrent caller sharing the compiled
+    # graph) must not lose rows this call already resolved
+    resolved: Dict[bytes, _BaseTiming] = {}
     missing: Dict[bytes, np.ndarray] = {}
     for delays in delays_list:
         arr = cg.delays_array(delays)
         key = arr.tobytes()
         keyed.append(key)
-        if key not in memo and key not in missing:
+        if key in resolved or key in missing:
+            continue
+        cached = memo.get(key)
+        if cached is not None:
+            resolved[key] = cached
+        else:
             missing[key] = arr
-    computed: Dict[bytes, _BaseTiming] = {}
     if missing:
         matrix = np.stack(list(missing.values()))
         asap, tail, critical = _batched_base_timing(cg, matrix)
         for b, key in enumerate(missing):
             timing = _BaseTiming(asap[b].tolist(), tail[b].tolist(),
                                  int(critical[b]))
-            computed[key] = timing
+            resolved[key] = timing
             if len(memo) >= TIMING_MEMO_ENTRIES:
                 memo.clear()
             memo[key] = timing
-    # the memo may have been cleared mid-insert; ``computed`` keeps this
-    # call's results alive either way
-    return [memo.get(key) or computed[key] for key in keyed]
+    return [resolved[key] for key in keyed]
 
 
 def batched_time_frames(graph: DataFlowGraph,

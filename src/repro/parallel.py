@@ -62,7 +62,8 @@ def _worker_init(snapshot_bytes: Optional[bytes]) -> None:
         pass  # a stale snapshot must not kill the worker; it starts cold
 
 
-def _worker_init_live(address: Optional[str]) -> None:
+def _worker_init_live(address: Optional[str],
+                      auth_token: Optional[str] = None) -> None:
     """Pool initializer: attach this worker's default engine to the
     cache server at *address* (best-effort — an unreachable server
     leaves the worker computing locally with identical results)."""
@@ -71,7 +72,8 @@ def _worker_init_live(address: Optional[str]) -> None:
     from repro.core import cache_server, default_engine
 
     try:
-        cache_server.attach_engine(default_engine(), address)
+        cache_server.attach_engine(default_engine(), address,
+                                   auth_token=auth_token)
     except ReproError:
         pass
 
@@ -96,7 +98,8 @@ def run_tasks(tasks: Sequence[Task],
               workers: Optional[int] = None,
               share_engine=None,
               share_mode: str = "snapshot",
-              server_address: Optional[str] = None) -> List[object]:
+              server_address: Optional[str] = None,
+              server_token: Optional[str] = None) -> List[object]:
     """Run *tasks*, optionally fanned out across *workers* processes.
 
     Parameters
@@ -112,10 +115,14 @@ def run_tasks(tasks: Sequence[Task],
         while running.
     server_address:
         Live mode only: attach workers to the already-running cache
-        server at this socket path instead of spawning an ephemeral
+        server at this address (an AF_UNIX socket path or a
+        ``tcp://host:port`` URL) instead of spawning an ephemeral
         one.  The external server owns the shared state, so no
         merge-back into *share_engine* happens (an attached parent
         engine reads through it anyway).
+    server_token:
+        Shared secret handed to workers attaching to a TCP
+        *server_address*; ignored for AF_UNIX sockets.
     """
     if share_mode not in SHARE_MODES:
         raise ReproError(
@@ -124,7 +131,8 @@ def run_tasks(tasks: Sequence[Task],
     if not (workers is not None and workers > 1 and len(tasks) > 1):
         return [_run_task(task) for task in tasks]
     if share_mode == "live":
-        return _run_tasks_live(tasks, workers, share_engine, server_address)
+        return _run_tasks_live(tasks, workers, share_engine,
+                               server_address, server_token)
     return _run_tasks_snapshot(tasks, workers, share_engine)
 
 
@@ -148,7 +156,8 @@ def _run_tasks_snapshot(tasks: List[Task], workers: int,
 
 
 def _run_tasks_live(tasks: List[Task], workers: int, share_engine,
-                    server_address: Optional[str]) -> List[object]:
+                    server_address: Optional[str],
+                    server_token: Optional[str] = None) -> List[object]:
     """Fan out with workers attached to a live cache server.
 
     With no *server_address*, an ephemeral server is spawned in this
@@ -173,7 +182,7 @@ def _run_tasks_live(tasks: List[Task], workers: int, share_engine,
     try:
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_worker_init_live,
-                                 initargs=(address,)) as pool:
+                                 initargs=(address, server_token)) as pool:
             results = list(pool.map(_run_task, tasks))
             # ship every worker's buffered write-behind puts; like the
             # snapshot-mode merge-back this is best-effort per worker

@@ -36,12 +36,16 @@ from repro.core import (
     sweep_bounds,
 )
 from repro.core.cache_server import (
+    PROTOCOL_VERSION,
     CacheClient,
     CacheServer,
+    evaluate_batch_remote,
+    synthesize_remote,
     _recv_frame,
     _send_frame,
 )
-from repro.errors import CacheError
+from repro.core import wire
+from repro.errors import CacheError, NoSolutionError, ProtocolError
 from repro.library import paper_library
 
 
@@ -627,3 +631,354 @@ class TestNegativeResultMarkers:
         # remaining round trips are all first-time keys (the new memo
         # entry and the tail's schedule points), never re-asked misses
         assert server.stats.gets - gets_after_first <= 5
+
+
+# ----------------------------------------------------------------------
+# stale unix sockets (bind-time hygiene)
+# ----------------------------------------------------------------------
+class TestStaleSockets:
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        """Satellite regression: a socket file left behind by a dead
+        server (SIGKILL skips the unlink) must not block the next
+        bind."""
+        address = str(tmp_path / "stale.sock")
+        corpse = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        corpse.bind(address)
+        corpse.close()  # closes the fd but leaves the file behind
+        assert os.path.exists(address)
+        with CacheServer(address) as srv:
+            with CacheClient(srv.address) as client:
+                client.ping()
+
+    def test_live_server_socket_is_not_clobbered(self, server):
+        """A *live* server's socket must never be unlinked out from
+        under it by a second bind attempt."""
+        with pytest.raises(CacheError, match="live server"):
+            CacheServer(server.address).start()
+        assert os.path.exists(server.address)
+        with CacheClient(server.address) as client:
+            client.ping()  # the incumbent is unharmed
+
+    def test_non_socket_file_is_refused(self, tmp_path):
+        """A regular file at the address is someone else's data —
+        refuse to bind rather than delete it."""
+        address = str(tmp_path / "notasocket.sock")
+        with open(address, "w") as handle:
+            handle.write("precious")
+        with pytest.raises(CacheError, match="not a socket"):
+            CacheServer(address).start()
+        with open(address) as handle:
+            assert handle.read() == "precious"
+
+
+# ----------------------------------------------------------------------
+# client fork safety
+# ----------------------------------------------------------------------
+def _forked_child(client, address, failures):
+    """Runs in a fork()ed child holding the parent's connected client."""
+    try:
+        if client._sock is not None and client._owner_pid == os.getpid():
+            failures.put(("child", "inherited socket not detected"))
+        client.ping()  # must reconnect, not write on the parent's fd
+        client.put("density", (("g",), "from-child", 1), "child-value")
+        client.close()
+    except Exception as exc:  # pragma: no cover - failure reporting
+        failures.put(("child", repr(exc)))
+
+
+class TestClientForkSafety:
+    def test_forked_client_reconnects_instead_of_sharing_the_fd(
+            self, server):
+        """Satellite regression: a CacheClient carried across fork()
+        must reconnect in the child; writing on the inherited fd would
+        interleave the child's frames with the parent's stream."""
+        context = multiprocessing.get_context("fork")
+        failures = context.Queue()
+        with CacheClient(server.address, timeout=10.0) as client:
+            client.ping()  # connect in the parent first
+            assert client._sock is not None
+            process = context.Process(
+                target=_forked_child,
+                args=(client, server.address, failures))
+            process.start()
+            process.join(timeout=30.0)
+            assert not process.is_alive() and process.exitcode == 0
+            assert failures.empty(), failures.get()
+            # the parent's connection survived the child's traffic
+            client.ping()
+            assert client.get("density", (("g",), "from-child", 1)) \
+                == (True, "child-value")
+        assert server.stats.connections >= 2, \
+            "the child reused the parent's connection"
+
+
+# ----------------------------------------------------------------------
+# ping hygiene (malformed replies from a scripted fake server)
+# ----------------------------------------------------------------------
+def _scripted_server(tmp_path, replies):
+    """A fake unix 'server' answering each request from a script."""
+    address = str(tmp_path / "scripted.sock")
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(address)
+    listener.listen(1)
+
+    def serve():
+        conn, _ = listener.accept()
+        conn.settimeout(5.0)
+        for reply in replies:
+            if _recv_frame(conn) is None:
+                break
+            _send_frame(conn, reply)
+        conn.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return address, listener
+
+
+class TestPingHygiene:
+    @pytest.mark.parametrize("reply", [
+        ("ok", ("pong",)),        # arity regression: slipped the guard
+        ("ok", "pong"),           # non-tuple reply
+        ("ok", ("gnop", PROTOCOL_VERSION)),
+        ("ok", (None, None)),
+    ])
+    def test_malformed_pong_is_clean_cache_error(self, tmp_path, reply):
+        address, listener = _scripted_server(tmp_path, [reply])
+        try:
+            with CacheClient(address, timeout=2.0) as client:
+                with pytest.raises(CacheError, match="malformed ping"):
+                    client.ping()
+        finally:
+            listener.close()
+
+    @pytest.mark.parametrize("version", [None, 0, PROTOCOL_VERSION + 5,
+                                         "2"])
+    def test_version_skew_is_protocol_error(self, tmp_path, version):
+        address, listener = _scripted_server(
+            tmp_path, [("ok", ("pong", version))])
+        try:
+            with CacheClient(address, timeout=2.0) as client:
+                with pytest.raises(ProtocolError, match="protocol"):
+                    client.ping()
+        finally:
+            listener.close()
+
+    def test_malformed_reply_envelope_is_clean(self, tmp_path):
+        address, listener = _scripted_server(tmp_path, [("ok",)])
+        try:
+            with CacheClient(address, timeout=2.0) as client:
+                with pytest.raises(CacheError, match="malformed"):
+                    client.ping()
+        finally:
+            listener.close()
+
+
+# ----------------------------------------------------------------------
+# TCP transport: handshake, auth, and the synthesize RPC
+# ----------------------------------------------------------------------
+TOKEN = "sesame-open"
+
+
+@pytest.fixture()
+def tcp_server():
+    with CacheServer("tcp://127.0.0.1:0", auth_token=TOKEN) as srv:
+        yield srv
+
+
+class TestTCPTransport:
+    def test_round_trip_with_token(self, tcp_server):
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            client.ping()
+            assert client.put("density", (("g",), "s", 1), ("v", 2)) == 1
+            assert client.get("density", (("g",), "s", 1)) \
+                == (True, ("v", 2))
+            stats = client.stats()
+            assert stats["handshakes"] == 1
+            assert stats["auth_failures"] == 0
+
+    def test_tcp_requires_a_token_server_side(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="auth"):
+            CacheServer("tcp://127.0.0.1:0")
+
+    def test_wrong_token_is_clean_rejection(self, tcp_server):
+        started = time.monotonic()
+        with CacheClient(tcp_server.address, auth_token="wrong",
+                         timeout=2.0) as client:
+            with pytest.raises(ProtocolError, match="handshake"):
+                client.ping()
+        assert time.monotonic() - started < 5.0  # bounded, no hang
+        assert tcp_server.stats.auth_failures == 1
+        # no partial state: the failed peer stored nothing
+        assert tcp_server.entry_count() == 0
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            client.ping()  # still serving
+
+    def test_missing_token_is_clean_rejection(self, tcp_server):
+        with CacheClient(tcp_server.address, timeout=2.0) as client:
+            with pytest.raises(ProtocolError, match="handshake"):
+                client.ping()
+        assert tcp_server.stats.auth_failures == 1
+
+    def test_version_skew_is_clean_rejection(self, tcp_server):
+        _scheme, host, port = \
+            cache_server.parse_address(tcp_server.address)
+        raw = socket.create_connection((host, port), timeout=2.0)
+        raw.settimeout(2.0)
+        _send_frame(raw, ("hello", PROTOCOL_VERSION + 1, "json", TOKEN),
+                    encoding="json")
+        reply = _recv_frame(raw, encoding="json")
+        assert reply[0] == "error" and "protocol" in reply[1]
+        assert raw.recv(1) == b""  # the server closed the connection
+        raw.close()
+        assert tcp_server.stats.auth_failures == 1
+        assert tcp_server.entry_count() == 0
+
+    def test_pickle_frames_on_tcp_are_rejected(self, tcp_server):
+        """No pickle ever crosses TCP: a raw pickle frame is refused
+        before the handshake, and asking for the pickle encoding in
+        the handshake is refused too."""
+        _scheme, host, port = \
+            cache_server.parse_address(tcp_server.address)
+        raw = socket.create_connection((host, port), timeout=2.0)
+        raw.settimeout(2.0)
+        raw.sendall(struct.pack("!I", 10) + pickle.dumps(("ping",))[:10])
+        reply = _recv_frame(raw, encoding="json")
+        assert reply[0] == "error"
+        raw.close()
+        raw = socket.create_connection((host, port), timeout=2.0)
+        raw.settimeout(2.0)
+        _send_frame(raw, ("hello", PROTOCOL_VERSION, "pickle", TOKEN),
+                    encoding="json")
+        reply = _recv_frame(raw, encoding="json")
+        assert reply[0] == "error" and "pickle" in reply[1]
+        raw.close()
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            client.ping()  # still serving
+
+    def test_client_refuses_pickle_encoding_on_tcp(self, tcp_server):
+        with pytest.raises(ProtocolError, match="pickle"):
+            CacheClient(tcp_server.address, encoding="pickle",
+                        auth_token=TOKEN)
+
+    def test_no_pickle_bytes_cross_a_tcp_session(self, tcp_server, lib,
+                                                 monkeypatch):
+        """Structural proof: disable the pickle codec process-wide and
+        run a full TCP session — handshake, puts, gets, a synthesize
+        job — nothing may reach for pickle on either side."""
+        def poisoned(*_args, **_kwargs):
+            raise AssertionError("pickle bytes on a TCP session")
+
+        monkeypatch.setattr(wire, "_encode_pickle", poisoned)
+        monkeypatch.setattr(wire, "_decode_pickle", poisoned)
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            client.ping()
+            client.put("density", (("g",), "s", 1), ("v",))
+            assert client.get("density", (("g",), "s", 1)) == (True, ("v",))
+            result = client.synthesize(diffeq(), lib, 8, 20)
+            assert result.area <= 20
+
+
+class TestSynthesizeRPC:
+    def test_remote_matches_local_compute(self, tcp_server, lib):
+        """Acceptance: the synthesize RPC returns designs identical to
+        local compute, streaming improving designs on the way."""
+        streamed = []
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            remote = client.synthesize(diffeq(), lib, 8, 20,
+                                       on_design=streamed.append)
+        local = find_design(diffeq(), lib, 8, 20,
+                            engine=EvaluationEngine(cache=False))
+        assert design_fingerprint(remote) == design_fingerprint(local)
+        assert streamed, "no improving designs were streamed"
+        assert design_fingerprint(streamed[-1]) \
+            == design_fingerprint(remote)
+        assert tcp_server.stats.jobs == 1
+        assert tcp_server.stats.designs_streamed >= len(streamed)
+
+    def test_no_solution_parity(self, tcp_server, lib):
+        with pytest.raises(NoSolutionError) as remote_exc:
+            with CacheClient(tcp_server.address,
+                             auth_token=TOKEN) as client:
+                client.synthesize(diffeq(), lib, 1, 1)
+        with pytest.raises(NoSolutionError) as local_exc:
+            find_design(diffeq(), lib, 1, 1,
+                        engine=EvaluationEngine(cache=False))
+        assert remote_exc.value.latency == local_exc.value.latency
+        assert remote_exc.value.area == local_exc.value.area
+
+    def test_evaluate_batch_parity(self, tcp_server, lib):
+        graph = diffeq()
+        allocations = [
+            {op.op_id: lib.fastest(op.rtype) for op in graph},
+            {op.op_id: lib.fastest_smallest(op.rtype) for op in graph},
+            {op.op_id: lib.most_reliable(op.rtype) for op in graph},
+        ]
+        local = EvaluationEngine(cache=False).evaluate_batch(
+            graph, allocations, 8)
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            remote = client.evaluate_batch(graph, allocations, 8)
+        assert len(remote) == len(local)
+        for ours, theirs in zip(local, remote):
+            assert (ours is None) == (theirs is None)
+            if ours is not None:
+                assert (ours.latency, ours.area) \
+                    == (theirs.latency, theirs.area)
+                assert dict(ours.schedule.starts) \
+                    == dict(theirs.schedule.starts)
+
+    def test_jobs_warm_the_server_cache(self, tcp_server, lib):
+        """A synthesize job executes on the server's shared layers, so
+        an engine attached afterwards reuses the job's entries."""
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            client.synthesize(diffeq(), lib, 8, 20)
+        assert tcp_server.entry_count() > 0
+        engine = EvaluationEngine()
+        assert attach_engine(engine, tcp_server.address, auth_token=TOKEN)
+        find_design(diffeq(), lib, 8, 20, engine=engine)
+        detach_engine(engine)
+        assert engine.stats.remote_hits > 0, \
+            "the attached engine never used the job's entries"
+
+    def test_bad_job_shapes_are_clean_errors(self, tcp_server, lib):
+        with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
+            with pytest.raises(CacheError, match="synthesize"):
+                client._request(("synthesize", "not-a-graph"))
+            client.ping()  # the connection survives
+
+    def test_fail_open_to_local_compute(self, lib):
+        """Acceptance: a dead server address means local compute with
+        identical results — for jobs as well as cache lookups."""
+        local = find_design(diffeq(), lib, 8, 20,
+                            engine=EvaluationEngine(cache=False))
+        result = synthesize_remote(
+            diffeq(), lib, 8, 20, address="tcp://127.0.0.1:9",
+            auth_token=TOKEN, timeout=0.5,
+            engine=EvaluationEngine(cache=False))
+        assert design_fingerprint(result) == design_fingerprint(local)
+        graph = diffeq()
+        allocations = [{op.op_id: lib.fastest(op.rtype) for op in graph}]
+        evals = evaluate_batch_remote(
+            graph, allocations, 8, address="tcp://127.0.0.1:9",
+            auth_token=TOKEN, timeout=0.5)
+        reference = EvaluationEngine(cache=False).evaluate_batch(
+            graph, allocations, 8)
+        assert [(e.latency, e.area) if e else None for e in evals] \
+            == [(e.latency, e.area) if e else None for e in reference]
+
+    def test_fail_open_preserves_no_solution(self, lib):
+        with pytest.raises(NoSolutionError):
+            synthesize_remote(diffeq(), lib, 1, 1,
+                              address="tcp://127.0.0.1:9",
+                              auth_token=TOKEN, timeout=0.5,
+                              engine=EvaluationEngine(cache=False))
+
+    def test_synthesize_works_on_unix_too(self, server, lib):
+        """The RPC is transport-independent: same results over the
+        legacy pickle unix transport and the json one."""
+        with CacheClient(server.address) as client:  # legacy pickle
+            legacy = client.synthesize(diffeq(), lib, 8, 20)
+        with CacheClient(server.address, encoding="json") as client:
+            modern = client.synthesize(diffeq(), lib, 8, 20)
+        assert design_fingerprint(legacy) == design_fingerprint(modern)

@@ -314,3 +314,25 @@ class TestEngineImplEquivalence:
                                  scheduler_impl="reference")
         assert engine.stats.hits == hits_before + 1
         assert second is first
+
+
+class TestBatchedTimingMemoOverflow:
+    def test_capacity_clear_mid_batch_keeps_hit_rows(self, monkeypatch):
+        """Regression: a batch mixing memo *hits* with enough misses to
+        trip the capacity clear used to lose the hit rows — the final
+        gather read the freshly cleared memo and raised KeyError."""
+        graph = random_dag(10, seed=11)
+        delays_list = [random_delays(graph, seed) for seed in range(12)]
+        expected = [
+            (tuple(timing.asap), tuple(timing.tail), timing.critical)
+            for timing in fastsched.batched_timing(graph, delays_list)
+        ]
+        fastsched.compile_graph(graph)._timing_cache.clear()
+        monkeypatch.setattr(fastsched, "TIMING_MEMO_ENTRIES", 4)
+        # warm a few rows so the next batch sees genuine memo hits...
+        fastsched.batched_timing(graph, delays_list[:3])
+        # ...then resolve hits and misses together: the misses overflow
+        # the 4-entry memo and clear it mid-call
+        batched = fastsched.batched_timing(graph, delays_list)
+        assert [(tuple(t.asap), tuple(t.tail), t.critical)
+                for t in batched] == expected

@@ -1,0 +1,223 @@
+"""Round-trip property tests for the cache-service wire encodings.
+
+The json codec is the load-bearing one — it is the only encoding
+allowed on TCP — so these tests pin its three contracts for every
+record shape the cache layers actually produce:
+
+* **round trip**: ``decode(encode(x)) `` reproduces *x* (checked
+  through the engine's own equality surface — keys, fingerprints,
+  schedule starts — since domain objects don't define ``__eq__``);
+* **byte stability**: ``encode(decode(encode(x))) == encode(x)``, so
+  a value relayed through a peer re-encodes to identical bytes;
+* **malice tolerance**: arbitrary / truncated / mistagged payloads
+  raise :class:`CacheError` — never another exception type, never
+  code execution.
+"""
+
+import json
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import get_benchmark
+from repro.core import EvaluationEngine, find_design
+from repro.core import wire
+from repro.core.design import DesignResult
+from repro.core.evaluate import Evaluation
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import CacheError
+from repro.hls.binding import Binding, Instance
+from repro.hls.schedule import Schedule
+from repro.library import paper_library
+from repro.library.library import ResourceLibrary
+from repro.library.version import ResourceVersion
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+@pytest.fixture(scope="module")
+def layer_entries(lib):
+    """Real (layer, key, value) rows: run a search, export every layer."""
+    engine = EvaluationEngine()
+    find_design(get_benchmark("diffeq"), lib, 8, 20, engine=engine)
+    find_design(get_benchmark("hal"), lib, 6, 30, engine=engine)
+    rows = [(layer, key, value)
+            for layer, entries in engine.export_cache_state().items()
+            for key, value in entries]
+    assert rows, "the search should have populated the cache layers"
+    return rows
+
+
+def roundtrip(value):
+    payload = wire.encode(value, "json")
+    rebuilt = wire.decode(payload, "json")
+    assert wire.encode(rebuilt, "json") == payload, "byte stability"
+    return rebuilt
+
+
+class TestLayerRecords:
+    def test_every_layer_round_trips_byte_stably(self, layer_entries):
+        layers_seen = set()
+        for layer, key, value in layer_entries:
+            layers_seen.add(layer)
+            rebuilt_key, rebuilt_value = roundtrip((key, value))
+            assert rebuilt_key == key  # keys are plain tuples
+            assert type(rebuilt_value) is type(value)
+        assert layers_seen == set(EvaluationEngine.LAYER_SHARES), \
+            "every cache layer must be exercised"
+
+    def test_evaluation_record_fields_survive(self, layer_entries):
+        evaluations = [value for layer, _key, value in layer_entries
+                       if layer == "evaluations" and value is not None]
+        assert evaluations
+        for evaluation in evaluations:
+            rebuilt = roundtrip(evaluation)
+            assert rebuilt.latency == evaluation.latency
+            assert rebuilt.area == evaluation.area
+            assert dict(rebuilt.schedule.starts) == \
+                dict(evaluation.schedule.starts)
+            assert dict(rebuilt.binding.op_to_instance) == \
+                dict(evaluation.binding.op_to_instance)
+
+    def test_design_result_round_trips(self, lib):
+        result = find_design(get_benchmark("diffeq"), lib, 8, 20,
+                             engine=EvaluationEngine(cache=False))
+        rebuilt = roundtrip(result)
+        assert isinstance(rebuilt, DesignResult)
+        assert rebuilt.area == result.area
+        assert rebuilt.latency == result.latency
+        assert rebuilt.reliability == result.reliability
+        assert dict(rebuilt.schedule.starts) == dict(result.schedule.starts)
+        assert {op: v.name for op, v in rebuilt.allocation.items()} == \
+            {op: v.name for op, v in result.allocation.items()}
+        assert dict(rebuilt.instance_copies) == dict(result.instance_copies)
+        assert rebuilt.method == result.method
+
+    def test_library_and_graph_round_trip(self, lib):
+        rebuilt = roundtrip(lib)
+        assert isinstance(rebuilt, ResourceLibrary)
+        assert rebuilt.to_dict() == lib.to_dict()
+        graph = get_benchmark("ew")
+        rebuilt = roundtrip(graph)
+        assert isinstance(rebuilt, DataFlowGraph)
+        assert rebuilt.to_dict() == graph.to_dict()
+
+    def test_shared_subobjects_keep_identity(self, lib):
+        result = find_design(get_benchmark("diffeq"), lib, 8, 20,
+                             engine=EvaluationEngine(cache=False))
+        rebuilt = roundtrip(result)
+        # the binding references *the* schedule object, not a copy —
+        # pickle guarantees this and the ref scheme must too
+        assert rebuilt.binding.schedule is rebuilt.schedule
+        assert rebuilt.schedule.graph is rebuilt.graph
+        # twice the same object in one message decodes to one object
+        a, b = roundtrip((result, result))
+        assert a is b
+
+    def test_negative_marker_and_plain_values_round_trip(self):
+        samples = [
+            None, True, False, 0, -7, 3.5, math.inf, "text", b"\x00\xff",
+            (), ("miss",), {"k": (1, 2)}, [1, [2, [3]]],
+            {("t", 1): None},  # tuple-keyed dict (negative markers)
+        ]
+        for value in samples:
+            rebuilt = roundtrip(value)
+            assert rebuilt == value
+            assert type(rebuilt) is type(value)
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize("payload", [
+        b"", b"\xff\xfe garbage", b"{not json",
+        b"[]", b"[1,2]", b'[["x"]]',
+        b'["nope",1]',                       # unknown tag
+        b'["ref",0]',                        # ref before any object
+        b'["ref",-1]', b'["ref",true]', b'["ref"]',
+        b'["b","%%%"]', b'["b",1]',          # bad base64 / arity
+        b'["d",[1,2,3]]',                    # bad dict pair
+        b'["d",[["l"],1]]',                  # unhashable dict key
+        b'["rv",1,2]',                       # wrong arity
+        b'["rv","mult","m1","a",1,0.5,""]',  # non-numeric area
+        b'["g",{"ops":"x"}]',                # malformed graph dict
+        b'["sch",["g",{}],{},{},true]',      # malformed graph inside
+        b'["sch",1,{},{},true]',             # schedule without graph
+        b'["ins","i",1,[]]',                 # instance without version
+        b'["bnd",1,[],{}]',                  # binding without schedule
+        b'["ev",1,2,3,4]',
+        b'["dr",1,2,3,4,5,6,7,8,9]',
+        b'["lib",{"versions":1}]',
+        b'["sch",["ref",0],{},{},true]',     # ref to the pending object
+    ])
+    def test_malformed_json_payloads_raise_cache_error(self, payload):
+        with pytest.raises(CacheError):
+            wire.decode(payload, "json")
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzzed_bytes_never_escape_cache_error(self, payload):
+        for encoding in ("json", "pickle"):
+            try:
+                wire.decode(payload, encoding)
+            except CacheError:
+                pass
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(),
+                  st.text(max_size=8)),
+        lambda leaf: st.lists(leaf, max_size=4), max_leaves=12))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzzed_json_trees_never_escape_cache_error(self, tree):
+        payload = json.dumps(tree).encode()
+        try:
+            rebuilt = wire.decode(payload, "json")
+        except CacheError:
+            return
+        # anything accepted must re-encode cleanly (no poison values)
+        wire.encode(rebuilt, "json")
+
+    def test_unencodable_values_raise_cache_error(self):
+        for value in ({1, 2}, object(), lambda: None):
+            with pytest.raises(CacheError):
+                wire.encode(value, "json")
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(CacheError):
+            wire.encode((), "msgpack")
+        with pytest.raises(CacheError):
+            wire.decode(b"[]", "msgpack")
+
+
+class TestPickleCodecAndSniffing:
+    def test_pickle_round_trip(self, lib):
+        result = find_design(get_benchmark("diffeq"), lib, 8, 20,
+                             engine=EvaluationEngine(cache=False))
+        rebuilt = wire.decode(wire.encode(result, "pickle"), "pickle")
+        assert rebuilt.area == result.area
+        assert dict(rebuilt.schedule.starts) == dict(result.schedule.starts)
+
+    def test_undecodable_pickle_raises_cache_error(self):
+        with pytest.raises(CacheError, match="undecodable cache frame"):
+            wire.decode(b"\x80\x05garbage", "pickle")
+
+    def test_sniffing_separates_the_codecs(self):
+        for message in (("ping",), ("ok", ("pong", 2)), None, 3):
+            assert wire.sniff_encoding(wire.encode(message, "json")) \
+                == "json"
+            assert wire.sniff_encoding(wire.encode(message, "pickle")) \
+                == "pickle"
+
+    def test_json_payloads_contain_no_pickle_opcodes(self, lib):
+        # the structural no-pickle-on-TCP guarantee: a json frame is
+        # pure ASCII and never starts with the pickle PROTO opcode
+        result = find_design(get_benchmark("diffeq"), lib, 8, 20,
+                             engine=EvaluationEngine(cache=False))
+        payload = wire.encode(("ok", ("done", result)), "json")
+        payload.decode("ascii")
+        assert not payload.startswith(b"\x80")
+        assert pickle.dumps(result, 5)[:1] == b"\x80"
