@@ -71,7 +71,7 @@ def _client_worker(address, token, entries, rounds, worker_id, out):
             for layer, key, _value in entries:
                 unique = key + ("w", worker_id, round_no)
                 started = time.perf_counter()
-                found, _ = client.get(layer, unique)
+                found = client.get(layer, unique)[0]
                 latencies.append(time.perf_counter() - started)
                 assert found, (layer, unique)
         client.close()

@@ -1,0 +1,358 @@
+"""Benchmark: the sharded cache tier under multi-client load.
+
+PR 8 made the cache tier horizontal: the content-addressed layers are
+partitioned by consistent key hash across N cache-server processes
+(:mod:`repro.core.shard`), and clients route every get/put/multi-get
+to the owning shard.  This benchmark puts numbers behind the tier and
+gates the claims that matter:
+
+* **load generator** — ``WORKERS`` client processes replay real cache
+  traffic (the layer entries a Table 2 search produces) through a
+  :class:`~repro.core.shard.ShardedCacheClient` against rings of 1, 2
+  and 4 shards, recording p50/p99 latency, aggregate throughput and
+  the per-shard entry split;
+* **equivalence gate** — the Table 2 fir grid is swept three ways:
+  local engine, engine attached to a single server, engine attached
+  to a 2-shard ring — every selected design must be identical, and a
+  cross-process sweep over the warmed ring must take remote hits on
+  at least two shards (proof the partitioning actually serves);
+* **failover gate** — one shard is killed mid-sweep; the surviving
+  ring must degrade fail-open (dead shard's keys computed locally)
+  with designs still identical to the local reference.
+
+Results land in ``BENCH_shards.json`` (schema in README.md).
+
+Run with ``-s`` to see the tables::
+
+    PYTHONPATH=src python -m pytest -s benchmarks/bench_shards.py
+
+or standalone (the CI smoke job does), where ``--quick`` trims the
+traffic and the grid::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py --quick
+"""
+
+import multiprocessing
+import statistics
+import time
+
+from repro.bench import get_benchmark
+from repro.core import (
+    EvaluationEngine,
+    attach_engine,
+    detach_engine,
+    find_design,
+    sweep_bounds,
+)
+from repro.core.cache_server import CacheServer
+from repro.core.shard import ShardedCacheClient, start_shard_ring
+from repro.errors import NoSolutionError
+from repro.experiments import ExperimentTable, paper_data
+from repro.library import paper_library
+
+from benchjson import write_bench_json
+
+WORKERS = 4
+SHARD_COUNTS = (1, 2, 4)
+ROUNDS = 6
+QUICK_ROUNDS = 2
+
+
+def _design_fingerprint(result):
+    if result is None:
+        return None
+    return (result.area, result.latency, result.reliability,
+            dict(result.schedule.starts),
+            dict(result.binding.op_to_instance))
+
+
+def _point_fingerprints(points):
+    return [(p.latency_bound, p.area_bound, _design_fingerprint(p.result))
+            for p in points]
+
+
+def _traffic_entries():
+    """Real layer records to replay: export a warmed engine's caches."""
+    engine = EvaluationEngine()
+    library = paper_library()
+    find_design(get_benchmark("diffeq"), library, 8, 20, engine=engine)
+    return [(layer, key, value)
+            for layer, entries in engine.export_cache_state().items()
+            for key, value in entries]
+
+
+def _client_worker(addresses, entries, rounds, worker_id, out):
+    """One load-generator process: timed routed puts then gets."""
+    try:
+        client = ShardedCacheClient(addresses, timeout=60.0)
+        latencies = []
+        for round_no in range(rounds):
+            for layer, key, value in entries:
+                unique = key + ("w", worker_id, round_no)
+                started = time.perf_counter()
+                client.put(layer, unique, value)
+                latencies.append(time.perf_counter() - started)
+            for layer, key, _value in entries:
+                unique = key + ("w", worker_id, round_no)
+                started = time.perf_counter()
+                found = client.get(layer, unique)[0]
+                latencies.append(time.perf_counter() - started)
+                assert found, (layer, unique)
+        client.close()
+        out.put((worker_id, latencies))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out.put((worker_id, repr(exc)))
+
+
+def _drive_ring(addresses, entries, rounds):
+    """Fan WORKERS load processes at the ring; aggregate latencies."""
+    context = multiprocessing.get_context("fork")
+    out = context.Queue()
+    processes = [
+        context.Process(target=_client_worker,
+                        args=(addresses, entries, rounds, i, out))
+        for i in range(WORKERS)
+    ]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    latencies = []
+    for _ in processes:
+        worker_id, payload = out.get(timeout=600.0)
+        assert isinstance(payload, list), \
+            f"load worker {worker_id} failed: {payload}"
+        latencies.extend(payload)
+    wall = time.perf_counter() - started
+    for process in processes:
+        process.join(timeout=60.0)
+        assert process.exitcode == 0
+    latencies.sort()
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "workers": WORKERS,
+        "ops": len(latencies),
+        "wall_s": wall,
+        "throughput_ops_s": len(latencies) / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": quantiles[98] * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+    }
+
+
+def measure_load(quick=False):
+    """Replay the same traffic against 1-, 2- and 4-shard rings."""
+    entries = _traffic_entries()
+    rounds = QUICK_ROUNDS if quick else ROUNDS
+    expected = WORKERS * rounds * len(entries)
+    rings = {}
+    for shards in SHARD_COUNTS:
+        with start_shard_ring(shards) as ring:
+            row = _drive_ring(ring.addresses, entries, rounds)
+            counts = ring.entry_counts()
+            stats = [server.stats.as_dict() for server in ring.servers]
+        row["shards"] = shards
+        row["entries_per_shard"] = counts
+        gets = sum(s["gets"] for s in stats)
+        hits = sum(s["hits"] for s in stats)
+        puts = sum(s["puts"] for s in stats)
+        assert puts == expected, (shards, puts, expected)
+        assert gets == expected and hits == expected, (shards, gets, hits)
+        assert sum(1 for s in stats if s["puts"] > 0) == shards, \
+            f"{shards}-shard ring left shards idle: " \
+            f"{[s['puts'] for s in stats]}"
+        row["server_stats"] = stats
+        rings[str(shards)] = row
+    return {"rounds": rounds, "entries": len(entries), "rings": rings}
+
+
+def _grid(quick):
+    grid = paper_data.table2_grid("fir")
+    latencies = sorted({latency for latency, _ in grid})
+    areas = sorted({area for _, area in grid})
+    if quick:
+        # the loosest bounds: the trimmed grid must keep feasible
+        # points, or the quick gate would compare nothing but misses
+        latencies, areas = latencies[-2:], areas[-2:]
+    return latencies, areas
+
+
+def measure_equivalence(quick=False):
+    """local ≡ single server ≡ 2-shard ring on the Table 2 fir grid,
+    plus cross-process remote hits on at least two shards."""
+    library = paper_library()
+    graph = get_benchmark("fir")
+    latencies, areas = _grid(quick)
+
+    local_started = time.perf_counter()
+    local = _point_fingerprints(sweep_bounds(
+        graph, library, latencies, areas, engine=EvaluationEngine()))
+    local_s = time.perf_counter() - local_started
+
+    with CacheServer() as server:
+        engine = EvaluationEngine()
+        assert attach_engine(engine, server.address)
+        single_started = time.perf_counter()
+        single = _point_fingerprints(sweep_bounds(
+            graph, library, latencies, areas, engine=engine))
+        single_s = time.perf_counter() - single_started
+        detach_engine(engine)
+
+    with start_shard_ring(2) as ring:
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.addresses[0])  # ring discovery
+        sharded_started = time.perf_counter()
+        sharded = _point_fingerprints(sweep_bounds(
+            graph, library, latencies, areas, engine=engine))
+        sharded_s = time.perf_counter() - sharded_started
+        detach_engine(engine)
+        entry_split = ring.entry_counts()
+        # a *cross-process* sweep over the warmed ring: workers attach
+        # their own engines and must be served by both shards
+        hits_before = [server.stats.hits for server in ring.servers]
+        cross = _point_fingerprints(sweep_bounds(
+            graph, library, latencies, areas, workers=2,
+            engine=EvaluationEngine(), cache_server=ring.address))
+        shard_hits = [server.stats.hits - before for server, before
+                      in zip(ring.servers, hits_before)]
+
+    assert single == local, "single-server sweep diverged from local"
+    assert sharded == local, "sharded sweep diverged from local"
+    assert cross == local, "cross-process sharded sweep diverged"
+    assert all(count > 0 for count in entry_split), entry_split
+    shards_serving = sum(1 for count in shard_hits if count > 0)
+    assert shards_serving >= 2, \
+        f"cross-process hits landed on {shards_serving} shard(s): " \
+        f"{shard_hits}"
+    return {
+        "grid_points": len(latencies) * len(areas),
+        "feasible_points": sum(1 for _, _, fp in local if fp is not None),
+        "local_s": local_s,
+        "single_server_s": single_s,
+        "sharded_s": sharded_s,
+        "entries_per_shard": entry_split,
+        "cross_process_hits_per_shard": shard_hits,
+        "designs_identical": True,
+    }
+
+
+def measure_failover(quick=False):
+    """Kill one shard mid-sweep: fail-open, designs still identical."""
+    library = paper_library()
+    graph = get_benchmark("fir")
+    latencies, areas = _grid(quick)
+    pairs = [(latency, area) for latency in latencies for area in areas]
+
+    reference = []
+    off = EvaluationEngine(cache=False)
+    for latency, area in pairs:
+        try:
+            result = find_design(graph, library, latency, area, engine=off)
+        except NoSolutionError:
+            result = None
+        reference.append(_design_fingerprint(result))
+
+    with start_shard_ring(2) as ring:
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.address, timeout=2.0)
+        survived = []
+        started = time.perf_counter()
+        for count, (latency, area) in enumerate(pairs):
+            if count == len(pairs) // 2:
+                ring.servers[0].stop()  # dies under the live clients
+            try:
+                result = find_design(graph, library, latency, area,
+                                     engine=engine)
+            except NoSolutionError:
+                result = None
+            survived.append(_design_fingerprint(result))
+        wall = time.perf_counter() - started
+        assert engine.backend is not None, \
+            "one dead shard flipped the whole fleet to local fallback"
+        dead = engine.backend.client.dead_shards
+        detach_engine(engine)
+
+    assert survived == reference, \
+        "designs diverged after the mid-sweep shard kill"
+    assert dead == (ring.addresses[0],), dead
+    return {
+        "grid_points": len(pairs),
+        "killed_shard": 0,
+        "dead_shards_observed": list(dead),
+        "sweep_s": wall,
+        "designs_identical": True,
+    }
+
+
+def report(load, equivalence, failover):
+    table = ExperimentTable(
+        title=f"Sharded cache tier under load (workers={WORKERS})",
+        headers=("shards", "ops", "p50 ms", "p99 ms", "ops/s",
+                 "entries/shard"),
+    )
+    for shards in SHARD_COUNTS:
+        row = load["rings"][str(shards)]
+        table.add_row(
+            shards,
+            row["ops"],
+            round(row["p50_ms"], 3),
+            round(row["p99_ms"], 3),
+            int(row["throughput_ops_s"]),
+            "/".join(str(count) for count in row["entries_per_shard"]),
+        )
+    base = load["rings"]["1"]["throughput_ops_s"]
+    best = max(row["throughput_ops_s"] for row in load["rings"].values())
+    table.add_note(f"best/1-shard throughput ratio {best / base:.2f}")
+
+    gates = ExperimentTable(
+        title="Sharded tier gates (Table 2 fir grid)",
+        headers=("gate", "grid", "local s", "tier s", "identical"),
+    )
+    gates.add_row("single server", equivalence["grid_points"],
+                  round(equivalence["local_s"], 3),
+                  round(equivalence["single_server_s"], 3), "yes")
+    gates.add_row("2-shard ring", equivalence["grid_points"],
+                  round(equivalence["local_s"], 3),
+                  round(equivalence["sharded_s"], 3), "yes")
+    gates.add_row("shard killed mid-sweep", failover["grid_points"],
+                  round(equivalence["local_s"], 3),
+                  round(failover["sweep_s"], 3), "yes")
+    gates.add_note(
+        f"cross-process hits per shard: "
+        f"{equivalence['cross_process_hits_per_shard']}")
+
+    path = write_bench_json("shards", {
+        "load": load,
+        "equivalence": equivalence,
+        "failover": failover,
+    })
+    print("\n" + table.as_text())
+    print("\n" + gates.as_text())
+    print(f"\nresults written to {path}")
+
+
+def test_sharded_tier_load_and_gates():
+    load = measure_load()
+    equivalence = measure_equivalence()
+    failover = measure_failover()
+    report(load, equivalence, failover)
+    for shards in SHARD_COUNTS:
+        row = load["rings"][str(shards)]
+        assert row["p50_ms"] > 0.0 and row["p99_ms"] >= row["p50_ms"]
+    assert equivalence["designs_identical"]
+    assert failover["designs_identical"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="trim the traffic and the grid (CI smoke); "
+                             "only design mismatches fail, never timing")
+    args = parser.parse_args()
+    if args.quick:
+        report(measure_load(quick=True), measure_equivalence(quick=True),
+               measure_failover(quick=True))
+        print("sharded == single == local on the quick grid: ok")
+    else:
+        test_sharded_tier_load_and_gates()

@@ -26,14 +26,16 @@ The same three commands accept ``--cache-server auto|ADDR`` to share
 caches *live* across concurrent processes through a cache server
 (:mod:`repro.core.cache_server`): ``ADDR`` attaches to an
 already-running ``cache-serve`` process — a unix-domain socket path,
-or a ``tcp://host:port`` URL (pass the server's shared secret with
-``--cache-token``) — while ``auto`` attaches to (or spawns, for the
-run's duration) a server at the default socket path — inside
-``--cache-dir`` when given, so several simultaneous invocations
-against one cache dir serve each other mid-run.  Sharing is
-best-effort and behaviourally transparent: an unreachable or dying
-server is reported and the run continues on local caches with
-identical results.
+a ``tcp://host:port`` URL (pass the server's shared secret with
+``--cache-token``), or a comma-separated shard ring
+(``a.sock,b.sock`` / attaching to any single ring member discovers
+the rest) — while ``auto`` attaches to (or spawns, for the run's
+duration) a server at the default socket path — inside ``--cache-dir``
+when given, so several simultaneous invocations against one cache dir
+serve each other mid-run.  Sharing is best-effort and behaviourally
+transparent: an unreachable or dying server — or single shard — is
+reported and the run continues on local caches with identical
+results.
 
 ``synth --remote ADDR`` goes one step further and submits the whole
 search to the server's ``synthesize`` RPC, which executes it on the
@@ -44,6 +46,10 @@ server is unreachable the search runs locally with identical results.
 TCP using the versioned JSON wire encoding (pickle never crosses a
 TCP socket); ``--auth-token`` sets the shared secret clients must
 present (one is generated and printed when omitted).
+``cache-serve --shards N`` runs N servers as one consistent-hash
+ring — each shard owns its slice of the key space with its own LRU
+budget and write-behind snapshot — and prints the comma-separated
+ring spec clients attach with.
 
 ``cache-stats`` queries a running server's telemetry (requests,
 hit rate, entries per layer, flushes) as text or ``--json`` — point it
@@ -98,7 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="persist/reload engine caches in this directory")
     synth.add_argument("--cache-server", metavar="auto|ADDR",
                        help="share engine caches live through a cache "
-                            "server (socket path or tcp://host:port)")
+                            "server (socket path, tcp://host:port, "
+                            "or a comma-separated shard ring)")
     synth.add_argument("--cache-token",
                        help="shared secret for a tcp:// cache server")
     synth.add_argument("--remote", metavar="ADDR",
@@ -129,8 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "directory")
     experiment.add_argument("--cache-server", metavar="auto|ADDR",
                             help="share engine caches live through a "
-                                 "cache server (socket path or "
-                                 "tcp://host:port)")
+                                 "cache server (socket path, "
+                                 "tcp://host:port, or a comma-separated "
+                                 "shard ring)")
     experiment.add_argument("--cache-token",
                             help="shared secret for a tcp:// cache server")
 
@@ -148,7 +156,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="persist/reload engine caches in this directory")
     explore.add_argument("--cache-server", metavar="auto|ADDR",
                          help="share engine caches live through a cache "
-                              "server (socket path or tcp://host:port)")
+                              "server (socket path, tcp://host:port, "
+                              "or a comma-separated shard ring)")
     explore.add_argument("--cache-token",
                          help="shared secret for a tcp:// cache server")
 
@@ -158,6 +167,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="unix socket path or tcp://host:port to "
                             "listen on (default: inside --cache-dir, "
                             "else a fresh temp dir)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="run N servers as one consistent-hash ring "
+                            "(unix path P becomes P.shard0..N-1; a tcp "
+                            "port p becomes p..p+N-1); clients attach "
+                            "with the printed comma-separated spec or "
+                            "any single member (default: 1)")
     serve.add_argument("--auth-token",
                        help="shared secret TCP clients must present "
                             "(generated and printed when omitted)")
@@ -175,8 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="query a running cache server's telemetry")
     stats.add_argument("--address",
                        help="unix socket path or tcp://host:port of the "
-                            "server (default: the socket inside "
-                            "--cache-dir)")
+                            "server, or a comma-separated shard ring "
+                            "(default: the socket inside --cache-dir)")
     stats.add_argument("--auth-token",
                        help="shared secret for a tcp:// server")
     stats.add_argument("--cache-dir",
@@ -517,13 +532,17 @@ def _cmd_cache_serve(args) -> int:
         auth_token = secrets.token_hex(16)
         print(f"auth token (pass to clients as --cache-token / "
               f"--auth-token): {auth_token}", file=sys.stderr)
+    max_snapshot_bytes = (args.max_snapshot_kib * 1024
+                          if args.max_snapshot_kib else None)
+    if args.shards > 1:
+        return _serve_shard_ring(args, address, auth_token,
+                                 snapshot_file, max_snapshot_bytes)
     server = cache_server.CacheServer(
         address,  # None → the server owns (and cleans up) a temp dir
         auth_token=auth_token,
         snapshot_path=snapshot_file,
         flush_interval=args.flush_interval,
-        max_snapshot_bytes=(args.max_snapshot_kib * 1024
-                            if args.max_snapshot_kib else None))
+        max_snapshot_bytes=max_snapshot_bytes)
     if snapshot_file and os.path.exists(snapshot_file):
         try:
             adopted = server.seed(cache_store.load(snapshot_file).layers)
@@ -545,6 +564,66 @@ def _cmd_cache_serve(args) -> int:
     return 0
 
 
+def _serve_shard_ring(args, address, auth_token, snapshot_file,
+                      max_snapshot_bytes) -> int:
+    """``cache-serve --shards N``: one local consistent-hash ring.
+
+    Each shard keeps its own LRU budget and write-behind snapshot
+    (``<snapshot>.shard<i>``).  Shards are re-seeded from their own
+    snapshot when one exists, else from the shared single-server
+    snapshot — partitioned, so every entry lands only on the shard
+    clients will actually ask.
+    """
+    import os
+
+    from repro.core import cache_store, shard
+
+    ring = shard.start_shard_ring(
+        args.shards, address=address, auth_token=auth_token,
+        snapshot_dir=args.cache_dir,
+        flush_interval=args.flush_interval,
+        max_snapshot_bytes=max_snapshot_bytes)
+    base = None
+    if snapshot_file and os.path.exists(snapshot_file):
+        try:
+            base = cache_store.load(snapshot_file)
+        except ReproError as exc:
+            print(f"warning: ignoring engine cache {snapshot_file}: "
+                  f"{exc}", file=sys.stderr)
+    hash_ring = ring.ring()
+    adopted = 0
+    for index, server in enumerate(ring.servers):
+        own = server.snapshot_path
+        if own and os.path.exists(own):
+            try:
+                adopted += server.seed(cache_store.load(own).layers)
+                continue
+            except ReproError as exc:
+                print(f"warning: ignoring engine cache {own}: {exc}",
+                      file=sys.stderr)
+        if base is not None:
+            adopted += server.seed(shard.partition_layers(
+                base.layers, hash_ring, index))
+    if adopted:
+        print(f"seeded {adopted} entries across {args.shards} shards",
+              file=sys.stderr)
+    for index, server in enumerate(ring.servers):
+        print(f"cache shard {index} listening on {server.address}",
+              flush=True)
+    print(f"cache ring: {ring.address}", flush=True)
+    try:
+        ring.serve_forever()
+    except KeyboardInterrupt:
+        ring.stop()
+    for index, server in enumerate(ring.servers):
+        stats = server.stats
+        print(f"shard {index} served {stats.requests} requests "
+              f"({stats.hits}/{stats.gets} hits, {stats.adopted} "
+              f"entries adopted, {stats.flushes} flushes)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_cache_stats(args) -> int:
     from repro.core import cache_server
 
@@ -556,6 +635,29 @@ def _cmd_cache_stats(args) -> int:
         print("error: pass --address or --cache-dir to locate the server",
               file=sys.stderr)
         return 2
+    from repro.core.shard import parse_ring
+
+    members = parse_ring(address)
+    if len(members) > 1:
+        gathered = {}
+        for member in members:
+            with cache_server.CacheClient(
+                    member, auth_token=args.auth_token) as client:
+                client.ping()
+                gathered[member] = client.stats()
+        if args.json:
+            print(json.dumps(gathered, indent=2, sort_keys=True))
+            return 0
+        for member, stats in gathered.items():
+            shard_index = stats.get("shard_index")
+            label = f"shard {shard_index} at {member}" \
+                if shard_index is not None else member
+            print(f"{label}: {stats['gets']} lookups "
+                  f"(hit rate {stats['hit_rate']:.1%}, "
+                  f"negative hits {stats.get('negative_hits', 0)}), "
+                  f"{stats['entries']} entries, "
+                  f"{stats['connections']} connections")
+        return 0
     with cache_server.CacheClient(address,
                                   auth_token=args.auth_token) as client:
         client.ping()
@@ -576,6 +678,10 @@ def _cmd_cache_stats(args) -> int:
     print(f"  flushes     : {stats['flushes']} "
           f"(errors {stats['flush_errors']}, "
           f"bad frames {stats['bad_frames']})")
+    print(f"  hardening   : negative hits {stats.get('negative_hits', 0)}, "
+          f"accept errors {stats.get('accept_errors', 0)}, "
+          f"backpressure drops "
+          f"{stats.get('backpressure_disconnects', 0)}")
     if layer_sizes:
         rendered = ", ".join(f"{name}={size}"
                              for name, size in sorted(layer_sizes.items()))

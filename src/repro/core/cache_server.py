@@ -53,6 +53,17 @@ Pieces, bottom to top:
     :func:`evaluate_batch_remote` extend the same contract to job
     submission — a dead server means the job runs locally, with
     identical results.
+sharding (:mod:`repro.core.shard`)
+    The cache tier scales horizontally: the content-addressed layers
+    are partitioned by key hash across a consistent-hash ring of
+    server processes.  Each shard carries the ring membership in its
+    ``hello`` ack (and the ``shard_map`` request), so attaching to any
+    one member discovers the ring; ``attach_engine`` and the
+    ``*_remote`` helpers accept a comma-separated ring spec directly.
+    Misses are answered with authoritative server-side *negative
+    windows* — ``get`` returns ``(found, value, window)`` — so an
+    absent key is asked once per window fleet-wide, not once per
+    client.
 
 Transports, encodings and trust:
 
@@ -75,6 +86,7 @@ layers can be seeded from an engine export and merged back verbatim.
 
 from __future__ import annotations
 
+import errno
 import hmac
 import os
 import selectors
@@ -104,7 +116,11 @@ from repro.library.library import ResourceLibrary
 #: Bumped whenever request/response shapes change; a client refuses to
 #: attach to a server speaking a different version.  Version 2 added
 #: the ``hello`` handshake, the json codec and the job operations.
-PROTOCOL_VERSION = 2
+#: Version 3 added the shard map to the hello ack (plus the
+#: ``shard_map`` request) and authoritative server-side negative
+#: windows: ``get`` replies are ``(found, value, window)`` and
+#: ``get_many`` replies are ``(found, windows)``.
+PROTOCOL_VERSION = 3
 
 #: Hard ceiling on a single frame; anything larger is rejected with
 #: :class:`CacheError` before its payload is read.
@@ -133,6 +149,30 @@ SERVER_MAX_ENTRIES = 1_000_000
 
 #: Worker threads executing synthesize/evaluate_batch/flush jobs.
 JOB_WORKERS = 4
+
+#: Server-side negative window, seconds: a miss is answered with an
+#: authoritative "absent for this long" that every client in the fleet
+#: honours locally, so one miss is asked once — not once per client.
+NEGATIVE_WINDOW = 5.0
+
+#: Bound on the server's negative-window table (stale windows are
+#: pruned first; a full table of live windows is cleared outright).
+MAX_NEGATIVE_WINDOWS = 65536
+
+#: Hard per-connection reply-buffer cap: a client that stops draining
+#: past this many buffered bytes is disconnected with a clean
+#: ``error`` frame instead of growing server memory without bound.
+MAX_OUTBUF_BYTES = 32 * 1024 * 1024
+
+#: Soft per-connection cap for *optional* frames: streamed
+#: ``synthesize`` improvement designs are dropped (never the final
+#: reply) while a client's buffered replies exceed this.
+STREAM_OUTBUF_BYTES = 1024 * 1024
+
+#: How long the listener stays paused after ``accept()`` fails on a
+#: resource error (EMFILE/ENFILE/ENOBUFS/ENOMEM); pausing stops the
+#: still-readable listener from spinning the selector hot.
+ACCEPT_RETRY_DELAY = 0.5
 
 #: Options a remote ``synthesize`` job may carry.
 SYNTH_OPTIONS = ("area_model", "repair", "refine", "fallback",
@@ -297,6 +337,9 @@ class CacheClient:
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
         self._owner_pid = os.getpid()
+        #: Ring membership learned from the hello ack (``None`` for an
+        #: unsharded server or before the first handshake).
+        self.server_shard_map: Optional[Tuple[str, ...]] = None
 
     def _connect(self) -> socket.socket:
         parsed = parse_address(self.address)
@@ -339,7 +382,7 @@ class CacheClient:
             raise ProtocolError(
                 "cache server sent a malformed handshake reply")
         ack = reply[1]
-        if not isinstance(ack, tuple) or len(ack) != 3 \
+        if not isinstance(ack, tuple) or len(ack) != 4 \
                 or ack[0] != "hello":
             raise ProtocolError(
                 "cache server sent a malformed handshake reply")
@@ -351,6 +394,33 @@ class CacheClient:
             raise ProtocolError(
                 f"cache server switched to encoding {ack[2]!r}, "
                 f"{self.encoding!r} was requested")
+        self.server_shard_map = self._check_shard_map(ack[3])
+
+    def __getstate__(self):
+        """Pickle (into a ``parallel`` worker, or inside a pickled
+        :class:`~repro.core.engine.RemoteCacheBackend`) without the
+        per-process transport: the socket and lock belong to the
+        process that made them.  The copy reconnects lazily on first
+        use, exactly like a freshly constructed client."""
+        state = self.__dict__.copy()
+        state["_sock"] = None
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+
+    @staticmethod
+    def _check_shard_map(raw) -> Optional[Tuple[str, ...]]:
+        if raw is None:
+            return None
+        if not isinstance(raw, (tuple, list)) \
+                or not all(isinstance(member, str) for member in raw):
+            raise ProtocolError(
+                "cache server sent a malformed shard map")
+        return tuple(raw)
 
     def _ensure_sock(self) -> socket.socket:
         """Under ``self._lock``: a usable socket owned by this process."""
@@ -414,14 +484,33 @@ class CacheClient:
                 f"cache server speaks protocol {version!r}, "
                 f"this build speaks {PROTOCOL_VERSION}")
 
-    def get(self, layer: str, key: tuple) -> Tuple[bool, object]:
-        """``(found, value)`` for one content-addressed key."""
-        return self._request(("get", layer, key))
+    def get(self, layer: str, key: tuple) -> Tuple[bool, object, float]:
+        """``(found, value, window)`` for one content-addressed key.
 
-    def get_many(self, layer: str,
-                 keys: Sequence[tuple]) -> Dict[tuple, object]:
-        """Present entries among *keys* (absent keys simply missing)."""
-        return self._request(("get_many", layer, list(keys)))
+        *window* is the server's authoritative negative window in
+        seconds — how long this miss may be treated as absent without
+        re-asking — and ``0.0`` on a hit.
+        """
+        reply = self._request(("get", layer, key))
+        if not isinstance(reply, tuple) or len(reply) != 3:
+            raise CacheError("cache server sent a malformed get reply")
+        return reply
+
+    def get_many(self, layer: str, keys: Sequence[tuple]
+                 ) -> Tuple[Dict[tuple, object], Dict[tuple, float]]:
+        """``(found, windows)``: present entries among *keys*, plus the
+        negative window (seconds) for each absent key."""
+        reply = self._request(("get_many", layer, list(keys)))
+        if not isinstance(reply, tuple) or len(reply) != 2 \
+                or not isinstance(reply[0], dict) \
+                or not isinstance(reply[1], dict):
+            raise CacheError(
+                "cache server sent a malformed get_many reply")
+        return reply
+
+    def shard_map(self) -> Optional[Tuple[str, ...]]:
+        """Ring membership, or ``None`` for an unsharded server."""
+        return self._check_shard_map(self._request(("shard_map",)))
 
     def put(self, layer: str, key: tuple, value: object) -> int:
         """Insert one entry; returns 1 if the key was new."""
@@ -550,6 +639,10 @@ class ServerStats:
     jobs: int = 0            # synthesize/evaluate_batch jobs accepted
     job_errors: int = 0      # ... that ended in an error reply
     designs_streamed: int = 0  # improving designs pushed to clients
+    designs_dropped: int = 0   # ... withheld from non-draining clients
+    negative_hits: int = 0   # misses answered from a live window
+    accept_errors: int = 0   # accept() resource failures (paused, lived)
+    backpressure_disconnects: int = 0  # clients dropped at the outbuf cap
 
     @property
     def hit_rate(self) -> float:
@@ -604,10 +697,11 @@ class _LoopbackClient:
     def __init__(self, server: "CacheServer"):
         self._server = server
 
-    def get(self, layer: str, key: tuple) -> Tuple[bool, object]:
+    def get(self, layer: str, key: tuple) -> Tuple[bool, object, float]:
         return self._server._get(layer, key)
 
-    def get_many(self, layer: str, keys) -> Dict[tuple, object]:
+    def get_many(self, layer: str, keys
+                 ) -> Tuple[Dict[tuple, object], Dict[tuple, float]]:
         return self._server._get_many(layer, keys)
 
     def put_many(self, entries) -> int:
@@ -666,6 +760,19 @@ class CacheServer:
         compact_snapshot` before each flush.
     job_workers:
         Thread-pool width for synthesize/evaluate_batch/flush jobs.
+    negative_window:
+        Seconds a miss is authoritatively answered as "absent" before
+        clients may re-ask (0 disables negative windows).
+    max_outbuf_bytes / stream_outbuf_bytes:
+        Backpressure limits: the hard per-connection reply-buffer cap
+        (disconnect with a clean error frame beyond it) and the soft
+        cap past which optional streamed design frames are dropped.
+    shard_map / shard_index:
+        Ring membership (every member's address, in ring order) and
+        this server's position in it; served to clients in the hello
+        ack and the ``shard_map`` request.  Usually assigned by
+        :func:`repro.core.shard.start_shard_ring` rather than passed
+        here (addresses are only known once every member is bound).
     """
 
     def __init__(self, address: Optional[str] = None, *,
@@ -677,7 +784,12 @@ class CacheServer:
                  max_snapshot_bytes: Optional[int] = None,
                  timeout: float = SERVER_TIMEOUT,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 job_workers: int = JOB_WORKERS):
+                 job_workers: int = JOB_WORKERS,
+                 negative_window: float = NEGATIVE_WINDOW,
+                 max_outbuf_bytes: int = MAX_OUTBUF_BYTES,
+                 stream_outbuf_bytes: int = STREAM_OUTBUF_BYTES,
+                 shard_map: Optional[Sequence[str]] = None,
+                 shard_index: Optional[int] = None):
         overrides = dict(layer_capacities or {})
         unknown = sorted(set(overrides)
                          - set(EvaluationEngine.LAYER_SHARES))
@@ -701,6 +813,11 @@ class CacheServer:
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
         self.job_workers = max(1, int(job_workers))
+        self.negative_window = max(0.0, float(negative_window))
+        self.max_outbuf_bytes = int(max_outbuf_bytes)
+        self.stream_outbuf_bytes = int(stream_outbuf_bytes)
+        self.shard_map = tuple(shard_map) if shard_map else None
+        self.shard_index = shard_index
         self.stats = ServerStats()
         self._layers: Dict[str, LRUCache] = {
             name: LRUCache(
@@ -711,6 +828,10 @@ class CacheServer:
         self._lock = threading.Lock()
         self._dirty = 0          # bumped per adopted entry
         self._flushed_mark = 0   # _dirty value at the last flush
+        # (layer, key) -> monotonic deadline; misses inside the window
+        # are answered without touching the table again
+        self._negative: Dict[tuple, float] = {}
+        self._accept_paused_until = 0.0
         self._stop = threading.Event()
         self._stopped = False
         self._listener: Optional[socket.socket] = None
@@ -834,6 +955,11 @@ class CacheServer:
         self._stop.wait()
         self.stop()
 
+    @property
+    def stopped(self) -> bool:
+        """True once the server is stopping (or has stopped)."""
+        return self._stop.is_set()
+
     def stop(self) -> None:
         """Stop accepting, drop clients, flush once, remove the socket."""
         self._stop.set()
@@ -887,6 +1013,7 @@ class CacheServer:
                     if cache.get(key, _MISSING) is _MISSING:
                         cache.put(key, value)
                         adopted += 1
+                    self._negative.pop((name, key), None)
             self._dirty += adopted
         return adopted
 
@@ -957,6 +1084,7 @@ class CacheServer:
             while not self._stop.is_set():
                 events = self._selector.select(timeout=0.2)
                 now = time.monotonic()
+                self._maybe_resume_accept(now)
                 for key, mask in events:
                     if key.data == "listener":
                         self._accept(now)
@@ -994,7 +1122,20 @@ class CacheServer:
                 sock, _ = self._listener.accept()
             except (BlockingIOError, InterruptedError):
                 return
-            except OSError:
+            except OSError as exc:
+                if exc.errno in (errno.ECONNABORTED, errno.EPROTO):
+                    # the peer vanished between select and accept;
+                    # nothing is wrong with *us* — keep accepting
+                    continue
+                # resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM)
+                # or a transient kernel error: the listener is still
+                # readable, so returning would spin the selector hot.
+                # Pause accepting briefly; existing connections keep
+                # being served, and closing any of them frees the
+                # descriptors the next accept needs.
+                with self._lock:
+                    self.stats.accept_errors += 1
+                self._pause_accept(now)
                 return
             sock.setblocking(False)
             conn = _Connection(sock, self.transport, now)
@@ -1003,8 +1144,31 @@ class CacheServer:
                 self.stats.connections += 1
             self._selector.register(sock, selectors.EVENT_READ, conn)
 
+    def _pause_accept(self, now: float) -> None:
+        """Unregister the listener for :data:`ACCEPT_RETRY_DELAY`."""
+        if self._accept_paused_until > now:
+            return
+        self._accept_paused_until = now + ACCEPT_RETRY_DELAY
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _maybe_resume_accept(self, now: float) -> None:
+        if not self._accept_paused_until \
+                or now < self._accept_paused_until:
+            return
+        self._accept_paused_until = 0.0
+        try:
+            self._selector.register(self._listener,
+                                    selectors.EVENT_READ, "listener")
+        except (KeyError, ValueError, OSError):
+            # still out of resources (epoll registration can need an
+            # fd): stay paused another interval rather than dying
+            self._accept_paused_until = now + ACCEPT_RETRY_DELAY
+
     def _set_mask(self, conn: _Connection) -> None:
-        if conn.closed:
+        if conn.closed or self._selector is None:
             return
         mask = selectors.EVENT_READ
         if conn.outbuf:
@@ -1049,6 +1213,12 @@ class CacheServer:
                 sent = conn.sock.send(bytes(conn.outbuf))
                 del conn.outbuf[:sent]
             except (BlockingIOError, InterruptedError):
+                # zero bytes fit (AF_UNIX refuses partial writes of a
+                # frame larger than the free buffer): EVENT_WRITE must
+                # still be armed, or a connection whose mask was
+                # read-only when the kernel buffer filled wedges with
+                # replies buffered forever
+                self._set_mask(conn)
                 return
             except OSError:
                 self._close_conn(conn)
@@ -1143,9 +1313,10 @@ class CacheServer:
                 reject("authentication failed")
                 return
         # reply in the handshake codec, then switch to the negotiated
-        # one for everything that follows
+        # one for everything that follows; the ack carries the shard
+        # map so attaching to any one ring member discovers the ring
         self._queue_send(conn, ("ok", ("hello", PROTOCOL_VERSION,
-                                       encoding)))
+                                       encoding, self.shard_map)))
         conn.codec = encoding
         conn.handshaken = True
         with self._lock:
@@ -1178,8 +1349,16 @@ class CacheServer:
 
     def _queue_send(self, conn: _Connection, message: tuple,
                     close_after: bool = False) -> None:
-        """Encode and buffer *message* on *conn*; eager first write."""
-        if conn.closed:
+        """Encode and buffer *message* on *conn*; eager first write.
+
+        Backpressure: once the buffered replies pass
+        ``max_outbuf_bytes`` the connection is condemned — a clean
+        ``error`` frame is appended (the buffer is *never* cleared;
+        the send position may sit mid-frame) and the connection closes
+        after whatever the client still drains.  Frames queued after
+        the condemnation are dropped.
+        """
+        if conn.closed or conn.close_after_send:
             return
         try:
             payload = wire.encode(message, conn.reply_codec)
@@ -1193,6 +1372,20 @@ class CacheServer:
                 ("error", f"cache frame of {len(payload)} bytes exceeds "
                           f"the {self.max_frame_bytes}-byte limit"),
                 conn.reply_codec)
+        if len(conn.outbuf) + _LEN.size + len(payload) \
+                > self.max_outbuf_bytes:
+            with self._lock:
+                self.stats.backpressure_disconnects += 1
+            notice = wire.encode(
+                ("error", f"disconnected: {len(conn.outbuf)} reply "
+                          f"bytes buffered past the "
+                          f"{self.max_outbuf_bytes}-byte backpressure "
+                          f"limit (client not draining)"),
+                conn.reply_codec)
+            conn.outbuf += _LEN.pack(len(notice)) + notice
+            conn.close_after_send = True
+            self._writable(conn)
+            return
         conn.outbuf += _LEN.pack(len(payload)) + payload
         if close_after:
             conn.close_after_send = True
@@ -1219,6 +1412,14 @@ class CacheServer:
             if kind == "done":
                 conn.busy = False
                 conn.last_active = time.monotonic()
+            elif message[0] == "design" \
+                    and len(conn.outbuf) > self.stream_outbuf_bytes:
+                # optional stream frame for a client that isn't
+                # draining: drop it rather than buffer without bound
+                # (the job's final reply is never dropped)
+                with self._lock:
+                    self.stats.designs_dropped += 1
+                continue
             self._queue_send(conn, message)
             if kind == "done" and not conn.closed:
                 self._process(conn)  # frames buffered while busy
@@ -1339,26 +1540,62 @@ class CacheServer:
             raise CacheError(f"unknown cache layer {name!r}")
         return cache
 
-    def _get(self, layer: str, key: tuple) -> Tuple[bool, object]:
+    def _get(self, layer: str, key: tuple) -> Tuple[bool, object, float]:
+        """``(found, value, window)``; on a miss, *window* is the
+        authoritative negative window the client may honour locally."""
         with self._lock:
             value = self._layer(layer).get(key, _MISSING)
             self.stats.gets += 1
-            if value is _MISSING:
-                return (False, None)
-            self.stats.hits += 1
-            return (True, value)
+            if value is not _MISSING:
+                # a window registered before the entry arrived is moot
+                self._negative.pop((layer, key), None)
+                self.stats.hits += 1
+                return (True, value, 0.0)
+            return (False, None,
+                    self._miss_window(layer, key, time.monotonic()))
 
-    def _get_many(self, layer: str, keys) -> Dict[tuple, object]:
-        found = {}
+    def _get_many(self, layer: str, keys
+                  ) -> Tuple[Dict[tuple, object], Dict[tuple, float]]:
+        """``(found, windows)``: hits, plus a negative window per miss."""
+        found: Dict[tuple, object] = {}
+        windows: Dict[tuple, float] = {}
         with self._lock:
             cache = self._layer(layer)
+            now = time.monotonic()
             for key in keys:
                 value = cache.get(key, _MISSING)
                 self.stats.gets += 1
                 if value is not _MISSING:
+                    self._negative.pop((layer, key), None)
                     self.stats.hits += 1
                     found[key] = value
-        return found
+                else:
+                    windows[key] = self._miss_window(layer, key, now)
+        return (found, windows)
+
+    def _miss_window(self, layer: str, key: tuple, now: float) -> float:
+        """Under ``self._lock``: the remaining negative window for one
+        missed key, registering a fresh window on the first ask.
+
+        The cache is always consulted *first* (both callers above), so
+        a window can only ever answer a genuinely absent key — it
+        never masks a present entry, and :meth:`_adopt` clears the
+        window the moment the entry arrives.
+        """
+        if not self.negative_window:
+            return 0.0
+        deadline = self._negative.get((layer, key))
+        if deadline is not None and deadline > now:
+            self.stats.negative_hits += 1
+            return deadline - now
+        if len(self._negative) >= MAX_NEGATIVE_WINDOWS:
+            fresh = {entry: mark for entry, mark
+                     in self._negative.items() if mark > now}
+            if len(fresh) >= MAX_NEGATIVE_WINDOWS:
+                fresh.clear()
+            self._negative = fresh
+        self._negative[(layer, key)] = now + self.negative_window
+        return self.negative_window
 
     def _dispatch(self, message: tuple):
         with self._lock:
@@ -1379,6 +1616,8 @@ class CacheServer:
             if op == "put_many":
                 (_, entries) = message
                 return self._adopt(entries)
+            if op == "shard_map":
+                return self.shard_map
             if op == "stats":
                 with self._lock:
                     snapshot = self.stats.as_dict()
@@ -1387,6 +1626,10 @@ class CacheServer:
                     snapshot["layer_sizes"] = {
                         name: len(cache)
                         for name, cache in self._layers.items()}
+                    snapshot["negative_entries"] = len(self._negative)
+                    if self.shard_map is not None:
+                        snapshot["shard_index"] = self.shard_index
+                        snapshot["shard_map"] = list(self.shard_map)
                 return snapshot
             if op == "shutdown":
                 return None  # the loop tears down after replying
@@ -1403,6 +1646,9 @@ class CacheServer:
                 if cache.get(key, _MISSING) is _MISSING:
                     adopted += 1
                 cache.put(key, value)
+                # the key exists now; any open negative window on it
+                # must stop answering "absent"
+                self._negative.pop((layer, key), None)
             self.stats.adopted += adopted
             self._dirty += adopted
         return adopted
@@ -1411,21 +1657,45 @@ class CacheServer:
 # ----------------------------------------------------------------------
 # engine attachment + fail-open job submission
 # ----------------------------------------------------------------------
+def _open_client(address: str, *, timeout: float = CLIENT_TIMEOUT,
+                 auth_token: Optional[str] = None,
+                 encoding: Optional[str] = None,
+                 job_timeout: float = JOB_TIMEOUT):
+    """A client for *address*: a plain :class:`CacheClient` for a
+    single server, a :class:`~repro.core.shard.ShardedCacheClient` for
+    a comma-separated ring spec.  Construction never connects."""
+    from repro.core import shard as shard_mod
+
+    addresses = shard_mod.parse_ring(address)
+    if len(addresses) > 1:
+        return shard_mod.ShardedCacheClient(
+            addresses, timeout=timeout, auth_token=auth_token,
+            encoding=encoding, job_timeout=job_timeout)
+    return CacheClient(addresses[0], timeout=timeout,
+                       auth_token=auth_token, encoding=encoding,
+                       job_timeout=job_timeout)
+
+
 def attach_engine(engine: EvaluationEngine, address: str, *,
                   timeout: float = CLIENT_TIMEOUT,
                   batch_size: int = RemoteCacheBackend.PUT_BATCH,
                   auth_token: Optional[str] = None,
                   encoding: Optional[str] = None) -> bool:
-    """Attach *engine* to the cache server at *address* (best-effort).
+    """Attach *engine* to the cache tier at *address* (best-effort).
 
-    Returns ``True`` on success; ``False`` when the server is
-    unreachable, rejects the handshake, or speaks a different protocol
-    version — the engine is left untouched and computes locally, which
-    is always behaviourally identical.
+    *address* may be one server or a comma-separated shard ring; a
+    single address that turns out to be a ring member (its handshake
+    or ``shard_map`` reports siblings) is transparently upgraded to
+    the full ring, so clients only ever need to know one member.
+
+    Returns ``True`` on success; ``False`` when the server (every
+    shard, for a ring) is unreachable, rejects the handshake, or
+    speaks a different protocol version — the engine is left untouched
+    and computes locally, which is always behaviourally identical.
     """
     try:
-        client = CacheClient(address, timeout=timeout,
-                             auth_token=auth_token, encoding=encoding)
+        client = _open_client(address, timeout=timeout,
+                              auth_token=auth_token, encoding=encoding)
     except ReproError:
         return False
     try:
@@ -1433,6 +1703,26 @@ def attach_engine(engine: EvaluationEngine, address: str, *,
     except ReproError:
         client.close()
         return False
+    if isinstance(client, CacheClient):
+        members = client.server_shard_map  # learned in the handshake
+        if members is None:
+            try:
+                members = client.shard_map()
+            except ReproError:
+                members = None
+        if members and len(members) > 1:
+            from repro.core.shard import ShardedCacheClient
+
+            sharded = ShardedCacheClient(
+                members, timeout=timeout, auth_token=auth_token,
+                encoding=encoding)
+            try:
+                sharded.ping()
+            except ReproError:
+                sharded.close()  # keep the single reachable member
+            else:
+                client.close()
+                client = sharded
     engine.attach_backend(RemoteCacheBackend(client, batch_size=batch_size))
     return True
 
@@ -1467,9 +1757,9 @@ def synthesize_remote(graph: DataFlowGraph, library: ResourceLibrary,
     from repro.core.find_design import find_design
 
     try:
-        client = CacheClient(address, timeout=timeout,
-                             auth_token=auth_token, encoding=encoding,
-                             job_timeout=job_timeout)
+        client = _open_client(address, timeout=timeout,
+                              auth_token=auth_token, encoding=encoding,
+                              job_timeout=job_timeout)
     except CacheError:
         client = None
     if client is not None:
@@ -1500,9 +1790,9 @@ def evaluate_batch_remote(graph: DataFlowGraph, allocations,
 
     allocations = list(allocations)
     try:
-        client = CacheClient(address, timeout=timeout,
-                             auth_token=auth_token, encoding=encoding,
-                             job_timeout=job_timeout)
+        client = _open_client(address, timeout=timeout,
+                              auth_token=auth_token, encoding=encoding,
+                              job_timeout=job_timeout)
     except CacheError:
         client = None
     if client is not None:

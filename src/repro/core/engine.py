@@ -412,20 +412,30 @@ class RemoteCacheBackend:
     correctness dependency).
 
     Remote *misses* are remembered too: a key the server did not have
-    is marked absent for :attr:`negative_ttl` seconds, and repeat
-    lookups inside that window answer locally instead of re-asking the
-    server (``EngineStats.remote_negative_hits`` counts the skipped
-    round trips).  Markers are cleared the moment this client stores
-    the key itself, and expire quickly otherwise so results computed
-    by *other* clients are only briefly invisible — a hit-rate
-    trade-off, never a correctness one, since a masked remote hit just
-    means computing locally.
+    is marked absent, and repeat lookups inside that window answer
+    locally instead of re-asking the server
+    (``EngineStats.remote_negative_hits`` counts the skipped round
+    trips).  The window length is the *server's*: protocol-3 ``get``
+    replies carry an authoritative per-miss negative window
+    (registered server-side once per fleet), which this client simply
+    honours; a client-local :attr:`negative_ttl` remains as the
+    default for duck-typed clients that do not report windows, and
+    ``negative_ttl=0`` disables marking entirely.  Markers are cleared
+    the moment this client stores the key itself, and expire quickly
+    otherwise so results computed by *other* clients are only briefly
+    invisible — a hit-rate trade-off, never a correctness one, since a
+    masked remote hit just means computing locally.
 
     *client* is duck-typed (see :class:`repro.core.cache_server.
-    CacheClient`): ``get(layer, key) -> (found, value)``,
-    ``get_many(layer, keys) -> {key: value}``, ``put_many(entries)``,
-    and ``close()``, all raising :class:`~repro.errors.CacheError` on
-    any transport problem.
+    CacheClient`): ``get(layer, key) -> (found, value[, window])``,
+    ``get_many(layer, keys) -> {key: value}`` or ``({key: value},
+    {key: window})``, ``put_many(entries)``, and ``close()``, all
+    raising :class:`~repro.errors.CacheError` on any transport
+    problem.  :class:`~repro.core.shard.ShardedCacheClient` speaks the
+    same surface, so a backend over a shard ring behaves identically —
+    including per-shard fail-open: a dead shard only mutes its own
+    keys, and the client raises (flipping this backend local-only)
+    only when every shard is gone.
     """
 
     #: buffered stores shipped per ``put_many`` round trip.
@@ -499,8 +509,22 @@ class RemoteCacheBackend:
             return False
         return True
 
-    def _mark_absent(self, layer: str, key: tuple) -> None:
+    def _mark_absent(self, layer: str, key: tuple,
+                     window: Optional[float] = None) -> None:
+        """Remember a remote miss for *window* seconds (the server's
+        authoritative negative window when reported, else this
+        client's :attr:`negative_ttl`); ``negative_ttl=0`` disables
+        marking entirely."""
         if not self.negative_ttl:
+            return
+        if window is None:
+            window = self.negative_ttl
+        else:
+            try:
+                window = float(window)
+            except (TypeError, ValueError):
+                window = self.negative_ttl
+        if window <= 0:
             return
         now = time.monotonic()
         negative = self._negative
@@ -510,7 +534,7 @@ class RemoteCacheBackend:
             if len(fresh) >= self.MAX_NEGATIVE:
                 fresh.clear()  # markers are an optimization; drop them
             self._negative = negative = fresh
-        negative[(layer, key)] = now + self.negative_ttl
+        negative[(layer, key)] = now + window
 
     def fetch(self, layer: str, key: tuple) -> Tuple[bool, object]:
         """One remote lookup; ``(False, None)`` on miss or any failure."""
@@ -521,12 +545,16 @@ class RemoteCacheBackend:
                 self.stats.remote_negative_hits += 1
             return False, None
         try:
-            found, value = self.client.get(layer, key)
+            reply = self.client.get(layer, key)
         except ReproError:
             self._fail()
             return False, None
+        # protocol 3 replies are (found, value, window); duck-typed
+        # clients may still answer the legacy (found, value)
+        found, value = reply[0], reply[1]
         if not found:
-            self._mark_absent(layer, key)
+            self._mark_absent(layer, key,
+                              reply[2] if len(reply) > 2 else None)
         return found, value
 
     def fetch_many(self, layer: str, keys: Sequence[tuple]
@@ -546,13 +574,22 @@ class RemoteCacheBackend:
         if not wanted:
             return {}
         try:
-            found = self.client.get_many(layer, wanted)
+            reply = self.client.get_many(layer, wanted)
         except ReproError:
             self._fail()
             return {}
+        # protocol 3 replies are (found, windows); duck-typed clients
+        # may still answer the legacy plain dict
+        if isinstance(reply, tuple) and len(reply) == 2 \
+                and isinstance(reply[0], dict):
+            found, windows = reply
+            if not isinstance(windows, dict):
+                windows = {}
+        else:
+            found, windows = reply, {}
         for key in wanted:
             if key not in found:
-                self._mark_absent(layer, key)
+                self._mark_absent(layer, key, windows.get(key))
         return found
 
     def store(self, layer: str, key: tuple, value: object) -> None:
@@ -581,6 +618,18 @@ class RemoteCacheBackend:
             self.client.close()
         except ReproError:
             pass
+
+    def __getstate__(self):
+        """Pickle (e.g. into a forked ``parallel`` worker) without the
+        per-process state: buffered puts belong to the connection that
+        opened them, and ``_negative`` holds ``time.monotonic()``
+        deadlines — meaningless under another process's monotonic
+        epoch, where a stale marker could mask the server for
+        arbitrarily long (or never expire at all)."""
+        state = self.__dict__.copy()
+        state["_pending"] = []
+        state["_negative"] = {}
+        return state
 
 
 class _RemoteLayer:

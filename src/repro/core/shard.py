@@ -1,0 +1,573 @@
+"""Sharded cache tier: consistent hashing over cache-server processes.
+
+One :class:`~repro.core.cache_server.CacheServer` scales to thousands
+of connections, but it is still a single process: one event loop, one
+LRU budget, one host's worth of RAM and cycles.  This module makes the
+cache tier *horizontal* — the content-addressed layers are partitioned
+by key hash across any number of server processes, and clients route
+every get/put/multi-get to the shard that owns the key.
+
+Pieces:
+
+:class:`ShardRing`
+    A deterministic consistent-hash ring.  Ring points are derived
+    from each member's address string (sha256, :data:`~ShardRing.
+    REPLICAS` virtual nodes per member) and keys are placed by the
+    sha256 of their canonical wire encoding — so every client and
+    every server, in any process on any host, computes the same
+    ``key → shard`` assignment with no coordination.  Removing a
+    member only remaps the keys that member owned (the consistent-
+    hashing property the rebalance tests pin).
+:class:`ShardedCacheClient`
+    The client-side router.  Duck-types the single-server
+    :class:`~repro.core.cache_server.CacheClient` surface that
+    :class:`~repro.core.engine.RemoteCacheBackend` consumes, so an
+    engine attached to a ring is oblivious to the sharding.  The
+    fail-open contract is *per shard*: a dead shard's keys simply miss
+    (the engine computes them locally, identically) while the healthy
+    shards keep serving; only when **every** shard is unreachable does
+    the client raise :class:`~repro.errors.CacheError`, flipping the
+    backend into whole-fleet local fallback exactly as a dead single
+    server would.
+:func:`start_shard_ring`
+    Spawn a local ring of ``N`` servers (one event loop each, its own
+    LRU budget and write-behind snapshot per shard) and hand back a
+    :class:`ShardRingHandle` with the joined ``addr,addr,...`` spec
+    the CLI and :func:`~repro.core.cache_server.attach_engine` accept.
+
+Clients learn ring membership two ways: an explicit comma-separated
+address list (``--cache-server a.sock,b.sock``), or from a single
+member — every sharded server carries the full ring map and reports it
+both in the ``hello`` handshake ack and through the ``shard_map``
+request, so attaching to any one shard discovers the whole ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CacheError, ReproError
+from repro.core import wire
+
+__all__ = [
+    "ShardRing",
+    "ShardedCacheClient",
+    "ShardRingHandle",
+    "start_shard_ring",
+    "parse_ring",
+    "format_ring",
+    "content_hash",
+]
+
+
+def parse_ring(spec) -> Tuple[str, ...]:
+    """``("a", "b")`` for ``"a,b"``; a non-string *spec* is taken as an
+    iterable of addresses.  Empty segments are dropped."""
+    if isinstance(spec, str):
+        parts = [part.strip() for part in spec.split(",")]
+    else:
+        parts = [str(part) for part in spec]
+    addresses = tuple(part for part in parts if part)
+    if not addresses:
+        raise CacheError(f"empty shard ring spec {spec!r}")
+    return addresses
+
+
+def format_ring(addresses: Sequence[str]) -> str:
+    """The comma-joined spec form of *addresses*."""
+    return ",".join(addresses)
+
+
+def content_hash(layer: str, key: tuple) -> int:
+    """Deterministic 64-bit hash of one content-addressed cache key.
+
+    Hashes the canonical json wire encoding (byte-stable across
+    processes and hosts — the property :mod:`repro.core.wire` pins),
+    falling back to ``repr`` for key shapes the json codec does not
+    know (legacy pickle clients may store arbitrary tuples).  Never
+    Python's ``hash()``: that is salted per process, and every client
+    and server must agree on the assignment.
+    """
+    try:
+        payload = wire.encode((layer, key), "json")
+    except ReproError:
+        payload = repr((layer, key)).encode("utf-8", "backslashreplace")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+class ShardRing:
+    """A deterministic consistent-hash ring over shard addresses.
+
+    Ring points depend only on each member's address string (not on
+    list order), so two processes given the same member set in any
+    order assign every key to the same *address*; ``owner_index`` is
+    relative to this instance's member order.  Construction is pure —
+    no sockets are touched.
+    """
+
+    #: Virtual nodes per member; more replicas smooth the key split.
+    REPLICAS = 64
+
+    __slots__ = ("members", "replicas", "_hashes", "_indices")
+
+    def __init__(self, members: Sequence[str], replicas: int = REPLICAS):
+        members = tuple(members)
+        if not members:
+            raise CacheError("a shard ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise CacheError(
+                f"duplicate shard addresses in ring {members!r}")
+        if replicas < 1:
+            raise CacheError(
+                f"ring replicas must be positive, got {replicas}")
+        self.members = members
+        self.replicas = int(replicas)
+        points: List[Tuple[int, int]] = []
+        for index, member in enumerate(members):
+            for replica in range(self.replicas):
+                digest = hashlib.sha256(
+                    f"{member}\x00{replica}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), index))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._indices = [index for _, index in points]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def owner_index(self, layer: str, key: tuple) -> int:
+        """Index (into :attr:`members`) of the shard owning the key."""
+        if len(self.members) == 1:
+            return 0
+        point = content_hash(layer, key)
+        slot = bisect.bisect_right(self._hashes, point) % len(self._hashes)
+        return self._indices[slot]
+
+    def owner(self, layer: str, key: tuple) -> str:
+        """Address of the shard owning the key."""
+        return self.members[self.owner_index(layer, key)]
+
+    def without(self, member: str) -> "ShardRing":
+        """A ring with *member* removed (for rebalance reasoning)."""
+        survivors = [m for m in self.members if m != member]
+        return ShardRing(survivors, self.replicas)
+
+
+def partition_layers(layers, ring: ShardRing, index: int) -> Dict[str, list]:
+    """The subset of snapshot/export *layers* that shard *index* owns —
+    used to seed each member of a ring from one shared snapshot without
+    parking entries where no client will ever ask for them."""
+    return {
+        name: [(key, value) for key, value in entries
+               if ring.owner_index(name, key) == index]
+        for name, entries in layers.items()
+    }
+
+
+class ShardedCacheClient:
+    """Route cache traffic across a ring of cache servers.
+
+    Duck-types the :class:`~repro.core.cache_server.CacheClient`
+    surface (``get`` / ``get_many`` / ``put`` / ``put_many`` / ``ping``
+    / ``stats`` / ``flush`` / ``synthesize`` / ``evaluate_batch`` /
+    ``close``), so :class:`~repro.core.engine.RemoteCacheBackend` and
+    the CLI work unchanged against a ring.
+
+    Failure contract — *per shard*, fail-open:
+
+    * A transport failure against one shard marks that shard dead for
+      the life of this client; its keys answer as misses and its puts
+      are dropped (the engine computes those keys locally, with
+      identical results).  The healthy shards keep serving.
+    * Only when **every** shard is dead does a request raise
+      :class:`~repro.errors.CacheError` — at that point the attached
+      backend flips to whole-fleet local fallback, exactly as it would
+      for a dead single server.
+
+    Server-side jobs (``synthesize`` / ``evaluate_batch``) are not
+    partitioned — they run on the first live shard in ring order.
+    """
+
+    def __init__(self, addresses, *, timeout: Optional[float] = None,
+                 encoding: Optional[str] = None,
+                 auth_token: Optional[str] = None,
+                 job_timeout: Optional[float] = None,
+                 max_frame_bytes: Optional[int] = None):
+        from repro.core import cache_server
+
+        self.addresses = parse_ring(addresses)
+        self.ring = ShardRing(self.addresses)
+        self._kwargs = dict(
+            timeout=(timeout if timeout is not None
+                     else cache_server.CLIENT_TIMEOUT),
+            encoding=encoding,
+            auth_token=auth_token,
+            job_timeout=(job_timeout if job_timeout is not None
+                         else cache_server.JOB_TIMEOUT),
+        )
+        if max_frame_bytes is not None:
+            self._kwargs["max_frame_bytes"] = max_frame_bytes
+        self._clients: Dict[str, object] = {}
+        self._dead: set = set()
+
+    @property
+    def address(self) -> str:
+        """The ring's comma-joined spec form."""
+        return format_ring(self.addresses)
+
+    # -- shard bookkeeping ---------------------------------------------
+    def _live(self, member: str):
+        """This member's client, or ``None`` when it is marked dead."""
+        if member in self._dead:
+            return None
+        client = self._clients.get(member)
+        if client is None:
+            from repro.core.cache_server import CacheClient
+
+            try:
+                client = CacheClient(member, **self._kwargs)
+            except ReproError:
+                self._mark_dead(member)
+                return None
+            self._clients[member] = client
+        return client
+
+    def _mark_dead(self, member: str) -> None:
+        client = self._clients.pop(member, None)
+        self._dead.add(member)
+        if client is not None:
+            try:
+                client.close()
+            except ReproError:
+                pass
+
+    def _require_any_alive(self) -> None:
+        if len(self._dead) >= len(self.addresses):
+            raise CacheError(
+                f"every shard of the cache ring "
+                f"{format_ring(self.addresses)!r} is unreachable")
+
+    @property
+    def dead_shards(self) -> Tuple[str, ...]:
+        """Addresses this client has given up on (fail-open per shard)."""
+        return tuple(m for m in self.addresses if m in self._dead)
+
+    # -- routed cache operations ---------------------------------------
+    def get(self, layer: str, key: tuple):
+        member = self.ring.owner(layer, key)
+        client = self._live(member)
+        if client is not None:
+            try:
+                return client.get(layer, key)
+            except CacheError:
+                self._mark_dead(member)
+        self._require_any_alive()
+        return (False, None, 0.0)
+
+    def get_many(self, layer: str, keys: Sequence[tuple]):
+        by_member: Dict[str, list] = {}
+        for key in keys:
+            by_member.setdefault(self.ring.owner(layer, key),
+                                 []).append(key)
+        found: dict = {}
+        windows: dict = {}
+        for member, member_keys in by_member.items():
+            client = self._live(member)
+            if client is None:
+                continue
+            try:
+                member_found, member_windows = client.get_many(
+                    layer, member_keys)
+            except CacheError:
+                self._mark_dead(member)
+                continue
+            found.update(member_found)
+            windows.update(member_windows)
+        self._require_any_alive()
+        return (found, windows)
+
+    def put(self, layer: str, key: tuple, value: object) -> int:
+        member = self.ring.owner(layer, key)
+        client = self._live(member)
+        if client is not None:
+            try:
+                return client.put(layer, key, value)
+            except CacheError:
+                self._mark_dead(member)
+        self._require_any_alive()
+        return 0
+
+    def put_many(self, entries) -> int:
+        by_member: Dict[str, list] = {}
+        for entry in entries:
+            layer, key = entry[0], entry[1]
+            by_member.setdefault(self.ring.owner(layer, key),
+                                 []).append(entry)
+        adopted = 0
+        for member, member_entries in by_member.items():
+            client = self._live(member)
+            if client is None:
+                continue
+            try:
+                adopted += client.put_many(member_entries)
+            except CacheError:
+                self._mark_dead(member)
+        self._require_any_alive()
+        return adopted
+
+    # -- fleet operations ----------------------------------------------
+    def ping(self) -> None:
+        """Liveness check: succeeds while at least one shard answers."""
+        error: Optional[CacheError] = None
+        alive = 0
+        for member in self.addresses:
+            client = self._live(member)
+            if client is None:
+                continue
+            try:
+                client.ping()
+                alive += 1
+            except CacheError as exc:
+                error = exc
+                self._mark_dead(member)
+        if not alive:
+            raise error if error is not None else CacheError(
+                f"every shard of the cache ring "
+                f"{format_ring(self.addresses)!r} is unreachable")
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated telemetry plus a per-shard breakdown."""
+        per_shard: Dict[str, object] = {}
+        totals: Dict[str, float] = {}
+        for member in self.addresses:
+            client = self._live(member)
+            row = None
+            if client is not None:
+                try:
+                    row = client.stats()
+                except CacheError:
+                    self._mark_dead(member)
+            per_shard[member] = row
+            if isinstance(row, dict):
+                for name, value in row.items():
+                    if isinstance(value, (int, float)) \
+                            and not isinstance(value, bool):
+                        totals[name] = totals.get(name, 0) + value
+        self._require_any_alive()
+        if totals.get("gets"):
+            totals["hit_rate"] = totals.get("hits", 0) / totals["gets"]
+        totals["shards"] = per_shard
+        totals["ring"] = list(self.addresses)
+        return totals
+
+    def flush(self) -> List[Optional[str]]:
+        """Force a write-behind flush on every live shard."""
+        paths: List[Optional[str]] = []
+        for member in self.addresses:
+            client = self._live(member)
+            if client is None:
+                paths.append(None)
+                continue
+            try:
+                paths.append(client.flush())
+            except CacheError:
+                self._mark_dead(member)
+                paths.append(None)
+        self._require_any_alive()
+        return paths
+
+    def shutdown(self) -> None:
+        """Ask every live shard to stop."""
+        for member in self.addresses:
+            client = self._live(member)
+            if client is None:
+                continue
+            try:
+                client.shutdown()
+            except CacheError:
+                self._mark_dead(member)
+
+    # -- jobs: first live shard in ring order --------------------------
+    def _job_client(self):
+        for member in self.addresses:
+            client = self._live(member)
+            if client is not None:
+                yield member, client
+        self._require_any_alive()
+
+    def synthesize(self, graph, library, latency_bound, area_bound, *,
+                   on_design=None, **options):
+        error: Optional[CacheError] = None
+        for member, client in self._job_client():
+            try:
+                return client.synthesize(graph, library, latency_bound,
+                                         area_bound, on_design=on_design,
+                                         **options)
+            except CacheError as exc:
+                error = exc
+                self._mark_dead(member)
+        raise error if error is not None else CacheError(
+            f"every shard of the cache ring "
+            f"{format_ring(self.addresses)!r} is unreachable")
+
+    def evaluate_batch(self, graph, allocations, latency_bound,
+                       **options) -> list:
+        error: Optional[CacheError] = None
+        for member, client in self._job_client():
+            try:
+                return client.evaluate_batch(graph, allocations,
+                                             latency_bound, **options)
+            except CacheError as exc:
+                error = exc
+                self._mark_dead(member)
+        raise error if error is not None else CacheError(
+            f"every shard of the cache ring "
+            f"{format_ring(self.addresses)!r} is unreachable")
+
+    def close(self) -> None:
+        for client in list(self._clients.values()):
+            try:
+                client.close()
+            except ReproError:
+                pass
+        self._clients.clear()
+
+    def __getstate__(self):
+        """Pickle without live connections: the copy re-dials each
+        shard lazily, and gives shards this client marked dead a fresh
+        chance (the mark reflects *this* process's connectivity)."""
+        state = self.__dict__.copy()
+        state["_clients"] = {}
+        state["_dead"] = set()
+        return state
+
+    def __enter__(self) -> "ShardedCacheClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# local rings
+# ----------------------------------------------------------------------
+class ShardRingHandle:
+    """A locally spawned ring of cache servers, stopped as one."""
+
+    def __init__(self, servers, owns_directory: Optional[str] = None):
+        self.servers = list(servers)
+        self.addresses = tuple(server.address for server in self.servers)
+        self._owns_directory = owns_directory
+
+    @property
+    def address(self) -> str:
+        """The comma-joined ring spec clients attach with."""
+        return format_ring(self.addresses)
+
+    def ring(self) -> ShardRing:
+        return ShardRing(self.addresses)
+
+    def entry_counts(self) -> List[int]:
+        return [server.entry_count() for server in self.servers]
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+        if self._owns_directory:
+            shutil.rmtree(self._owns_directory, ignore_errors=True)
+            self._owns_directory = None
+
+    def serve_forever(self) -> None:
+        """Block until any shard stops, then stop the whole ring."""
+        try:
+            while True:
+                for server in self.servers:
+                    if server.stopped:
+                        return
+                time.sleep(0.2)
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ShardRingHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _shard_addresses(shards: int, address: Optional[str]
+                     ) -> Tuple[List[Optional[str]], Optional[str]]:
+    """Per-shard listen addresses for :func:`start_shard_ring`.
+
+    Returns ``(addresses, owned_temp_dir)``.  ``tcp://host:port`` maps
+    to consecutive ports (port 0 lets every shard pick a free one); a
+    unix path ``P`` maps to ``P.shard<i>``; ``None`` puts the ring's
+    sockets in one fresh private temp dir.
+    """
+    from repro.core.cache_server import parse_address
+
+    if address is None:
+        base = tempfile.mkdtemp(prefix="repro-cache-ring-")
+        return ([os.path.join(base, f"shard{i}.sock")
+                 for i in range(shards)], base)
+    parsed = parse_address(address)
+    if parsed[0] == "tcp":
+        _, host, port = parsed
+        if port == 0:
+            return ([f"tcp://{host}:0"] * shards, None)
+        return ([f"tcp://{host}:{port + i}" for i in range(shards)], None)
+    return ([f"{address}.shard{i}" for i in range(shards)], None)
+
+
+def start_shard_ring(shards: int, *, address: Optional[str] = None,
+                     auth_token: Optional[str] = None,
+                     snapshot_dir: Optional[str] = None,
+                     **server_kwargs) -> ShardRingHandle:
+    """Start *shards* local cache servers as one consistent-hash ring.
+
+    Every server learns the full ring map (served in ``hello`` acks and
+    through the ``shard_map`` request) and its own position, keeps its
+    own LRU budget, and — when *snapshot_dir* is given — write-behind
+    flushes its partition to ``<snapshot>.shard<i>``.  Extra keyword
+    arguments are forwarded to every
+    :class:`~repro.core.cache_server.CacheServer`.
+    """
+    if shards < 1:
+        raise CacheError(f"shard count must be positive, got {shards}")
+    from repro.core import cache_store
+    from repro.core.cache_server import CacheServer
+
+    addresses, owned_dir = _shard_addresses(shards, address)
+    servers = []
+    try:
+        for index, shard_address in enumerate(addresses):
+            kwargs = dict(server_kwargs)
+            if snapshot_dir:
+                kwargs.setdefault(
+                    "snapshot_path",
+                    cache_store.snapshot_path(snapshot_dir)
+                    + f".shard{index}")
+            server = CacheServer(shard_address, auth_token=auth_token,
+                                 **kwargs)
+            server.start()
+            servers.append(server)
+        bound = tuple(server.address for server in servers)
+        for index, server in enumerate(servers):
+            # visible to the event loop before any client can connect
+            # to the *ring* (callers only learn the spec from the
+            # handle returned below)
+            server.shard_map = bound
+            server.shard_index = index
+    except ReproError:
+        for server in servers:
+            server.stop()
+        if owned_dir:
+            shutil.rmtree(owned_dir, ignore_errors=True)
+        raise
+    return ShardRingHandle(servers, owned_dir)

@@ -209,9 +209,11 @@ class TestServerBasics:
     def test_get_put_round_trip(self, server):
         with CacheClient(server.address) as client:
             client.ping()
-            assert client.get("density", (("g",), "s", 1)) == (False, None)
+            found, value, window = client.get("density", (("g",), "s", 1))
+            assert (found, value) == (False, None) and window > 0
             assert client.put("density", (("g",), "s", 1), "value") == 1
-            assert client.get("density", (("g",), "s", 1)) == (True, "value")
+            assert client.get("density", (("g",), "s", 1)) \
+                == (True, "value", 0.0)
             # overwrite is not a new adoption
             assert client.put("density", (("g",), "s", 1), "value") == 0
 
@@ -220,8 +222,11 @@ class TestServerBasics:
             entries = [("probes", (("g",), "s", i), i * i) for i in range(5)]
             assert client.put_many(entries) == 5
             keys = [key for _, key, _ in entries] + [(("g",), "s", 99)]
-            found = client.get_many("probes", keys)
+            found, windows = client.get_many("probes", keys)
             assert found == {key: value for _, key, value in entries}
+            # the one absent key came back with a negative window
+            assert set(windows) == {(("g",), "s", 99)}
+            assert windows[(("g",), "s", 99)] > 0
 
     def test_unknown_layer_is_clean_error(self, server):
         with CacheClient(server.address) as client:
@@ -263,7 +268,7 @@ class TestServerBasics:
                 assert stats["layer_sizes"]["probes"] == 4
                 assert stats["evictions"] == 16
                 # the newest entries survived
-                found = client.get_many(
+                found, _windows = client.get_many(
                     "probes", [(("g",), "s", i) for i in range(20)])
                 assert sorted(found.values()) == [16, 17, 18, 19]
 
@@ -418,7 +423,7 @@ def _hammer(address: str, worker_id: int, rounds: int, span: int,
                 # as engine memos are, so last-write-wins is benign
                 key = (("graph", i % span), "sig", round_no)
                 client.put("evaluations", key, ("value", i % span, round_no))
-            found = client.get_many(
+            found, _windows = client.get_many(
                 "evaluations",
                 [(("graph", i), "sig", round_no) for i in range(span)])
             for key, value in found.items():
@@ -455,7 +460,7 @@ class TestConcurrentClients:
             f"lost updates: {rounds * span - stats_entries} entries missing"
         with CacheClient(server.address) as client:
             for round_no in range(rounds):
-                found = client.get_many(
+                found, _windows = client.get_many(
                     "evaluations",
                     [(("graph", i), "sig", round_no) for i in range(span)])
                 assert len(found) == span
@@ -707,7 +712,7 @@ class TestClientForkSafety:
             # the parent's connection survived the child's traffic
             client.ping()
             assert client.get("density", (("g",), "from-child", 1)) \
-                == (True, "child-value")
+                == (True, "child-value", 0.0)
         assert server.stats.connections >= 2, \
             "the child reused the parent's connection"
 
@@ -791,7 +796,7 @@ class TestTCPTransport:
             client.ping()
             assert client.put("density", (("g",), "s", 1), ("v", 2)) == 1
             assert client.get("density", (("g",), "s", 1)) \
-                == (True, ("v", 2))
+                == (True, ("v", 2), 0.0)
             stats = client.stats()
             assert stats["handshakes"] == 1
             assert stats["auth_failures"] == 0
@@ -875,7 +880,8 @@ class TestTCPTransport:
         with CacheClient(tcp_server.address, auth_token=TOKEN) as client:
             client.ping()
             client.put("density", (("g",), "s", 1), ("v",))
-            assert client.get("density", (("g",), "s", 1)) == (True, ("v",))
+            assert client.get("density", (("g",), "s", 1)) \
+                == (True, ("v",), 0.0)
             result = client.synthesize(diffeq(), lib, 8, 20)
             assert result.area <= 20
 
@@ -982,3 +988,152 @@ class TestSynthesizeRPC:
         with CacheClient(server.address, encoding="json") as client:
             modern = client.synthesize(diffeq(), lib, 8, 20)
         assert design_fingerprint(legacy) == design_fingerprint(modern)
+
+
+# ----------------------------------------------------------------------
+# event-loop hardening: fd exhaustion, backpressure, stream drops
+# ----------------------------------------------------------------------
+class TestAcceptHardening:
+    def test_fd_exhaustion_pauses_accept_but_keeps_serving(self, tmp_path):
+        """Satellite regression: ``accept()`` raising EMFILE used to be
+        swallowed with a bare ``return``, leaving the listener readable
+        and the event loop spinning hot (and, on some kernels, the
+        pending connection wedged forever).  Now the listener pauses
+        briefly, existing connections keep being served, and accepting
+        resumes once descriptors free up."""
+        resource = pytest.importorskip("resource")
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        address = str(tmp_path / "fd.sock")
+        server = cache_server.CacheServer(address).start()
+        reserve = [os.open(os.devnull, os.O_RDONLY) for _ in range(8)]
+        hogs = []
+        thread = None
+        try:
+            with CacheClient(address, timeout=15.0) as steady:
+                steady.put("density", (("g",), "k", 1), "v")
+                resource.setrlimit(resource.RLIMIT_NOFILE, (256, hard))
+                try:
+                    while True:
+                        hogs.append(os.open(os.devnull, os.O_RDONLY))
+                except OSError:
+                    pass
+                assert hogs, "could not exhaust the fd table"
+                # one descriptor back: enough for the late client's
+                # socket, NOT enough for the server's accept()ed end
+                os.close(reserve.pop())
+                outcome = {}
+
+                def late_client():
+                    try:
+                        with CacheClient(address, timeout=15.0) as late:
+                            outcome["get"] = late.get(
+                                "density", (("g",), "k", 1))
+                    except Exception as exc:  # pragma: no cover
+                        outcome["error"] = repr(exc)
+
+                thread = threading.Thread(target=late_client)
+                thread.start()
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline \
+                        and not server.stats.accept_errors:
+                    time.sleep(0.01)
+                assert server.stats.accept_errors >= 1
+                # the pre-existing connection is served while paused
+                assert steady.get("density", (("g",), "k", 1))[:2] \
+                    == (True, "v")
+                for fd in hogs:
+                    os.close(fd)
+                hogs = []
+                thread.join(timeout=15.0)
+                assert not thread.is_alive()
+                assert "error" not in outcome, outcome
+                assert outcome["get"][:2] == (True, "v")
+        finally:
+            for fd in hogs:
+                os.close(fd)
+            for fd in reserve:
+                os.close(fd)
+            resource.setrlimit(resource.RLIMIT_NOFILE, (soft, hard))
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=15.0)
+            server.stop()
+
+
+class TestBackpressure:
+    def test_stalled_reader_is_disconnected_cleanly(self, tmp_path):
+        """A client that pipelines requests without draining replies
+        must not buffer the server into the ground: past the outbuf
+        cap the connection gets one clean error frame and is closed —
+        and the server keeps serving everyone else."""
+        address = str(tmp_path / "bp.sock")
+        with cache_server.CacheServer(
+                address, max_outbuf_bytes=64 * 1024) as server:
+            big = "x" * 16384
+            key = (("g",), "big", 1)
+            server.seed({"density": [(key, big)]})
+            sock = socket.socket(socket.AF_UNIX)
+            sock.connect(address)
+            sock.settimeout(30.0)
+            try:
+                request = wire.encode(("get", "density", key), "pickle")
+                framed = struct.pack("!I", len(request)) + request
+                sock.sendall(framed * 400)  # ~6.5 MB of replies due
+                # now drain: ok replies, then the condemnation frame,
+                # then EOF — never a hang, never a killed server
+                saw_backpressure = False
+                while True:
+                    reply = _recv_frame(sock)
+                    if reply is None:
+                        break
+                    if reply[0] == "error":
+                        assert "backpressure" in reply[1]
+                        saw_backpressure = True
+                assert saw_backpressure
+            finally:
+                sock.close()
+            assert server.stats.backpressure_disconnects == 1
+            with CacheClient(address, timeout=10.0) as other:
+                other.ping()
+                assert other.get("density", key)[:2] == (True, big)
+
+    def test_design_stream_frames_dropped_when_not_draining(self,
+                                                            tmp_path):
+        """White-box: optional ``design`` stream frames are shed once a
+        connection's outbuf backs up, but the job's final reply always
+        goes out."""
+        server = cache_server.CacheServer(
+            str(tmp_path / "unused.sock"), stream_outbuf_bytes=1024)
+        left, right = socket.socketpair()
+        try:
+            conn = cache_server._Connection(
+                left, "unix", time.monotonic())
+            conn.handshaken = True
+            conn.codec = "pickle"
+            conn.busy = True
+            backlog = b"\0" * 4096  # a stalled reader's buffered bytes
+            conn.outbuf += backlog
+            server._io_queue.append(
+                ("frame", conn, ("design", "streamed")))
+            server._io_queue.append(("done", conn, ("ok", "final")))
+            server._drain_io_queue()
+            assert server.stats.designs_dropped == 1
+            assert conn.busy is False
+            right.settimeout(5.0)
+            received = bytearray()
+            while len(received) < len(backlog):
+                received += right.recv(1 << 16)
+            assert bytes(received[:len(backlog)]) == backlog
+            del received[:len(backlog)]
+            while len(received) < struct.calcsize("!I"):
+                received += right.recv(1 << 16)
+            (length,) = struct.unpack(
+                "!I", bytes(received[:struct.calcsize("!I")]))
+            while len(received) < struct.calcsize("!I") + length:
+                received += right.recv(1 << 16)
+            payload = bytes(received[struct.calcsize("!I"):])
+            assert wire.decode(payload, "pickle") == ("ok", "final")
+            # nothing else was queued: the design frame is gone
+            assert not conn.outbuf
+        finally:
+            left.close()
+            right.close()

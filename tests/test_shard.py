@@ -1,0 +1,410 @@
+"""The sharded cache tier: ring math, routing, and failure contracts.
+
+Three layers of guarantees, locked down bottom-up:
+
+* **ring determinism** — every process, given the same member set in
+  any order, assigns every key to the same shard address; removing a
+  member only remaps that member's keys (consistent hashing);
+* **routing** — a :class:`~repro.core.shard.ShardedCacheClient` spreads
+  entries across the ring, merges multi-gets, and discovers the full
+  ring from any single member's handshake;
+* **fail-open** — killing one shard mid-run degrades to local compute
+  for that shard's keys with engine-off-identical results; only a
+  whole-ring outage flips the backend into local fallback.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench import diffeq, fir16
+from repro.core import (
+    EvaluationEngine,
+    attach_engine,
+    cache_server,
+    detach_engine,
+    find_design,
+    shard,
+    sweep_bounds,
+)
+from repro.core.shard import (
+    ShardRing,
+    ShardedCacheClient,
+    content_hash,
+    format_ring,
+    parse_ring,
+    partition_layers,
+    start_shard_ring,
+)
+from repro.errors import CacheError
+from repro.library import paper_library
+
+from test_cache_server import design_fingerprint, point_fingerprints
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return paper_library()
+
+
+@pytest.fixture()
+def ring(tmp_path):
+    with start_shard_ring(2, address=str(tmp_path / "ring.sock")) as handle:
+        yield handle
+
+
+def _spread_keys(members, per_member=3):
+    """Concrete keys proven to land on each ring member."""
+    ring = ShardRing(members)
+    chosen = {member: [] for member in members}
+    index = 0
+    while any(len(keys) < per_member for keys in chosen.values()):
+        key = (("g",), "spread", index)
+        owner = ring.owner("density", key)
+        if len(chosen[owner]) < per_member:
+            chosen[owner].append(key)
+        index += 1
+        assert index < 10_000, "ring never covered every member"
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# ring math
+# ----------------------------------------------------------------------
+class TestShardRing:
+    MEMBERS = ("a.sock", "b.sock", "c.sock")
+
+    def test_assignment_is_deterministic_and_order_independent(self):
+        forward = ShardRing(self.MEMBERS)
+        backward = ShardRing(tuple(reversed(self.MEMBERS)))
+        for index in range(200):
+            key = (("g",), "k", index)
+            assert forward.owner("density", key) \
+                == backward.owner("density", key)
+
+    def test_every_member_owns_keys(self):
+        ring = ShardRing(self.MEMBERS)
+        owners = {ring.owner("density", (("g",), "k", i))
+                  for i in range(300)}
+        assert owners == set(self.MEMBERS)
+
+    def test_removal_only_remaps_the_removed_members_keys(self):
+        """The consistent-hashing property: dropping one member moves
+        only the keys that member owned — everything else stays put."""
+        ring = ShardRing(self.MEMBERS)
+        survivor_ring = ring.without("b.sock")
+        for index in range(300):
+            key = (("g",), "k", index)
+            before = ring.owner("density", key)
+            after = survivor_ring.owner("density", key)
+            if before != "b.sock":
+                assert after == before
+            else:
+                assert after in survivor_ring.members
+
+    def test_content_hash_is_stable_across_layers(self):
+        key = (("g",), "k", 1)
+        assert content_hash("density", key) == content_hash("density", key)
+        assert content_hash("density", key) != content_hash("timing", key)
+
+    def test_content_hash_accepts_unencodable_keys(self):
+        class Opaque:
+            def __repr__(self):
+                return "Opaque()"
+
+        value = content_hash("density", (Opaque(),))
+        assert value == content_hash("density", (Opaque(),))
+
+    def test_ring_rejects_bad_member_sets(self):
+        with pytest.raises(CacheError):
+            ShardRing(())
+        with pytest.raises(CacheError):
+            ShardRing(("a.sock", "a.sock"))
+        with pytest.raises(CacheError):
+            ShardRing(("a.sock",), replicas=0)
+
+    def test_spec_round_trip(self):
+        assert parse_ring("a.sock, b.sock,,c.sock") \
+            == ("a.sock", "b.sock", "c.sock")
+        assert format_ring(("a.sock", "b.sock")) == "a.sock,b.sock"
+        assert parse_ring(["a.sock"]) == ("a.sock",)
+        with pytest.raises(CacheError):
+            parse_ring(" , ")
+
+    def test_partition_layers_splits_without_loss(self):
+        members = self.MEMBERS
+        ring = ShardRing(members)
+        layers = {"density": [((("g",), "k", i), i) for i in range(120)]}
+        parts = [partition_layers(layers, ring, i)
+                 for i in range(len(members))]
+        merged = [entry for part in parts for entry in part["density"]]
+        assert sorted(merged) == sorted(layers["density"])
+        assert all(part["density"] for part in parts)
+
+
+# ----------------------------------------------------------------------
+# routed clients against a live ring
+# ----------------------------------------------------------------------
+class TestShardedClient:
+    def test_entries_spread_across_shards(self, ring):
+        with ShardedCacheClient(ring.addresses, timeout=10.0) as client:
+            for index in range(60):
+                client.put("density", (("g",), "k", index), index)
+            counts = ring.entry_counts()
+        assert sum(counts) == 60
+        assert all(count > 0 for count in counts), counts
+
+    def test_get_and_get_many_route_to_the_owner(self, ring):
+        hash_ring = ring.ring()
+        with ShardedCacheClient(ring.addresses, timeout=10.0) as client:
+            keys = [(("g",), "k", index) for index in range(40)]
+            for index, key in enumerate(keys):
+                client.put("density", key, index)
+            for index, key in enumerate(keys):
+                assert client.get("density", key)[:2] == (True, index)
+            found, windows = client.get_many(
+                "density", keys + [(("g",), "absent", 1)])
+            assert found == {key: index for index, key in enumerate(keys)}
+            assert set(windows) == {(("g",), "absent", 1)}
+        # the stored keys really live on the shard the ring names
+        for index, server in enumerate(ring.servers):
+            snapshot = server.export_layers()
+            for key, _value in snapshot.get("density", []):
+                assert hash_ring.owner_index("density", key) == index
+
+    def test_handshake_reports_the_ring(self, ring):
+        # a handshaking (json) client learns the ring from the ack ...
+        with cache_server.CacheClient(ring.addresses[0], timeout=10.0,
+                                      encoding="json") as client:
+            client.ping()  # connections are lazy; handshake on first use
+            assert client.server_shard_map == ring.addresses
+            assert client.shard_map() == ring.addresses
+        # ... a legacy pickle client can still ask for it explicitly
+        with cache_server.CacheClient(ring.addresses[0],
+                                      timeout=10.0) as client:
+            assert client.server_shard_map is None
+            assert client.shard_map() == ring.addresses
+
+    def test_attach_to_one_member_discovers_the_ring(self, ring, lib):
+        """`--cache-server one-member` is enough: the handshake carries
+        the shard map and the engine upgrades to the full ring."""
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.addresses[0])
+        try:
+            assert isinstance(engine.backend.client, ShardedCacheClient)
+            assert engine.backend.client.addresses == ring.addresses
+            find_design(fir16(), lib, 10, 9, engine=engine)
+        finally:
+            detach_engine(engine)
+        assert all(count > 0 for count in ring.entry_counts())
+
+    def test_stats_aggregate_and_break_down(self, ring):
+        with ShardedCacheClient(ring.addresses, timeout=10.0) as client:
+            client.put("density", (("g",), "k", 1), "v")
+            client.get("density", (("g",), "k", 1))
+            client.ping()
+            stats = client.stats()
+        assert stats["ring"] == list(ring.addresses)
+        assert set(stats["shards"]) == set(ring.addresses)
+        assert stats["gets"] >= 1 and stats["hits"] >= 1
+        assert 0.0 < stats["hit_rate"] <= 1.0
+        assert all(row["shard_index"] == index
+                   for index, row in enumerate(
+                       stats["shards"][addr]
+                       for addr in ring.addresses))
+
+    def test_single_dead_shard_fails_open(self, ring):
+        spread = _spread_keys(ring.addresses)
+        with ShardedCacheClient(ring.addresses, timeout=2.0) as client:
+            for member, keys in spread.items():
+                for key in keys:
+                    client.put("density", key, member)
+            dead = ring.addresses[0]
+            ring.servers[0].stop()
+            # the dead shard's keys miss; the survivor's keys still hit
+            for key in spread[dead]:
+                assert client.get("density", key)[0] is False
+            assert client.dead_shards == (dead,)
+            for key in spread[ring.addresses[1]]:
+                assert client.get("density", key)[:2] \
+                    == (True, ring.addresses[1])
+            # puts to the dead shard drop; the survivor still adopts
+            assert client.put("density", spread[dead][0], "x") == 0
+            found, _windows = client.get_many(
+                "density", spread[dead] + spread[ring.addresses[1]])
+            assert set(found) == set(spread[ring.addresses[1]])
+            client.ping()  # one live shard keeps the fleet alive
+
+    def test_whole_ring_outage_raises(self, ring):
+        with ShardedCacheClient(ring.addresses, timeout=2.0) as client:
+            client.ping()
+            for server in ring.servers:
+                server.stop()
+            with pytest.raises(CacheError, match="every shard"):
+                for index in range(10):
+                    client.get("density", (("g",), "k", index))
+
+    def test_jobs_fail_over_to_the_next_live_shard(self, ring, lib):
+        off = EvaluationEngine(cache=False)
+        reference = design_fingerprint(
+            find_design(fir16(), lib, 10, 9, engine=off))
+        with ShardedCacheClient(ring.addresses, timeout=2.0,
+                                job_timeout=120.0) as client:
+            ring.servers[0].stop()
+            result = client.synthesize(fir16(), lib, 10, 9)
+            assert design_fingerprint(result) == reference
+            assert client.dead_shards == (ring.addresses[0],)
+
+
+# ----------------------------------------------------------------------
+# server-side negative windows + marker pickling
+# ----------------------------------------------------------------------
+class TestServerNegativeWindows:
+    def test_first_miss_registers_a_window(self, tmp_path):
+        address = str(tmp_path / "neg.sock")
+        with cache_server.CacheServer(address) as server:
+            with cache_server.CacheClient(address) as client:
+                found, _value, window = client.get("density", (("g",), "m"))
+                assert found is False and window > 0.0
+                client.get("density", (("g",), "m"))
+                assert server.stats.negative_hits == 1
+
+    def test_a_put_clears_the_window(self, tmp_path):
+        address = str(tmp_path / "neg2.sock")
+        with cache_server.CacheServer(address) as server:
+            with cache_server.CacheClient(address) as client:
+                client.get("density", (("g",), "m"))
+                client.put("density", (("g",), "m"), "v")
+                assert client.get("density", (("g",), "m"))[:2] \
+                    == (True, "v")
+                assert server.stats.negative_hits == 0
+
+    def test_fleet_wide_single_ask(self, ring):
+        """The windows live server-side, so one engine's miss saves a
+        *different* engine's round trip — impossible with client-local
+        markers."""
+        key = (("g",), "cold-everywhere")
+        with ShardedCacheClient(ring.addresses, timeout=10.0) as first:
+            assert first.get("density", key)[0] is False
+        with ShardedCacheClient(ring.addresses, timeout=10.0) as second:
+            found, _value, window = second.get("density", key)
+            assert found is False and window > 0.0
+        assert sum(server.stats.negative_hits
+                   for server in ring.servers) == 1
+
+    def test_backend_honours_the_server_window(self):
+        from repro.core.engine import EngineStats, RemoteCacheBackend
+
+        class _WindowClient:
+            def __init__(self):
+                self.gets = 0
+
+            def get(self, layer, key):
+                self.gets += 1
+                return (False, None, 60.0)
+
+            def close(self):
+                pass
+
+        import time as time_module
+
+        client = _WindowClient()
+        # a tiny client-side default, but the server grants 60s: the
+        # authoritative window governs, outliving the local ttl
+        backend = RemoteCacheBackend(client, negative_ttl=0.005)
+        backend.stats = EngineStats()
+        assert backend.fetch("density", ("k",)) == (False, None)
+        time_module.sleep(0.02)  # the local default would have expired
+        assert backend.fetch("density", ("k",)) == (False, None)
+        assert client.gets == 1, \
+            "the server-granted window was not honoured"
+        assert backend.stats.remote_negative_hits == 1
+
+    def test_markers_do_not_survive_pickling(self, ring):
+        """Satellite bugfix: ``time.monotonic`` deadlines are only
+        meaningful in the process that measured them.  A backend
+        pickled into a forked/spawned worker must arrive with an empty
+        marker table and an empty write-behind buffer."""
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.address)
+        try:
+            backend = engine.backend
+            backend.fetch("density", (("g",), "will-miss"))
+            backend.store("density", (("g",), "pending"), "v")
+            assert backend._negative and backend._pending
+            clone = pickle.loads(pickle.dumps(backend))
+            assert clone._negative == {}
+            assert clone._pending == []
+            # the original keeps its state; only the copy is scrubbed
+            assert backend._negative and backend._pending
+        finally:
+            detach_engine(engine)
+
+
+# ----------------------------------------------------------------------
+# transparency: sharded ≡ single ≡ engine-off, even mid-failure
+# ----------------------------------------------------------------------
+class TestShardedSweepEquivalence:
+    LATENCIES, AREAS = [10, 11, 12], [8, 9]
+
+    def _engine_off(self, lib):
+        return point_fingerprints(sweep_bounds(
+            fir16(), lib, self.LATENCIES, self.AREAS,
+            engine=EvaluationEngine(cache=False)))
+
+    def test_sharded_sweep_matches_engine_off(self, ring, lib):
+        reference = self._engine_off(lib)
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.address)
+        try:
+            points = sweep_bounds(fir16(), lib, self.LATENCIES,
+                                  self.AREAS, engine=engine)
+        finally:
+            detach_engine(engine)
+        assert point_fingerprints(points) == reference
+        assert all(count > 0 for count in ring.entry_counts())
+        # a second engine over the same ring serves from both shards
+        second = EvaluationEngine()
+        assert attach_engine(second, ring.address)
+        try:
+            points = sweep_bounds(fir16(), lib, self.LATENCIES,
+                                  self.AREAS, engine=second)
+        finally:
+            detach_engine(second)
+        assert point_fingerprints(points) == reference
+        assert second.stats.remote_hits > 0
+        hits = [server.stats.hits for server in ring.servers]
+        assert sum(1 for count in hits if count > 0) >= 2, hits
+
+    def test_shard_killed_mid_sweep_degrades_fail_open(self, ring, lib):
+        """Satellite: one shard dies between grid points — the engine
+        stays attached, the survivor keeps serving its keys, and every
+        design matches the engine-off reference."""
+        reference = self._engine_off(lib)
+        pairs = [(latency, area) for latency in self.LATENCIES
+                 for area in self.AREAS]
+        engine = EvaluationEngine()
+        assert attach_engine(engine, ring.address, timeout=2.0)
+        try:
+            fingerprints = []
+            for count, (latency, area) in enumerate(pairs):
+                if count == len(pairs) // 2:
+                    ring.servers[0].stop()  # dies under the live client
+                try:
+                    result = find_design(fir16(), lib, latency, area,
+                                         engine=engine)
+                except Exception as exc:
+                    from repro.errors import NoSolutionError
+
+                    if not isinstance(exc, NoSolutionError):
+                        raise
+                    result = None
+                fingerprints.append(
+                    (latency, area, design_fingerprint(result)))
+            assert fingerprints == reference
+            assert engine.backend is not None, \
+                "one dead shard must not flip the whole fleet to local"
+            assert engine.backend.client.dead_shards \
+                == (ring.addresses[0],)
+        finally:
+            detach_engine(engine)
