@@ -13,7 +13,13 @@ benchmark puts numbers behind both halves:
 * **remote synthesize** — the Table 2 grids are swept twice, once via
   the ``synthesize`` RPC of a TCP server and once locally, and every
   selected design must be identical (the acceptance gate; timing is
-  reported but never asserted — the equivalence carries the claim).
+  reported but never asserted — the equivalence carries the claim);
+* **RPC batch window** — the same 4 clients drive ``evaluate_batch``
+  jobs at an unwindowed and a windowed (``batch_window``) server;
+  the windowed run must aggregate (mean ``window_fill`` > 1.5
+  items per merged flush) and return results identical to the
+  unwindowed server and to local compute.  The throughput delta is
+  reported, never asserted — equivalence and fill carry the claim.
 
 Results land in ``BENCH_cache_service.json`` (schema in README.md).
 
@@ -43,6 +49,9 @@ from benchjson import write_bench_json
 WORKERS = 4
 ROUNDS = 6
 QUICK_ROUNDS = 2
+WINDOW_ROUNDS = 10
+QUICK_WINDOW_ROUNDS = 4
+BATCH_WINDOW_S = 0.01
 AUTH_TOKEN = "bench-cache-service"
 WORKLOADS = ("fir", "ew", "diffeq")
 
@@ -147,6 +156,134 @@ def _design_fingerprint(result):
             dict(result.binding.op_to_instance))
 
 
+def _eval_fingerprints(evals):
+    return [None if e is None else
+            (e.latency, e.area, tuple(sorted(e.schedule.starts.items())))
+            for e in evals]
+
+
+def _window_allocations(graph, quick):
+    """A deterministic allocation set sized so one cold merged call
+    outlasts the client round trips (the window needs work to batch)."""
+    import itertools
+
+    library = paper_library()
+    rtypes = sorted({op.rtype for op in graph})
+    allocations = []
+    for pick in itertools.product(
+            *(library.versions_of(rtype) for rtype in rtypes)):
+        chosen = dict(zip(rtypes, pick))
+        allocations.append(
+            {op.op_id: chosen[op.rtype] for op in graph})
+    return allocations[:8 if quick else 16]
+
+
+def _window_worker(address, rounds, base_latency, quick, worker_id, out):
+    """One fleet client: a fresh (cold) evaluate_batch job per round."""
+    try:
+        graph = get_benchmark("diffeq")
+        allocations = _window_allocations(graph, quick)
+        client = CacheClient(address, timeout=60.0, job_timeout=600.0)
+        fingerprints = []
+        for round_no in range(rounds):
+            # every round raises the bound: cold for the whole fleet,
+            # identical across the fleet, so windows have work to
+            # aggregate *and* deduplicate
+            evals = client.evaluate_batch(graph, allocations,
+                                          base_latency + round_no)
+            fingerprints.append(_eval_fingerprints(evals))
+        client.close()
+        out.put((worker_id, fingerprints))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out.put((worker_id, repr(exc)))
+
+
+def _drive_window_clients(address, rounds, base_latency, quick):
+    context = multiprocessing.get_context("fork")
+    out = context.Queue()
+    processes = [
+        context.Process(target=_window_worker,
+                        args=(address, rounds, base_latency, quick,
+                              i, out))
+        for i in range(WORKERS)
+    ]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    results = {}
+    for _ in processes:
+        worker_id, payload = out.get(timeout=600.0)
+        assert isinstance(payload, list), \
+            f"window client {worker_id} failed: {payload}"
+        results[worker_id] = payload
+    wall = time.perf_counter() - started
+    for process in processes:
+        process.join(timeout=60.0)
+        assert process.exitcode == 0
+    jobs = WORKERS * rounds
+    return results, {
+        "clients": WORKERS,
+        "jobs": jobs,
+        "wall_s": wall,
+        "jobs_s": jobs / wall,
+    }
+
+
+def measure_window(quick=False):
+    """4-client evaluate_batch load, windowed vs unwindowed.
+
+    Both servers must return results identical to each other and to a
+    local engine-off run; the windowed server must additionally show
+    real aggregation (mean fill > 1.5 items per merged flush — the
+    ISSUE 9 acceptance gate).  Throughput is reported, not asserted.
+    """
+    rounds = QUICK_WINDOW_ROUNDS if quick else WINDOW_ROUNDS
+    base_latency = 8
+    graph = get_benchmark("diffeq")
+    allocations = _window_allocations(graph, quick)
+    local = [
+        _eval_fingerprints(EvaluationEngine(cache=False).evaluate_batch(
+            graph, allocations, base_latency + round_no))
+        for round_no in range(rounds)
+    ]
+    report_rows = {}
+    fleets = {}
+    for mode, batch_window in (("unwindowed", 0.0),
+                               ("windowed", BATCH_WINDOW_S)):
+        with CacheServer(batch_window=batch_window) as server:
+            fleet, row = _drive_window_clients(server.address, rounds,
+                                               base_latency, quick)
+            stats = server.stats.as_dict()
+        row["window_batches"] = stats["window_batches"]
+        row["window_items"] = stats["window_items"]
+        row["window_fill"] = stats["window_fill"]
+        row["window_wait_p99_ms"] = stats["window_wait_p99"] * 1e3
+        report_rows[mode] = row
+        fleets[mode] = fleet
+    for mode, fleet in fleets.items():
+        for worker_id, fingerprints in fleet.items():
+            assert fingerprints == local, \
+                f"{mode} client {worker_id} diverged from local compute"
+    unwindowed = report_rows["unwindowed"]
+    windowed = report_rows["windowed"]
+    assert unwindowed["window_batches"] == 0, \
+        "the unwindowed server must never aggregate"
+    assert windowed["window_items"] == WORKERS * rounds, \
+        "every windowed job must pass through the window accounting"
+    assert windowed["window_fill"] > 1.5, (
+        f"windowed fleet load only filled "
+        f"{windowed['window_fill']:.2f} items/batch")
+    return {
+        "rounds": rounds,
+        "allocations": len(allocations),
+        "batch_window_ms": BATCH_WINDOW_S * 1e3,
+        "unwindowed": unwindowed,
+        "windowed": windowed,
+        "throughput_ratio": windowed["jobs_s"] / unwindowed["jobs_s"],
+        "results_identical": True,
+    }
+
+
 def _grid(benchmark, quick):
     grid = paper_data.table2_grid(benchmark)
     latencies = sorted({latency for latency, _ in grid})
@@ -204,7 +341,7 @@ def measure_synthesize(quick=False):
     return {"workloads": rows, "designs_streamed": streamed}
 
 
-def report(load, synthesize):
+def report(load, synthesize, window):
     table = ExperimentTable(
         title=f"Evaluation service under load (workers={WORKERS})",
         headers=("transport", "ops", "p50 ms", "p99 ms", "max ms",
@@ -241,24 +378,49 @@ def report(load, synthesize):
         )
     rpc.add_note(f"improving designs streamed: "
                  f"{synthesize['designs_streamed']}")
+    batching = ExperimentTable(
+        title=f"RPC batch window under fleet load (clients={WORKERS}, "
+              f"window={window['batch_window_ms']:.0f} ms)",
+        headers=("mode", "jobs", "jobs/s", "batches", "fill",
+                 "wait p99 ms", "identical"),
+    )
+    for mode in ("unwindowed", "windowed"):
+        row = window[mode]
+        batching.add_row(
+            mode,
+            row["jobs"],
+            round(row["jobs_s"], 2),
+            int(row["window_batches"]),
+            round(row["window_fill"], 2),
+            round(row["window_wait_p99_ms"], 3),
+            "yes" if window["results_identical"] else "NO",
+        )
+    batching.add_note(
+        f"windowed/unwindowed throughput ratio "
+        f"{window['throughput_ratio']:.2f}")
     path = write_bench_json("cache_service", {
         "load": load,
         "synthesize": synthesize,
+        "window": window,
     })
     print("\n" + table.as_text())
     print("\n" + rpc.as_text())
+    print("\n" + batching.as_text())
     print(f"\nresults written to {path}")
 
 
 def test_cache_service_load_and_rpc():
     load = measure_load()
     synthesize = measure_synthesize()
-    report(load, synthesize)
+    window = measure_window()
+    report(load, synthesize, window)
     for transport, row in load["transports"].items():
         assert row["p50_ms"] > 0.0 and row["p99_ms"] >= row["p50_ms"], \
             transport
     for benchmark, row in synthesize["workloads"].items():
         assert row["designs_identical"], benchmark
+    assert window["windowed"]["window_fill"] > 1.5
+    assert window["results_identical"]
 
 
 if __name__ == "__main__":
@@ -267,10 +429,12 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="trim the traffic and the grid (CI smoke); "
-                             "only design mismatches fail, never timing")
+                             "only design/fill mismatches fail, never "
+                             "timing")
     args = parser.parse_args()
     if args.quick:
-        report(measure_load(quick=True), measure_synthesize(quick=True))
+        report(measure_load(quick=True), measure_synthesize(quick=True),
+               measure_window(quick=True))
         print("remote synthesize == local compute on the quick grid: ok")
     else:
         test_cache_service_load_and_rpc()

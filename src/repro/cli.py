@@ -185,6 +185,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-snapshot-kib", type=int, default=None,
                        help="cap the flushed snapshot file size "
                             "(stalest entries are dropped first)")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       metavar="MS",
+                       help="aggregate evaluate_batch RPCs arriving "
+                            "within this many milliseconds into one "
+                            "merged engine call (0 disables windowing; "
+                            "an idle server still dispatches "
+                            "immediately)")
 
     stats = sub.add_parser("cache-stats",
                            help="query a running cache server's telemetry")
@@ -542,7 +549,8 @@ def _cmd_cache_serve(args) -> int:
         auth_token=auth_token,
         snapshot_path=snapshot_file,
         flush_interval=args.flush_interval,
-        max_snapshot_bytes=max_snapshot_bytes)
+        max_snapshot_bytes=max_snapshot_bytes,
+        batch_window=args.batch_window / 1000.0)
     if snapshot_file and os.path.exists(snapshot_file):
         try:
             adopted = server.seed(cache_store.load(snapshot_file).layers)
@@ -582,7 +590,8 @@ def _serve_shard_ring(args, address, auth_token, snapshot_file,
         args.shards, address=address, auth_token=auth_token,
         snapshot_dir=args.cache_dir,
         flush_interval=args.flush_interval,
-        max_snapshot_bytes=max_snapshot_bytes)
+        max_snapshot_bytes=max_snapshot_bytes,
+        batch_window=args.batch_window / 1000.0)
     base = None
     if snapshot_file and os.path.exists(snapshot_file):
         try:

@@ -44,6 +44,19 @@ Pieces, bottom to top:
     cache layers.  ``synthesize`` streams every improving design back
     (``("design", result)`` frames) before the final reply, so a
     latency-bounded caller always holds the best design found so far.
+RPC batch window (``batch_window`` / ``--batch-window``)
+    With a window configured, ``evaluate_batch`` jobs arriving within
+    it aggregate into *one* merged engine call per flush —
+    :meth:`EvaluationEngine.evaluate_batch_grouped` deduplicates
+    identical (graph, allocation, latency-bound) work across requests
+    so a fleet-wide duplicate computes once — and the per-item
+    results (including each request's own error, never a window
+    mate's) are demultiplexed back to every connection.  The window
+    flushes at its deadline, when ``batch_max_items`` allocation items
+    are pending (overflow splits into several merged calls), and
+    immediately while no flush is in flight, so an idle server adds
+    no latency.  Results are byte-identical to unwindowed and local
+    evaluation; only throughput changes.
 ``attach_engine`` / ``detach_engine``
     Put a :class:`~repro.core.engine.RemoteCacheBackend` speaking this
     protocol behind an engine's cache layers (local LRUs stay as
@@ -101,8 +114,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import CacheError, NoSolutionError, ProtocolError, \
-    ReproError
+from repro.errors import CacheError, CacheTimeoutError, NoSolutionError, \
+    ProtocolError, ReproError
 from repro.core import cache_store, wire
 from repro.core.design import DesignResult
 from repro.core.engine import (
@@ -174,6 +187,19 @@ STREAM_OUTBUF_BYTES = 1024 * 1024
 #: still-readable listener from spinning the selector hot.
 ACCEPT_RETRY_DELAY = 0.5
 
+#: Default server-side RPC batch window, seconds (0 = disabled):
+#: ``evaluate_batch`` jobs arriving within one window are merged into
+#: a single engine call on the warm shared layers.
+DEFAULT_BATCH_WINDOW = 0.0
+
+#: Cap on allocation items aggregated into one window flush; a window
+#: holding more splits into several merged calls.
+BATCH_WINDOW_MAX_ITEMS = 4096
+
+#: Bound on the rolling window-wait sample set behind
+#: :attr:`ServerStats.window_wait_p99`.
+WINDOW_WAIT_SAMPLES = 4096
+
 #: Options a remote ``synthesize`` job may carry.
 SYNTH_OPTIONS = ("area_model", "repair", "refine", "fallback",
                  "latency_sweep")
@@ -227,8 +253,8 @@ def _send_frame(sock: socket.socket, message: tuple,
     try:
         sock.sendall(_LEN.pack(len(payload)) + payload)
     except socket.timeout as exc:
-        raise CacheError("cache connection timed out while "
-                         "sending") from exc
+        raise CacheTimeoutError("cache connection timed out while "
+                                "sending") from exc
     except OSError as exc:
         raise CacheError(f"cache connection failed: {exc}") from exc
 
@@ -247,8 +273,8 @@ def _recv_exact(sock: socket.socket, n: int,
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
         except socket.timeout as exc:
-            raise CacheError("cache connection timed out while "
-                             "receiving") from exc
+            raise CacheTimeoutError("cache connection timed out while "
+                                    "receiving") from exc
         except OSError as exc:
             raise CacheError(f"cache connection failed: {exc}") from exc
         if not chunk:
@@ -540,12 +566,24 @@ class CacheClient:
 
         Returns the evaluations list (``None`` per infeasible item),
         exactly as the local call would.  *options* may carry
-        ``area_model`` and ``scheduler``.
+        ``area_model`` and ``scheduler``.  A job still unanswered at
+        ``job_timeout`` raises :class:`~repro.errors.CacheTimeoutError`
+        (not a generic :class:`CacheError`): the server may simply be
+        aggregating its RPC batch window.  The timed-out connection is
+        dropped and the next request reconnects cleanly.
         """
-        reply = self._request(
-            ("evaluate_batch", graph, list(allocations), latency_bound,
-             dict(options)),
-            timeout=self.job_timeout)
+        try:
+            reply = self._request(
+                ("evaluate_batch", graph, list(allocations),
+                 latency_bound, dict(options)),
+                timeout=self.job_timeout)
+        except CacheTimeoutError as exc:
+            raise CacheTimeoutError(
+                f"evaluate_batch job did not complete within "
+                f"job_timeout={self.job_timeout}s (the server may still "
+                f"be aggregating its RPC batch window); the connection "
+                f"was dropped and will reconnect on the next request"
+            ) from exc
         if not isinstance(reply, tuple) or len(reply) != 2 \
                 or reply[0] != "evals" or not isinstance(reply[1], list):
             raise CacheError(
@@ -584,6 +622,14 @@ class CacheClient:
                             on_design(reply[1])
                         continue
                     break
+            except CacheTimeoutError as exc:
+                self._drop()
+                raise CacheTimeoutError(
+                    f"synthesize job sent no frame within "
+                    f"job_timeout={self.job_timeout}s (the server may "
+                    f"still be aggregating its RPC batch window); the "
+                    f"connection was dropped and will reconnect on the "
+                    f"next request") from exc
             except BaseException:
                 # transport errors *and* a raising on_design callback:
                 # the stream position is unknowable now
@@ -643,16 +689,26 @@ class ServerStats:
     negative_hits: int = 0   # misses answered from a live window
     accept_errors: int = 0   # accept() resource failures (paused, lived)
     backpressure_disconnects: int = 0  # clients dropped at the outbuf cap
+    window_batches: int = 0  # merged window flushes dispatched
+    window_items: int = 0    # jobs aggregated through the batch window
+    window_wait_p99: float = 0.0  # p99 seconds a job waited in the window
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def window_fill(self) -> float:
+        """Mean jobs merged per window flush (1.0 = no aggregation)."""
+        return self.window_items / self.window_batches \
+            if self.window_batches else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         snapshot: Dict[str, float] = {
             name: getattr(self, name) for name in self.__dataclass_fields__
         }
         snapshot["hit_rate"] = self.hit_rate
+        snapshot["window_fill"] = self.window_fill
         return snapshot
 
 
@@ -767,6 +823,20 @@ class CacheServer:
         Backpressure limits: the hard per-connection reply-buffer cap
         (disconnect with a clean error frame beyond it) and the soft
         cap past which optional streamed design frames are dropped.
+    batch_window / batch_max_items:
+        RPC window aggregation (0 disables it): ``evaluate_batch``
+        jobs arriving within *batch_window* seconds are merged into
+        one :meth:`EvaluationEngine.evaluate_batch_grouped` call on
+        the warm shared layers, with identical (graph, allocation,
+        latency-bound) work deduplicated across requests, and the
+        per-item results demultiplexed back to each connection.  The
+        window flushes early when the pending jobs reach
+        *batch_max_items* allocation items (splitting into several
+        merged calls) and *immediately* when no window flush is in
+        flight — an idle executor means waiting could only add
+        latency.  ``synthesize`` jobs always dispatch immediately
+        (their candidate rounds already run batched inside
+        :func:`~repro.core.find_design.find_design`).
     shard_map / shard_index:
         Ring membership (every member's address, in ring order) and
         this server's position in it; served to clients in the hello
@@ -788,6 +858,8 @@ class CacheServer:
                  negative_window: float = NEGATIVE_WINDOW,
                  max_outbuf_bytes: int = MAX_OUTBUF_BYTES,
                  stream_outbuf_bytes: int = STREAM_OUTBUF_BYTES,
+                 batch_window: float = DEFAULT_BATCH_WINDOW,
+                 batch_max_items: int = BATCH_WINDOW_MAX_ITEMS,
                  shard_map: Optional[Sequence[str]] = None,
                  shard_index: Optional[int] = None):
         overrides = dict(layer_capacities or {})
@@ -816,6 +888,8 @@ class CacheServer:
         self.negative_window = max(0.0, float(negative_window))
         self.max_outbuf_bytes = int(max_outbuf_bytes)
         self.stream_outbuf_bytes = int(stream_outbuf_bytes)
+        self.batch_window = max(0.0, float(batch_window))
+        self.batch_max_items = max(1, int(batch_max_items))
         self.shard_map = tuple(shard_map) if shard_map else None
         self.shard_index = shard_index
         self.stats = ServerStats()
@@ -847,6 +921,13 @@ class CacheServer:
         self._io_queue: deque = deque()
         self._waker_r: Optional[socket.socket] = None
         self._waker_w: Optional[socket.socket] = None
+        # RPC batch window (loop-thread-only state): jobs waiting to be
+        # merged, the deadline of the open window, how many merged
+        # flushes are executing, and a rolling wait-time sample set
+        self._window: deque = deque()   # (conn, message, queued_at, items)
+        self._window_deadline: Optional[float] = None
+        self._window_inflight = 0
+        self._window_waits: deque = deque(maxlen=WINDOW_WAIT_SAMPLES)
 
     def _note_eviction(self) -> None:
         self.stats.evictions += 1  # under self._lock (all layer ops are)
@@ -1082,7 +1163,12 @@ class CacheServer:
     def _loop(self) -> None:
         try:
             while not self._stop.is_set():
-                events = self._selector.select(timeout=0.2)
+                timeout = 0.2
+                if self._window_deadline is not None:
+                    # wake exactly when the open batch window expires
+                    timeout = min(timeout, max(
+                        0.0, self._window_deadline - time.monotonic()))
+                events = self._selector.select(timeout=timeout)
                 now = time.monotonic()
                 self._maybe_resume_accept(now)
                 for key, mask in events:
@@ -1102,6 +1188,9 @@ class CacheServer:
                                 and not conn.closed:
                             self._readable(conn, now)
                 self._drain_io_queue()
+                if self._window_deadline is not None \
+                        and time.monotonic() >= self._window_deadline:
+                    self._flush_window(time.monotonic())
                 self._sweep_idle(now)
         finally:
             for conn in list(self._conns):
@@ -1331,6 +1420,9 @@ class CacheServer:
                 self.stats.requests += 1
                 if op != "flush":
                     self.stats.jobs += 1
+            if op == "evaluate_batch" and self.batch_window > 0.0:
+                self._window_add(conn, message)
+                return
             self._executor.submit(self._run_job, conn, message)
             return
         try:
@@ -1407,6 +1499,13 @@ class CacheServer:
                 if not self._io_queue:
                     return
                 kind, conn, message = self._io_queue.popleft()
+            if kind == "window_done":
+                # a merged flush finished: the executor has capacity
+                # again, so jobs that queued behind it flush right away
+                self._window_inflight -= 1
+                if self._window:
+                    self._flush_window(time.monotonic())
+                continue
             if conn.closed:
                 continue
             if kind == "done":
@@ -1430,6 +1529,128 @@ class CacheServer:
         with self._io_lock:
             self._io_queue.append((kind, conn, message))
         self._wake()
+
+    # -- RPC batch window ----------------------------------------------
+    @staticmethod
+    def _job_items(message: tuple) -> int:
+        """Allocation items one windowed job contributes to the cap
+        (malformed shapes count 1; the flush surfaces their error)."""
+        if len(message) == 5 and isinstance(message[2], list):
+            return max(1, len(message[2]))
+        return 1
+
+    def _window_add(self, conn: _Connection, message: tuple) -> None:
+        """Enqueue one windowable job (loop thread only).
+
+        Flush triggers, in priority order: the pending allocation
+        items reached ``batch_max_items``; no merged flush is in
+        flight (waiting would only add latency — the idle-executor
+        fast path); otherwise the job waits for the window deadline or
+        for the in-flight flush to finish, whichever comes first.
+        """
+        now = time.monotonic()
+        self._window.append((conn, message, now,
+                             self._job_items(message)))
+        pending_items = sum(entry[3] for entry in self._window)
+        if pending_items >= self.batch_max_items \
+                or self._window_inflight == 0:
+            self._flush_window(now)
+        elif self._window_deadline is None:
+            self._window_deadline = now + self.batch_window
+
+    def _flush_window(self, now: float) -> None:
+        """Dispatch every pending windowed job (loop thread only).
+
+        Jobs are split into merged calls of at most
+        ``batch_max_items`` allocation items (a single oversized job
+        still dispatches alone).  Jobs whose connection already closed
+        — a client that disconnected mid-window — are shed here: their
+        results could never be delivered, and shedding them cannot
+        starve anyone else because every surviving job keeps its own
+        reply path.
+        """
+        self._window_deadline = None
+        while self._window:
+            take: List[tuple] = []
+            items = 0
+            while self._window and (
+                    not take
+                    or items + self._window[0][3] <= self.batch_max_items):
+                entry = self._window.popleft()
+                take.append(entry)
+                items += entry[3]
+            live = [(conn, message, queued_at)
+                    for conn, message, queued_at, _ in take
+                    if not conn.closed]
+            if not live:
+                continue
+            waits = [now - queued_at for _, _, queued_at in live]
+            with self._lock:
+                self.stats.window_batches += 1
+                self.stats.window_items += len(live)
+                self._window_waits.extend(waits)
+                samples = sorted(self._window_waits)
+                self.stats.window_wait_p99 = samples[
+                    min(len(samples) - 1, int(0.99 * len(samples)))]
+            self._window_inflight += 1
+            self._executor.submit(
+                self._run_window,
+                [(conn, message) for conn, message, _ in live])
+
+    def _run_window(self, jobs: List[tuple]) -> None:
+        """Execute one merged window flush on a job thread.
+
+        Each job is parsed and validated individually; the valid ones
+        share one :meth:`EvaluationEngine.evaluate_batch_grouped` call
+        (cross-request dedupe, per-request error parity), and every
+        job's reply — result or its own error — is demultiplexed back
+        to its connection's reply path.
+        """
+        replies: List[Optional[tuple]] = [None] * len(jobs)
+        try:
+            requests = []
+            submitters = []  # positions in *jobs* with a valid request
+            for position, (conn, message) in enumerate(jobs):
+                try:
+                    requests.append(self._parse_evaluate_batch(message))
+                except CacheError as exc:
+                    replies[position] = ("error", str(exc))
+                    continue
+                submitters.append(position)
+            if requests:
+                engine = self._job_engine()
+                try:
+                    outcomes = engine.evaluate_batch_grouped(requests)
+                finally:
+                    backend = engine.backend
+                    if backend is not None:
+                        backend.flush()
+                for position, (status, payload) in zip(submitters,
+                                                       outcomes):
+                    if status == "ok":
+                        replies[position] = ("ok",
+                                             ("evals", list(payload)))
+                    elif isinstance(payload, ReproError):
+                        replies[position] = ("error", str(payload))
+                    else:
+                        replies[position] = (
+                            "error", f"internal server error: {payload}")
+        except Exception as exc:  # never let a window kill the worker
+            for position, reply in enumerate(replies):
+                if reply is None:
+                    replies[position] = (
+                        "error", f"internal server error: {exc}")
+        finally:
+            errors = sum(1 for reply in replies
+                         if reply is not None and reply[0] == "error")
+            if errors:
+                with self._lock:
+                    self.stats.job_errors += errors
+            for (conn, _message), reply in zip(jobs, replies):
+                self._post("done", conn, reply
+                           or ("error", "internal server error: the "
+                                        "window flush produced no reply"))
+            self._post("window_done", None, None)
 
     # -- jobs ----------------------------------------------------------
     def _job_engine(self) -> EvaluationEngine:
@@ -1509,7 +1730,10 @@ class CacheServer:
                 backend.flush()
         return ("done", result)
 
-    def _job_evaluate_batch(self, message: tuple) -> tuple:
+    def _parse_evaluate_batch(self, message: tuple) -> tuple:
+        """Validated ``(graph, allocations, latency_bound, options)``
+        of one ``evaluate_batch`` request; :class:`CacheError` on a
+        malformed shape."""
         try:
             _, graph, allocations, latency_bound, options = message
         except ValueError as exc:
@@ -1523,6 +1747,11 @@ class CacheServer:
                 "allocations, latency_bound, options)")
         options = self._job_options(options, BATCH_OPTIONS,
                                     "evaluate_batch")
+        return (graph, allocations, latency_bound, options)
+
+    def _job_evaluate_batch(self, message: tuple) -> tuple:
+        graph, allocations, latency_bound, options = \
+            self._parse_evaluate_batch(message)
         engine = self._job_engine()
         try:
             evals = engine.evaluate_batch(graph, allocations,

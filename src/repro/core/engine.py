@@ -89,7 +89,7 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
                     Sequence, Tuple)
 
-from repro.dfg.compiled import compile_graph
+from repro.dfg.compiled import MergedBatch, compile_graph
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import BindingError, ReproError, SchedulingError
 from repro.hls import fastsched
@@ -1408,6 +1408,108 @@ class EvaluationEngine:
             self._evaluations.put(memo_key, result)
             solved[memo_key] = result
             results[idx] = result
+
+    def evaluate_batch_grouped(
+            self, requests: Sequence[tuple]
+            ) -> List[Tuple[str, object]]:
+        """Evaluate several :meth:`evaluate_batch` requests as merged
+        groups — the engine half of the service's RPC batch window.
+
+        *requests* is a sequence of ``(graph, allocations,
+        latency_bound, options)`` tuples, *options* a mapping of
+        :meth:`evaluate_batch` keyword arguments.  Returns one outcome
+        per request, in order: ``("ok", evaluations)`` with exactly the
+        list the request's own :meth:`evaluate_batch` call would
+        return, or ``("error", exception)`` with exactly the
+        :class:`~repro.errors.ReproError` it would raise — one
+        request's failure never contaminates another's results
+        (per-request error parity).
+
+        Requests sharing a group key — identical graph content,
+        latency bound and options — are merged into a *single*
+        :meth:`evaluate_batch` call, with identical allocations
+        deduplicated across requests first
+        (:class:`~repro.dfg.compiled.MergedBatch` keyed on the
+        allocation signature), so a duplicate submitted by several
+        fleet clients in one window is computed once.  If a merged
+        call raises, the group falls back to evaluating each request
+        separately, which restores the exact per-request error the
+        sequential path would have surfaced.
+        """
+        outcomes: List[Optional[Tuple[str, object]]] = \
+            [None] * len(requests)
+        groups: Dict[tuple, List[int]] = {}
+        group_keys: List[Optional[tuple]] = []
+        for index, request in enumerate(requests):
+            try:
+                graph, allocations, latency_bound, options = request
+                options = dict(options or {})
+                key = (self._record(graph).key, int(latency_bound),
+                       tuple(sorted(options.items())))
+            except (TypeError, ValueError, ReproError) as exc:
+                outcomes[index] = ("error", exc if isinstance(
+                    exc, ReproError) else ReproError(
+                        f"malformed evaluate_batch request: {exc}"))
+                group_keys.append(None)
+                continue
+            group_keys.append(key)
+            groups.setdefault(key, []).append(index)
+        for members in groups.values():
+            if len(members) == 1:
+                index = members[0]
+                graph, allocations, latency_bound, options = \
+                    requests[index]
+                outcomes[index] = self._grouped_one(
+                    graph, allocations, latency_bound, options)
+                continue
+            merged = MergedBatch()
+            merged_members = []
+            for index in members:
+                graph, allocations, latency_bound, options = \
+                    requests[index]
+                allocations = list(allocations)
+                try:
+                    keys = [allocation_signature(a) for a in allocations]
+                except Exception:
+                    # a malformed allocation fails its own request with
+                    # the exact per-item exception, nobody else's
+                    outcomes[index] = self._grouped_one(
+                        graph, allocations, latency_bound, options)
+                    continue
+                merged.add_request(allocations, keys=keys)
+                merged_members.append(index)
+            members = merged_members
+            if not members:
+                continue
+            graph, _, latency_bound, options = requests[members[0]]
+            try:
+                flat = self.evaluate_batch(graph, merged.items,
+                                           int(latency_bound),
+                                           **dict(options or {}))
+                per_request = merged.split(flat)
+            except Exception:
+                # restore exact per-request error attribution: each
+                # member re-runs alone and owns whatever it raises
+                for index in members:
+                    graph, allocations, latency_bound, options = \
+                        requests[index]
+                    outcomes[index] = self._grouped_one(
+                        graph, allocations, latency_bound, options)
+                continue
+            for index, evals in zip(members, per_request):
+                outcomes[index] = ("ok", evals)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes
+
+    def _grouped_one(self, graph, allocations, latency_bound, options
+                     ) -> Tuple[str, object]:
+        """One request of :meth:`evaluate_batch_grouped`, alone."""
+        try:
+            return ("ok", self.evaluate_batch(graph, list(allocations),
+                                              int(latency_bound),
+                                              **dict(options or {})))
+        except Exception as exc:  # the request owns its own failure
+            return ("error", exc)
 
     # -- density -------------------------------------------------------
     def _density_best(self, graph, record, signature, allocation, delays,

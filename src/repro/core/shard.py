@@ -528,15 +528,18 @@ def _shard_addresses(shards: int, address: Optional[str]
 def start_shard_ring(shards: int, *, address: Optional[str] = None,
                      auth_token: Optional[str] = None,
                      snapshot_dir: Optional[str] = None,
+                     batch_window: float = 0.0,
                      **server_kwargs) -> ShardRingHandle:
     """Start *shards* local cache servers as one consistent-hash ring.
 
     Every server learns the full ring map (served in ``hello`` acks and
     through the ``shard_map`` request) and its own position, keeps its
     own LRU budget, and — when *snapshot_dir* is given — write-behind
-    flushes its partition to ``<snapshot>.shard<i>``.  Extra keyword
-    arguments are forwarded to every
-    :class:`~repro.core.cache_server.CacheServer`.
+    flushes its partition to ``<snapshot>.shard<i>``.  *batch_window*
+    (seconds) enables per-shard RPC batch aggregation: each member
+    windows its own ``evaluate_batch`` traffic independently, since
+    jobs never cross shards.  Extra keyword arguments are forwarded to
+    every :class:`~repro.core.cache_server.CacheServer`.
     """
     if shards < 1:
         raise CacheError(f"shard count must be positive, got {shards}")
@@ -554,7 +557,7 @@ def start_shard_ring(shards: int, *, address: Optional[str] = None,
                     cache_store.snapshot_path(snapshot_dir)
                     + f".shard{index}")
             server = CacheServer(shard_address, auth_token=auth_token,
-                                 **kwargs)
+                                 batch_window=batch_window, **kwargs)
             server.start()
             servers.append(server)
         bound = tuple(server.address for server in servers)

@@ -330,6 +330,86 @@ class GraphBatch:
                 for prefix, graph in zip(self._prefixes, self.graphs)]
 
 
+class MergedBatch:
+    """Merge several per-request item lists into one deduplicated work
+    list, then split flat results back per request.
+
+    The windowed evaluation service aggregates ``evaluate_batch``
+    requests from many connections into one engine call; this helper
+    owns the index bookkeeping that makes the merge lossless.  Items
+    are deduplicated by a caller-supplied key (the engine uses the
+    allocation signature), so an allocation submitted by several fleet
+    clients in the same window is *computed once* and fanned back out
+    to every requester — the cross-request analogue of the duplicate
+    collapsing :class:`BatchedDelays`-backed kernels already perform
+    within one request.
+
+    >>> merged = MergedBatch()
+    >>> merged.add_request(["a", "b"], keys=["a", "b"])
+    0
+    >>> merged.add_request(["b", "c"], keys=["b", "c"])
+    1
+    >>> merged.items
+    ['a', 'b', 'c']
+    >>> merged.split([1, 2, 3])
+    [[1, 2], [2, 3]]
+    """
+
+    __slots__ = ("items", "_slot_of", "_requests")
+
+    def __init__(self):
+        #: Unique items in first-seen order — the merged work list.
+        self.items: List[object] = []
+        self._slot_of: Dict[object, int] = {}
+        self._requests: List[List[int]] = []
+
+    def add_request(self, items, keys=None) -> int:
+        """Append one request's *items*; returns its request index.
+
+        *keys* (default: the items themselves) must be hashable and
+        equal exactly when two items may share one computation.
+        """
+        items = list(items)
+        keys = items if keys is None else list(keys)
+        if len(keys) != len(items):
+            raise DFGError(
+                f"{len(items)} items but {len(keys)} merge keys")
+        slots = []
+        for item, key in zip(items, keys):
+            slot = self._slot_of.get(key)
+            if slot is None:
+                slot = len(self.items)
+                self._slot_of[key] = slot
+                self.items.append(item)
+            slots.append(slot)
+        self._requests.append(slots)
+        return len(self._requests) - 1
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def merged_items(self) -> int:
+        """Total items submitted across every request."""
+        return sum(len(slots) for slots in self._requests)
+
+    @property
+    def unique_items(self) -> int:
+        """Items surviving deduplication (== ``len(self.items)``)."""
+        return len(self.items)
+
+    def split(self, results) -> List[list]:
+        """Fan per-unique-item *results* back out, one list per request
+        in :meth:`add_request` order."""
+        results = list(results)
+        if len(results) != len(self.items):
+            raise DFGError(
+                f"{len(self.items)} merged items but {len(results)} "
+                f"results")
+        return [[results[slot] for slot in slots]
+                for slots in self._requests]
+
+
 def compile_graph(graph: DataFlowGraph) -> CompiledGraph:
     """The cached compiled form of *graph*.
 
