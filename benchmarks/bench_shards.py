@@ -16,9 +16,11 @@ gates the claims that matter:
   to a 2-shard ring — every selected design must be identical, and a
   cross-process sweep over the warmed ring must take remote hits on
   at least two shards (proof the partitioning actually serves);
-* **failover gate** — one shard is killed mid-sweep; the surviving
-  ring must degrade fail-open (dead shard's keys computed locally)
-  with designs still identical to the local reference.
+* **failover gate** — the ring is warmed under RF=2, then one shard
+  is killed mid-sweep; the survivors must keep designs identical to
+  the local reference *and* serve the dead shard's warm keys from
+  replicas (``replica_hits > 0``, warm-after-kill hit ratio gated) —
+  recovery, not recomputation.
 
 Results land in ``BENCH_shards.json`` (schema in README.md).
 
@@ -84,7 +86,10 @@ def _traffic_entries():
 def _client_worker(addresses, entries, rounds, worker_id, out):
     """One load-generator process: timed routed puts then gets."""
     try:
-        client = ShardedCacheClient(addresses, timeout=60.0)
+        # RF=1: the load rows measure routed distribution, so every
+        # put/get must land on exactly one shard
+        client = ShardedCacheClient(addresses, timeout=60.0,
+                                    replication=1)
         latencies = []
         for round_no in range(rounds):
             for layer, key, value in entries:
@@ -236,7 +241,8 @@ def measure_equivalence(quick=False):
 
 
 def measure_failover(quick=False):
-    """Kill one shard mid-sweep: fail-open, designs still identical."""
+    """Kill one shard mid-sweep under RF=2: fail-open, designs still
+    identical, and the dead shard's warm keys served from replicas."""
     library = paper_library()
     graph = get_benchmark("fir")
     latencies, areas = _grid(quick)
@@ -252,13 +258,23 @@ def measure_failover(quick=False):
         reference.append(_design_fingerprint(result))
 
     with start_shard_ring(2) as ring:
+        # warm both copies of every key the sweep will ask for
+        warm = EvaluationEngine()
+        assert attach_engine(warm, ring.address)
+        sweep_bounds(graph, library, latencies, areas, engine=warm)
+        detach_engine(warm)
+
         engine = EvaluationEngine()
         assert attach_engine(engine, ring.address, timeout=2.0)
+        survivor = ring.servers[1]
         survived = []
+        gets_mark = hits_mark = 0
         started = time.perf_counter()
         for count, (latency, area) in enumerate(pairs):
             if count == len(pairs) // 2:
                 ring.servers[0].stop()  # dies under the live clients
+                gets_mark = survivor.stats.gets
+                hits_mark = survivor.stats.hits
             try:
                 result = find_design(graph, library, latency, area,
                                      engine=engine)
@@ -268,18 +284,34 @@ def measure_failover(quick=False):
         wall = time.perf_counter() - started
         assert engine.backend is not None, \
             "one dead shard flipped the whole fleet to local fallback"
-        dead = engine.backend.client.dead_shards
+        client = engine.backend.client
+        counters = dict(client.counters)
+        dead = client.dead_shards
         detach_engine(engine)
+        gets_after = survivor.stats.gets - gets_mark
+        hits_after = survivor.stats.hits - hits_mark
 
     assert survived == reference, \
         "designs diverged after the mid-sweep shard kill"
     assert dead == (ring.addresses[0],), dead
+    assert counters["replica_hits"] > 0, \
+        "the dead shard's warm keys were recomputed, not recovered"
+    ratio = hits_after / gets_after if gets_after else 0.0
+    assert ratio >= 0.5, \
+        f"warm-after-kill hit ratio {ratio:.2f}: the survivor served " \
+        f"{hits_after}/{gets_after}"
     return {
         "grid_points": len(pairs),
         "killed_shard": 0,
         "dead_shards_observed": list(dead),
         "sweep_s": wall,
         "designs_identical": True,
+        "replication": 2,
+        "replica_hits": counters["replica_hits"],
+        "read_repairs": counters["read_repairs"],
+        "warm_hits_after_kill": hits_after,
+        "gets_after_kill": gets_after,
+        "warm_hit_ratio_after_kill": ratio,
     }
 
 
@@ -319,6 +351,10 @@ def report(load, equivalence, failover):
     gates.add_note(
         f"cross-process hits per shard: "
         f"{equivalence['cross_process_hits_per_shard']}")
+    gates.add_note(
+        f"failover (RF=2): {failover['replica_hits']} replica hits, "
+        f"warm-after-kill hit ratio "
+        f"{failover['warm_hit_ratio_after_kill']:.2f}")
 
     path = write_bench_json("shards", {
         "load": load,

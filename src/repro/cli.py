@@ -9,6 +9,7 @@ Subcommands::
     explore BENCH --latencies .. --areas ..           Pareto sweep
     cache-serve [--address PATH] [--cache-dir DIR]    run a live cache server
     cache-stats [--address PATH | --cache-dir DIR]    query a running server
+    cache-ring status|join|leave --address SPEC       reshape a live shard ring
 
 ``synth`` and ``explore`` accept ``--stats`` to print the evaluation
 engine's cache statistics (evaluations requested, memo hits, schedules
@@ -46,14 +47,30 @@ server is unreachable the search runs locally with identical results.
 TCP using the versioned JSON wire encoding (pickle never crosses a
 TCP socket); ``--auth-token`` sets the shared secret clients must
 present (one is generated and printed when omitted).
+``unix-abstract://NAME`` listens in the abstract ``AF_UNIX``
+namespace — local-only like a socket file, but with no file to
+reclaim (it carries the TCP trust rules: json only, optional auth).
 ``cache-serve --shards N`` runs N servers as one consistent-hash
 ring — each shard owns its slice of the key space with its own LRU
 budget and write-behind snapshot — and prints the comma-separated
-ring spec clients attach with.
+ring spec clients attach with.  Rings replicate every entry on two
+members (RF=2): clients write both copies, fail over reads to the
+replica, and read-repair the primary — so a dead shard's warm keys
+are recovered, not recomputed.
 
 ``cache-stats`` queries a running server's telemetry (requests,
-hit rate, entries per layer, flushes) as text or ``--json`` — point it
-at ``--address`` or at the default socket inside a ``--cache-dir``.
+hit rate, entries per layer, flushes, replica hits) as text or
+``--json`` — point it at ``--address`` or at the default socket
+inside a ``--cache-dir``; unreachable ring members are reported, not
+fatal.
+
+``cache-ring`` inspects or reshapes a *running* ring: ``status``
+prints the versioned ``(members, epoch)`` map; ``join`` adds an
+already-listening server (warm-pulling its key ranges from the
+previous owners before the epoch-bumped map is broadcast, so it
+starts serving warm — also the re-admission path for a restarted
+member); ``leave`` removes one.  Live clients adopt the new map
+mid-sweep; nothing restarts.
 
 The scheduling kernels themselves come in two interchangeable
 implementations (``REPRO_SCHEDULER_IMPL=fast|reference``, default
@@ -164,9 +181,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("cache-serve",
                            help="run a live shared-cache server")
     serve.add_argument("--address",
-                       help="unix socket path or tcp://host:port to "
-                            "listen on (default: inside --cache-dir, "
-                            "else a fresh temp dir)")
+                       help="unix socket path, tcp://host:port, or "
+                            "unix-abstract://name to listen on "
+                            "(default: inside --cache-dir, else a "
+                            "fresh temp dir)")
     serve.add_argument("--shards", type=int, default=1,
                        help="run N servers as one consistent-hash ring "
                             "(unix path P becomes P.shard0..N-1; a tcp "
@@ -206,6 +224,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "to query")
     stats.add_argument("--json", action="store_true",
                        help="emit the telemetry as JSON")
+
+    ring_cmd = sub.add_parser(
+        "cache-ring",
+        help="inspect or reshape a running shard ring")
+    ring_cmd.add_argument("action", choices=("status", "join", "leave"),
+                          help="status: print the versioned member "
+                               "map; join: add --member (warm-pulls "
+                               "its key ranges first); leave: remove "
+                               "--member")
+    ring_cmd.add_argument("--address", required=True,
+                          help="any reachable ring member, or the "
+                               "comma-separated ring spec")
+    ring_cmd.add_argument("--member",
+                          help="the server address joining or leaving "
+                               "(join: it must already be listening)")
+    ring_cmd.add_argument("--replication", type=int, default=2,
+                          help="copies per key to warm-pull for a "
+                               "joining member (default: 2)")
+    ring_cmd.add_argument("--auth-token",
+                          help="shared secret for tcp:// members")
+    ring_cmd.add_argument("--json", action="store_true",
+                          help="emit the ring map as JSON")
     return parser
 
 
@@ -648,24 +688,39 @@ def _cmd_cache_stats(args) -> int:
 
     members = parse_ring(address)
     if len(members) > 1:
+        from repro.errors import CacheError
+
         gathered = {}
         for member in members:
-            with cache_server.CacheClient(
-                    member, auth_token=args.auth_token) as client:
-                client.ping()
-                gathered[member] = client.stats()
+            try:
+                with cache_server.CacheClient(
+                        member, auth_token=args.auth_token) as client:
+                    client.ping()
+                    gathered[member] = client.stats()
+            except CacheError:
+                # a dead member is telemetry, not a query failure
+                gathered[member] = None
+        if all(stats is None for stats in gathered.values()):
+            print(f"error: no member of {address} is reachable",
+                  file=sys.stderr)
+            return 1
         if args.json:
             print(json.dumps(gathered, indent=2, sort_keys=True))
             return 0
         for member, stats in gathered.items():
+            if stats is None:
+                print(f"{member}: unreachable")
+                continue
             shard_index = stats.get("shard_index")
             label = f"shard {shard_index} at {member}" \
                 if shard_index is not None else member
             print(f"{label}: {stats['gets']} lookups "
                   f"(hit rate {stats['hit_rate']:.1%}, "
-                  f"negative hits {stats.get('negative_hits', 0)}), "
+                  f"negative hits {stats.get('negative_hits', 0)}, "
+                  f"replica hits {stats.get('replica_hits', 0)}), "
                   f"{stats['entries']} entries, "
-                  f"{stats['connections']} connections")
+                  f"{stats['connections']} connections, "
+                  f"ring epoch {stats.get('ring_epoch', 0)}")
         return 0
     with cache_server.CacheClient(address,
                                   auth_token=args.auth_token) as client:
@@ -691,10 +746,43 @@ def _cmd_cache_stats(args) -> int:
           f"accept errors {stats.get('accept_errors', 0)}, "
           f"backpressure drops "
           f"{stats.get('backpressure_disconnects', 0)}")
+    print(f"  ring        : epoch {stats.get('ring_epoch', 0)}, "
+          f"replica hits {stats.get('replica_hits', 0)}, "
+          f"ring updates {stats.get('ring_updates', 0)}")
     if layer_sizes:
         rendered = ", ".join(f"{name}={size}"
                              for name, size in sorted(layer_sizes.items()))
         print(f"  layer sizes : {rendered}")
+    return 0
+
+
+def _cmd_cache_ring(args) -> int:
+    from repro.core import shard
+
+    kwargs = {}
+    if args.auth_token:
+        kwargs["auth_token"] = args.auth_token
+    if args.action in ("join", "leave") and not args.member:
+        print(f"error: cache-ring {args.action} needs --member",
+              file=sys.stderr)
+        return 2
+    pulled = None
+    if args.action == "status":
+        members, epoch = shard.ring_status(args.address, **kwargs)
+    elif args.action == "join":
+        members, epoch, pulled = shard.join_member(
+            args.address, args.member,
+            replication=args.replication, **kwargs)
+    else:
+        members, epoch = shard.leave_member(args.address, args.member,
+                                            **kwargs)
+    if args.json:
+        print(json.dumps({"members": list(members), "epoch": epoch,
+                          "pulled": pulled}))
+        return 0
+    print(f"ring epoch {epoch}: {shard.format_ring(members)}")
+    if pulled is not None:
+        print(f"warm-pulled {pulled} entries into {args.member}")
     return 0
 
 
@@ -710,6 +798,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explore": _cmd_explore,
         "cache-serve": _cmd_cache_serve,
         "cache-stats": _cmd_cache_stats,
+        "cache-ring": _cmd_cache_ring,
     }
     try:
         return handlers[args.command](args)

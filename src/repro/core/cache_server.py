@@ -84,6 +84,12 @@ Transports, encodings and trust:
   — the same trust boundary as a ``--cache-dir``.  Both wire codecs
   are allowed; legacy clients that speak pickle without a handshake
   keep working (the server sniffs the first frame).
+* Abstract-namespace ``AF_UNIX`` (``unix-abstract://name``, or a raw
+  leading-``\\0`` address): local-only like a path socket, but the
+  kernel owns the name — no socket file to reclaim after a SIGKILL,
+  and no filesystem permissions either, so the TCP trust rules apply
+  on the wire: json only (pickle refused), with the auth token
+  enforced whenever the server carries one.
 * TCP (``tcp://host:port``): crosses the local trust domain, so the
   pickle codec is refused outright — unpickling attacker-controlled
   bytes executes arbitrary code, and no pickle bytes ever cross a TCP
@@ -132,8 +138,17 @@ from repro.library.library import ResourceLibrary
 #: Version 3 added the shard map to the hello ack (plus the
 #: ``shard_map`` request) and authoritative server-side negative
 #: windows: ``get`` replies are ``(found, value, window)`` and
-#: ``get_many`` replies are ``(found, windows)``.
-PROTOCOL_VERSION = 3
+#: ``get_many`` replies are ``(found, windows)``.  Version 4 added
+#: ring epochs — the hello ack gains the epoch, plus the ``ring``,
+#: ``ring_update`` and ``pull_owned`` operations behind live ring
+#: membership — and replication-aware telemetry (``replica_hits``).
+PROTOCOL_VERSION = 4
+
+#: Versions this server still serves.  Version-3 peers negotiated the
+#: same op set minus the ring-membership extensions, so they are
+#: served unchanged: their hello ack keeps the version-3 4-tuple shape
+#: (no epoch field) and their pongs echo version 3.
+SUPPORTED_VERSIONS = (3, 4)
 
 #: Hard ceiling on a single frame; anything larger is rejected with
 #: :class:`CacheError` before its payload is read.
@@ -226,8 +241,28 @@ def default_address(base_dir: Optional[str] = None) -> str:
 
 
 def parse_address(address: str) -> tuple:
-    """``("tcp", host, port)`` for ``tcp://host:port``, else
-    ``("unix", path)``; :class:`CacheError` on a malformed tcp form."""
+    """``("tcp", host, port)`` for ``tcp://host:port``,
+    ``("abstract", "\\0name")`` for ``unix-abstract://name`` (or a raw
+    leading-``\\0`` address), else ``("unix", path)``;
+    :class:`CacheError` on a malformed tcp or abstract form.
+
+    Abstract-namespace ``AF_UNIX`` sockets live in a kernel namespace,
+    not the filesystem: no socket file to reclaim or unlink, but also
+    no filesystem permissions gating access — so they carry the TCP
+    trust rules (json only, optional auth) over a local-only
+    transport.
+    """
+    if address.startswith("unix-abstract://"):
+        name = address[len("unix-abstract://"):]
+        if not name:
+            raise CacheError(
+                f"malformed abstract address {address!r}; use "
+                f"unix-abstract://name")
+        return ("abstract", "\0" + name)
+    if address.startswith("\0"):
+        if len(address) < 2:
+            raise CacheError("malformed abstract address: empty name")
+        return ("abstract", address)
     if not address.startswith("tcp://"):
         return ("unix", address)
     rest = address[len("tcp://"):]
@@ -349,12 +384,12 @@ class CacheClient:
         self.address = address
         self.transport = parse_address(address)[0]
         if encoding is None:
-            encoding = "json" if self.transport == "tcp" else "pickle"
+            encoding = "pickle" if self.transport == "unix" else "json"
         wire.check_encoding(encoding)
-        if self.transport == "tcp" and encoding != "json":
+        if self.transport != "unix" and encoding != "json":
             raise ProtocolError(
-                "the pickle encoding is not allowed on tcp transports; "
-                "use encoding='json'")
+                f"the pickle encoding is not allowed on "
+                f"{self.transport} transports; use encoding='json'")
         self.encoding = encoding
         self.auth_token = auth_token
         self.timeout = timeout
@@ -366,6 +401,8 @@ class CacheClient:
         #: Ring membership learned from the hello ack (``None`` for an
         #: unsharded server or before the first handshake).
         self.server_shard_map: Optional[Tuple[str, ...]] = None
+        #: Ring epoch learned from the hello ack (0 before it).
+        self.server_ring_epoch: int = 0
 
     def _connect(self) -> socket.socket:
         parsed = parse_address(self.address)
@@ -373,6 +410,8 @@ class CacheClient:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             target: object = (parsed[1], parsed[2])
         else:
+            # "unix" and "abstract" both dial AF_UNIX; the abstract
+            # target is the parsed leading-\0 name
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             target = parsed[1]
         sock.settimeout(self.timeout)
@@ -408,7 +447,7 @@ class CacheClient:
             raise ProtocolError(
                 "cache server sent a malformed handshake reply")
         ack = reply[1]
-        if not isinstance(ack, tuple) or len(ack) != 4 \
+        if not isinstance(ack, tuple) or len(ack) != 5 \
                 or ack[0] != "hello":
             raise ProtocolError(
                 "cache server sent a malformed handshake reply")
@@ -421,6 +460,10 @@ class CacheClient:
                 f"cache server switched to encoding {ack[2]!r}, "
                 f"{self.encoding!r} was requested")
         self.server_shard_map = self._check_shard_map(ack[3])
+        if not isinstance(ack[4], int) or ack[4] < 0:
+            raise ProtocolError(
+                "cache server sent a malformed ring epoch")
+        self.server_ring_epoch = ack[4]
 
     def __getstate__(self):
         """Pickle (into a ``parallel`` worker, or inside a pickled
@@ -537,6 +580,41 @@ class CacheClient:
     def shard_map(self) -> Optional[Tuple[str, ...]]:
         """Ring membership, or ``None`` for an unsharded server."""
         return self._check_shard_map(self._request(("shard_map",)))
+
+    def ring(self) -> Tuple[Optional[Tuple[str, ...]], int]:
+        """The server's versioned ring map: ``(members, epoch)``.
+        *members* is ``None`` for an unsharded server."""
+        reply = self._request(("ring",))
+        if not isinstance(reply, tuple) or len(reply) != 2 \
+                or not isinstance(reply[1], int):
+            raise CacheError("cache server sent a malformed ring reply")
+        return (self._check_shard_map(reply[0]), reply[1])
+
+    def ring_update(self, members: Sequence[str], epoch: int
+                    ) -> Tuple[Optional[Tuple[str, ...]], int]:
+        """Offer the server a ``(members, epoch)`` map; it adopts the
+        map iff *epoch* is newer than its own.  Returns the server's
+        ring map after the offer (its own when the offer was stale)."""
+        reply = self._request(("ring_update", list(members),
+                               int(epoch)))
+        if not isinstance(reply, tuple) or len(reply) != 2 \
+                or not isinstance(reply[1], int):
+            raise CacheError(
+                "cache server sent a malformed ring_update reply")
+        return (self._check_shard_map(reply[0]), reply[1])
+
+    def pull_owned(self, members: Sequence[str], index: int,
+                   rf: int = 1) -> Dict[str, list]:
+        """The server's entries that shard *index* of the ring over
+        *members* holds (``{layer: [(key, value), ...]}``) — how a
+        joining member warm-pulls its key ranges from a previous
+        owner.  Runs with the job timeout: the export can be large."""
+        reply = self._request(("pull_owned", list(members), int(index),
+                               int(rf)), timeout=self.job_timeout)
+        if not isinstance(reply, dict):
+            raise CacheError(
+                "cache server sent a malformed pull_owned reply")
+        return reply
 
     def put(self, layer: str, key: tuple, value: object) -> int:
         """Insert one entry; returns 1 if the key was new."""
@@ -687,6 +765,8 @@ class ServerStats:
     designs_streamed: int = 0  # improving designs pushed to clients
     designs_dropped: int = 0   # ... withheld from non-draining clients
     negative_hits: int = 0   # misses answered from a live window
+    replica_hits: int = 0    # hits on keys another member is primary for
+    ring_updates: int = 0    # newer ring maps adopted via ring_update
     accept_errors: int = 0   # accept() resource failures (paused, lived)
     backpressure_disconnects: int = 0  # clients dropped at the outbuf cap
     window_batches: int = 0  # merged window flushes dispatched
@@ -715,15 +795,19 @@ class ServerStats:
 class _Connection:
     """Per-connection state owned by the server's event loop."""
 
-    __slots__ = ("sock", "transport", "codec", "handshaken", "inbuf",
-                 "outbuf", "frame_len", "last_active", "close_after_send",
-                 "busy", "closed")
+    __slots__ = ("sock", "transport", "codec", "handshaken", "version",
+                 "inbuf", "outbuf", "frame_len", "last_active",
+                 "close_after_send", "busy", "closed")
 
     def __init__(self, sock: socket.socket, transport: str, now: float):
         self.sock = sock
         self.transport = transport
         self.codec: Optional[str] = None   # sniffed or negotiated
         self.handshaken = False
+        #: Negotiated protocol version; replies (pongs) echo it so a
+        #: version-3 peer never sees a version-4 number.  Legacy
+        #: no-handshake pickle peers run at the current version.
+        self.version = PROTOCOL_VERSION
         self.inbuf = bytearray()
         self.outbuf = bytearray()
         self.frame_len: Optional[int] = None
@@ -737,7 +821,7 @@ class _Connection:
         """Codec for replies, incl. before the first frame decoded."""
         if self.codec is not None:
             return self.codec
-        return "json" if self.transport == "tcp" else "pickle"
+        return "pickle" if self.transport == "unix" else "json"
 
 
 class _LoopbackClient:
@@ -837,12 +921,16 @@ class CacheServer:
         latency.  ``synthesize`` jobs always dispatch immediately
         (their candidate rounds already run batched inside
         :func:`~repro.core.find_design.find_design`).
-    shard_map / shard_index:
-        Ring membership (every member's address, in ring order) and
-        this server's position in it; served to clients in the hello
-        ack and the ``shard_map`` request.  Usually assigned by
+    shard_map / shard_index / ring_epoch:
+        Ring membership (every member's address, in ring order), this
+        server's position in it, and the map's version — served to
+        clients in the hello ack and the ``shard_map`` / ``ring``
+        requests.  Usually assigned by
         :func:`repro.core.shard.start_shard_ring` rather than passed
-        here (addresses are only known once every member is bound).
+        here (addresses are only known once every member is bound);
+        a running server adopts newer maps offered via the
+        ``ring_update`` op (:func:`repro.core.shard.join_member` /
+        :func:`~repro.core.shard.leave_member`).
     """
 
     def __init__(self, address: Optional[str] = None, *,
@@ -861,7 +949,8 @@ class CacheServer:
                  batch_window: float = DEFAULT_BATCH_WINDOW,
                  batch_max_items: int = BATCH_WINDOW_MAX_ITEMS,
                  shard_map: Optional[Sequence[str]] = None,
-                 shard_index: Optional[int] = None):
+                 shard_index: Optional[int] = None,
+                 ring_epoch: int = 0):
         overrides = dict(layer_capacities or {})
         unknown = sorted(set(overrides)
                          - set(EvaluationEngine.LAYER_SHARES))
@@ -890,8 +979,10 @@ class CacheServer:
         self.stream_outbuf_bytes = int(stream_outbuf_bytes)
         self.batch_window = max(0.0, float(batch_window))
         self.batch_max_items = max(1, int(batch_max_items))
+        self._ring_cache = None  # lazily built from the shard map
         self.shard_map = tuple(shard_map) if shard_map else None
         self.shard_index = shard_index
+        self.ring_epoch = int(ring_epoch)
         self.stats = ServerStats()
         self._layers: Dict[str, LRUCache] = {
             name: LRUCache(
@@ -931,6 +1022,38 @@ class CacheServer:
 
     def _note_eviction(self) -> None:
         self.stats.evictions += 1  # under self._lock (all layer ops are)
+
+    # -- ring membership -----------------------------------------------
+    @property
+    def shard_map(self) -> Optional[Tuple[str, ...]]:
+        """Ring membership, or ``None`` for an unsharded server."""
+        return self._shard_map
+
+    @shard_map.setter
+    def shard_map(self, value) -> None:
+        self._shard_map = tuple(value) if value else None
+        self._ring_cache = None  # rebuilt lazily for the new map
+
+    def _member_ring(self):
+        """This member's view of the hash ring (``None`` unsharded or
+        single-member: nothing to be a replica *of*)."""
+        members = self._shard_map
+        if members is None or len(members) < 2:
+            return None
+        ring = self._ring_cache
+        if ring is None or ring.members != members:
+            from repro.core.shard import ShardRing
+
+            ring = self._ring_cache = ShardRing(members)
+        return ring
+
+    def _is_replica(self, layer: str, key: tuple) -> bool:
+        """Whether another ring member is primary for this key — a hit
+        here means replication served a key its owner could not."""
+        ring = self._member_ring()
+        if ring is None or self.shard_index is None:
+            return False
+        return ring.owner_index(layer, key) != self.shard_index
 
     # -- lifecycle -----------------------------------------------------
     def _bind_unix(self) -> socket.socket:
@@ -987,6 +1110,25 @@ class CacheServer:
         finally:
             probe.close()
 
+    def _bind_abstract(self) -> socket.socket:
+        """Bind an abstract-namespace AF_UNIX listener.
+
+        The kernel owns the name: nothing to ``makedirs``, no stale
+        socket file to probe-and-reclaim, nothing to unlink on stop —
+        the name vanishes with the last descriptor, so a SIGKILLed
+        server never wedges its address.
+        """
+        _, name = parse_address(self.address)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(name)
+        except OSError as exc:
+            listener.close()
+            raise CacheError(
+                f"cannot bind cache server socket {self.address!r}: "
+                f"{exc}") from exc
+        return listener
+
     def _bind_tcp(self) -> socket.socket:
         _, host, port = parse_address(self.address)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -1004,8 +1146,12 @@ class CacheServer:
 
     def start(self) -> "CacheServer":
         """Bind the socket and start the event loop in the background."""
-        listener = self._bind_tcp() if self.transport == "tcp" \
-            else self._bind_unix()
+        if self.transport == "tcp":
+            listener = self._bind_tcp()
+        elif self.transport == "abstract":
+            listener = self._bind_abstract()
+        else:
+            listener = self._bind_unix()
         listener.listen(128)
         listener.setblocking(False)
         self._listener = listener
@@ -1348,9 +1494,10 @@ class CacheServer:
 
     def _handle_payload(self, conn: _Connection, payload: bytes) -> None:
         if conn.codec is None:
-            if conn.transport == "tcp":
-                # TCP never negotiates down to pickle, and the server
-                # never unpickles TCP bytes — decode is json or reject
+            if conn.transport != "unix":
+                # TCP and abstract-namespace peers are outside the
+                # filesystem trust boundary: never negotiate down to
+                # pickle, never unpickle their bytes — json or reject
                 conn.codec = "json"
             else:
                 conn.codec = wire.sniff_encoding(payload)
@@ -1385,27 +1532,35 @@ class CacheServer:
             reject("malformed hello frame")
             return
         _, version, encoding, token = message
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             reject(f"cache server speaks protocol {PROTOCOL_VERSION}, "
                    f"peer speaks {version!r}")
             return
         if encoding not in wire.ENCODINGS:
             reject(f"unknown wire encoding {encoding!r}")
             return
-        if conn.transport == "tcp" and encoding != "json":
-            reject("the pickle encoding is not allowed on tcp "
-                   "transports")
+        if conn.transport != "unix" and encoding != "json":
+            reject(f"the pickle encoding is not allowed on "
+                   f"{conn.transport} transports")
             return
-        if conn.transport == "tcp":
+        if conn.transport == "tcp" or (conn.transport == "abstract"
+                                       and self.auth_token):
             if not isinstance(token, str) or not hmac.compare_digest(
                     token, self.auth_token):
                 reject("authentication failed")
                 return
         # reply in the handshake codec, then switch to the negotiated
         # one for everything that follows; the ack carries the shard
-        # map so attaching to any one ring member discovers the ring
-        self._queue_send(conn, ("ok", ("hello", PROTOCOL_VERSION,
-                                       encoding, self.shard_map)))
+        # map so attaching to any one ring member discovers the ring.
+        # A version-3 peer gets the version-3 4-tuple ack (no epoch
+        # field) and is served at its own version from here on.
+        conn.version = version
+        if version >= 4:
+            ack = ("hello", version, encoding, self.shard_map,
+                   self.ring_epoch)
+        else:
+            ack = ("hello", version, encoding, self.shard_map)
+        self._queue_send(conn, ("ok", ack))
         conn.codec = encoding
         conn.handshaken = True
         with self._lock:
@@ -1413,12 +1568,12 @@ class CacheServer:
 
     def _serve_message(self, conn: _Connection, message: tuple) -> None:
         op = message[0]
-        if op in ("synthesize", "evaluate_batch", "flush"):
+        if op in ("synthesize", "evaluate_batch", "flush", "pull_owned"):
             # blocking work: hand the request stream to a job thread
             conn.busy = True
             with self._lock:
                 self.stats.requests += 1
-                if op != "flush":
+                if op in ("synthesize", "evaluate_batch"):
                     self.stats.jobs += 1
             if op == "evaluate_batch" and self.batch_window > 0.0:
                 self._window_add(conn, message)
@@ -1426,7 +1581,7 @@ class CacheServer:
             self._executor.submit(self._run_job, conn, message)
             return
         try:
-            reply = ("ok", self._dispatch(message))
+            reply = ("ok", self._dispatch(message, conn))
         except CacheError as exc:
             reply = ("error", str(exc))
         except Exception as exc:  # never let a client kill the loop
@@ -1667,6 +1822,8 @@ class CacheServer:
         try:
             if op == "flush":
                 reply = ("ok", self.flush())
+            elif op == "pull_owned":
+                reply = ("ok", self._pull_owned(message))
             elif op == "synthesize":
                 reply = ("ok", self._job_synthesize(conn, message))
             else:
@@ -1677,7 +1834,7 @@ class CacheServer:
             reply = ("error", str(exc))
         except Exception as exc:  # never let a job kill the worker
             reply = ("error", f"internal server error: {exc}")
-        if reply[0] == "error" and op != "flush":
+        if reply[0] == "error" and op not in ("flush", "pull_owned"):
             with self._lock:
                 self.stats.job_errors += 1
         self._post("done", conn, reply)
@@ -1779,6 +1936,8 @@ class CacheServer:
                 # a window registered before the entry arrived is moot
                 self._negative.pop((layer, key), None)
                 self.stats.hits += 1
+                if self._is_replica(layer, key):
+                    self.stats.replica_hits += 1
                 return (True, value, 0.0)
             return (False, None,
                     self._miss_window(layer, key, time.monotonic()))
@@ -1797,6 +1956,8 @@ class CacheServer:
                 if value is not _MISSING:
                     self._negative.pop((layer, key), None)
                     self.stats.hits += 1
+                    if self._is_replica(layer, key):
+                        self.stats.replica_hits += 1
                     found[key] = value
                 else:
                     windows[key] = self._miss_window(layer, key, now)
@@ -1826,13 +1987,17 @@ class CacheServer:
         self._negative[(layer, key)] = now + self.negative_window
         return self.negative_window
 
-    def _dispatch(self, message: tuple):
+    def _dispatch(self, message: tuple,
+                  conn: Optional[_Connection] = None):
         with self._lock:
             self.stats.requests += 1
         op = message[0]
         try:
             if op == "ping":
-                return ("pong", PROTOCOL_VERSION)
+                # echo the *negotiated* version: a version-3 peer that
+                # handshook at 3 must never see a pong carrying 4
+                return ("pong", conn.version if conn is not None
+                        else PROTOCOL_VERSION)
             if op == "get":
                 _, layer, key = message
                 return self._get(layer, key)
@@ -1847,6 +2012,11 @@ class CacheServer:
                 return self._adopt(entries)
             if op == "shard_map":
                 return self.shard_map
+            if op == "ring":
+                return (self.shard_map, self.ring_epoch)
+            if op == "ring_update":
+                _, members, epoch = message
+                return self._ring_update(members, epoch)
             if op == "stats":
                 with self._lock:
                     snapshot = self.stats.as_dict()
@@ -1856,6 +2026,7 @@ class CacheServer:
                         name: len(cache)
                         for name, cache in self._layers.items()}
                     snapshot["negative_entries"] = len(self._negative)
+                    snapshot["ring_epoch"] = self.ring_epoch
                     if self.shard_map is not None:
                         snapshot["shard_index"] = self.shard_index
                         snapshot["shard_map"] = list(self.shard_map)
@@ -1865,6 +2036,51 @@ class CacheServer:
         except ValueError as exc:
             raise CacheError(f"malformed {op!r} request: {exc}") from exc
         raise CacheError(f"unknown cache request {op!r}")
+
+    def _ring_update(self, members, epoch) -> tuple:
+        """Adopt a newer ring map; a stale epoch changes nothing.
+
+        The server's own position is recomputed from the new map (a
+        member that was voted out keeps serving as an unpositioned
+        cache — its clients drain away as they adopt the new map).
+        Replies with the post-offer ``(members, epoch)`` either way,
+        so racing updaters converge on the newest map.
+        """
+        if not isinstance(members, (tuple, list)) or not members \
+                or not all(isinstance(m, str) for m in members) \
+                or not isinstance(epoch, int):
+            raise CacheError("malformed 'ring_update' request: "
+                             "expected (members, epoch)")
+        if epoch > self.ring_epoch:
+            members = tuple(members)
+            self.ring_epoch = epoch
+            self.shard_map = members
+            self.shard_index = members.index(self.address) \
+                if self.address in members else None
+            with self._lock:
+                self.stats.ring_updates += 1
+        return (self.shard_map, self.ring_epoch)
+
+    def _pull_owned(self, message: tuple) -> Dict[str, list]:
+        """Serve a joining member's warm-pull: this server's entries
+        that shard *index* of the ring over *members* holds."""
+        from repro.core.shard import ShardRing, partition_layers
+
+        try:
+            _, members, index, rf = message
+        except ValueError as exc:
+            raise CacheError(
+                f"malformed 'pull_owned' request: {exc}") from exc
+        if not isinstance(members, (tuple, list)) or not members \
+                or not all(isinstance(m, str) for m in members) \
+                or not isinstance(index, int) \
+                or not 0 <= index < len(members) \
+                or not isinstance(rf, int) or rf < 1:
+            raise CacheError(
+                "malformed 'pull_owned' request: expected "
+                "(members, index, rf)")
+        ring = ShardRing(tuple(members))
+        return partition_layers(self.export_layers(), ring, index, rf)
 
     def _adopt(self, entries) -> int:
         adopted = 0

@@ -5,7 +5,7 @@ of connections, but it is still a single process: one event loop, one
 LRU budget, one host's worth of RAM and cycles.  This module makes the
 cache tier *horizontal* — the content-addressed layers are partitioned
 by key hash across any number of server processes, and clients route
-every get/put/multi-get to the shard that owns the key.
+every get/put/multi-get to the shards that own the key.
 
 Pieces:
 
@@ -17,29 +17,46 @@ Pieces:
     every server, in any process on any host, computes the same
     ``key → shard`` assignment with no coordination.  Removing a
     member only remaps the keys that member owned (the consistent-
-    hashing property the rebalance tests pin).
+    hashing property the rebalance tests pin).  With a replication
+    factor ``rf > 1``, :meth:`~ShardRing.owners` walks the successor
+    list to the first ``rf`` *distinct* members, so both copies of a
+    key are never parked on the same process.
 :class:`ShardedCacheClient`
     The client-side router.  Duck-types the single-server
     :class:`~repro.core.cache_server.CacheClient` surface that
     :class:`~repro.core.engine.RemoteCacheBackend` consumes, so an
-    engine attached to a ring is oblivious to the sharding.  The
-    fail-open contract is *per shard*: a dead shard's keys simply miss
-    (the engine computes them locally, identically) while the healthy
-    shards keep serving; only when **every** shard is unreachable does
-    the client raise :class:`~repro.errors.CacheError`, flipping the
-    backend into whole-fleet local fallback exactly as a dead single
-    server would.
+    engine attached to a ring is oblivious to the sharding.  Writes go
+    to every replica, reads try the primary then fall back to the
+    replicas (read-repairing the primary on a replica hit), and an
+    unresponsive member trips a per-member circuit breaker that
+    re-probes with jittered exponential backoff — a restarted shard
+    becomes visible again without restarting the client.  The
+    fail-open contract is *per shard*: a dead shard's keys are served
+    by their surviving replica, or simply miss (the engine computes
+    them locally, identically); only when **every** shard is
+    unreachable does the client raise
+    :class:`~repro.errors.CacheRetryExhausted`, flipping the backend
+    into whole-fleet local fallback exactly as a dead single server
+    would.
 :func:`start_shard_ring`
     Spawn a local ring of ``N`` servers (one event loop each, its own
     LRU budget and write-behind snapshot per shard) and hand back a
     :class:`ShardRingHandle` with the joined ``addr,addr,...`` spec
     the CLI and :func:`~repro.core.cache_server.attach_engine` accept.
+:func:`join_member` / :func:`leave_member`
+    Live ring membership.  Servers version their shard map with a ring
+    *epoch* (reported in ``hello`` acks and ``ring`` replies, adopted
+    from ``ring_update`` broadcasts); a joining member warm-pulls the
+    key ranges it now owns from the previous owners before the new map
+    is broadcast, so it starts serving warm.  Clients poll the epoch
+    mid-sweep and adopt the newest map without a restart.
 
 Clients learn ring membership two ways: an explicit comma-separated
 address list (``--cache-server a.sock,b.sock``), or from a single
 member — every sharded server carries the full ring map and reports it
-both in the ``hello`` handshake ack and through the ``shard_map``
-request, so attaching to any one shard discovers the whole ring.
+both in the ``hello`` handshake ack and through the ``shard_map`` /
+``ring`` requests, so attaching to any one shard discovers the whole
+ring.
 """
 
 from __future__ import annotations
@@ -47,12 +64,13 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import random
 import shutil
 import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CacheError, ReproError
+from repro.errors import CacheError, CacheRetryExhausted, ReproError
 from repro.core import wire
 
 __all__ = [
@@ -63,7 +81,37 @@ __all__ = [
     "parse_ring",
     "format_ring",
     "content_hash",
+    "partition_layers",
+    "ring_status",
+    "broadcast_ring_update",
+    "join_member",
+    "leave_member",
+    "DEFAULT_REPLICATION",
 ]
+
+#: Copies of every key kept on the ring (capped at the member count).
+DEFAULT_REPLICATION = 2
+
+#: First circuit-breaker backoff after a member fails (seconds).
+BREAKER_BASE = 0.25
+
+#: Backoff ceiling for a member that keeps failing (seconds).
+BREAKER_CAP = 15.0
+
+#: Fractional jitter applied to every backoff (de-synchronizes probes
+#: from many clients hammering one recovering shard).
+BREAKER_JITTER = 0.2
+
+#: Attempts per member per request before its breaker opens: the
+#: first failure drops the (possibly desynced) connection and retries
+#: once on a fresh dial.
+REQUEST_RETRIES = 2
+
+#: Seconds between ring-epoch polls while traffic flows.
+RING_REFRESH_INTERVAL = 2.0
+
+#: Entries per ``put_many`` chunk while a joining member warm-pulls.
+PULL_CHUNK = 512
 
 
 def parse_ring(spec) -> Tuple[str, ...]:
@@ -141,13 +189,40 @@ class ShardRing:
     def __len__(self) -> int:
         return len(self.members)
 
+    def owner_indices(self, layer: str, key: tuple,
+                      rf: int = 1) -> Tuple[int, ...]:
+        """Indices (into :attr:`members`) of the first *rf* distinct
+        members on the successor walk from the key's ring point.
+
+        The first index is always the classic single-owner assignment,
+        so raising *rf* never moves a key's primary.  *rf* is capped at
+        the member count — a single-member ring degrades to RF=1 and
+        never reports the same member twice.
+        """
+        rf = max(1, min(int(rf), len(self.members)))
+        if len(self.members) == 1:
+            return (0,)
+        point = content_hash(layer, key)
+        slot = bisect.bisect_right(self._hashes, point)
+        total = len(self._hashes)
+        picked: List[int] = []
+        for step in range(total):
+            index = self._indices[(slot + step) % total]
+            if index not in picked:
+                picked.append(index)
+                if len(picked) == rf:
+                    break
+        return tuple(picked)
+
     def owner_index(self, layer: str, key: tuple) -> int:
         """Index (into :attr:`members`) of the shard owning the key."""
-        if len(self.members) == 1:
-            return 0
-        point = content_hash(layer, key)
-        slot = bisect.bisect_right(self._hashes, point) % len(self._hashes)
-        return self._indices[slot]
+        return self.owner_indices(layer, key, 1)[0]
+
+    def owners(self, layer: str, key: tuple,
+               rf: int = 1) -> Tuple[str, ...]:
+        """Addresses of the key's replica group: primary first."""
+        return tuple(self.members[index]
+                     for index in self.owner_indices(layer, key, rf))
 
     def owner(self, layer: str, key: tuple) -> str:
         """Address of the shard owning the key."""
@@ -159,15 +234,37 @@ class ShardRing:
         return ShardRing(survivors, self.replicas)
 
 
-def partition_layers(layers, ring: ShardRing, index: int) -> Dict[str, list]:
-    """The subset of snapshot/export *layers* that shard *index* owns —
-    used to seed each member of a ring from one shared snapshot without
-    parking entries where no client will ever ask for them."""
+def partition_layers(layers, ring: ShardRing, index: int,
+                     rf: int = 1) -> Dict[str, list]:
+    """The subset of snapshot/export *layers* that shard *index* holds —
+    used to seed each member of a ring from one shared snapshot, and by
+    a joining member to warm-pull exactly the key ranges it now owns.
+    With *rf* > 1 a shard holds every key whose replica group it is in,
+    not only the keys it is primary for."""
     return {
         name: [(key, value) for key, value in entries
-               if ring.owner_index(name, key) == index]
+               if index in ring.owner_indices(name, key, rf)]
         for name, entries in layers.items()
     }
+
+
+class _Breaker:
+    """Per-member circuit breaker: open after repeated failures,
+    half-open (probe one ``ping``) when the backoff expires."""
+
+    __slots__ = ("failures", "backoff", "next_probe")
+
+    def __init__(self, backoff: float, now: float):
+        self.failures = 1
+        self.backoff = backoff
+        self.next_probe = now + backoff
+
+    def trip_again(self, cap: float, jitter: float, now: float,
+                   rng: random.Random) -> None:
+        self.failures += 1
+        self.backoff = min(self.backoff * 2.0, cap)
+        scale = 1.0 + (rng.random() * 2.0 - 1.0) * jitter
+        self.next_probe = now + self.backoff * scale
 
 
 class ShardedCacheClient:
@@ -179,16 +276,33 @@ class ShardedCacheClient:
     ``close``), so :class:`~repro.core.engine.RemoteCacheBackend` and
     the CLI work unchanged against a ring.
 
-    Failure contract — *per shard*, fail-open:
+    Replication — *rf* copies, primary-first reads, read-repair:
 
-    * A transport failure against one shard marks that shard dead for
-      the life of this client; its keys answer as misses and its puts
-      are dropped (the engine computes those keys locally, with
-      identical results).  The healthy shards keep serving.
-    * Only when **every** shard is dead does a request raise
-      :class:`~repro.errors.CacheError` — at that point the attached
-      backend flips to whole-fleet local fallback, exactly as it would
-      for a dead single server.
+    * ``put``/``put_many`` write every member of the key's replica
+      group (successor walk, primary first).  The adopted count comes
+      from the primary alone, so telemetry matches the RF=1 contract.
+    * ``get``/``get_many`` try the primary first and fall back to the
+      replicas on a miss or a transport failure; a replica hit bumps
+      ``counters["replica_hits"]`` and *read-repairs* the earlier
+      owners so a recovered primary is re-warmed by ordinary traffic.
+
+    Failure contract — breaker per member, fail-open per shard:
+
+    * A transport failure (after one fresh-dial retry) opens that
+      member's circuit breaker: its keys are served by their replicas
+      or answer as misses while the breaker is open, and a jittered,
+      exponentially backed-off ``ping`` probe re-admits the member the
+      moment it answers again — a restarted shard heals without a
+      client restart.
+    * Only when **every** member is breakered does a request raise
+      :class:`~repro.errors.CacheRetryExhausted` — at that point the
+      attached backend flips to whole-fleet local fallback, exactly as
+      it would for a dead single server.
+
+    Ring epochs: the client polls a live member's ``ring`` op every
+    *ring_refresh* seconds while traffic flows and adopts any newer
+    (members, epoch) map mid-sweep — so ``join_member`` /
+    ``leave_member`` reshape a running fleet under live clients.
 
     Server-side jobs (``synthesize`` / ``evaluate_batch``) are not
     partitioned — they run on the first live shard in ring order.
@@ -198,11 +312,21 @@ class ShardedCacheClient:
                  encoding: Optional[str] = None,
                  auth_token: Optional[str] = None,
                  job_timeout: Optional[float] = None,
-                 max_frame_bytes: Optional[int] = None):
+                 max_frame_bytes: Optional[int] = None,
+                 replication: int = DEFAULT_REPLICATION,
+                 request_retries: int = REQUEST_RETRIES,
+                 breaker_base: float = BREAKER_BASE,
+                 breaker_cap: float = BREAKER_CAP,
+                 ring_refresh: float = RING_REFRESH_INTERVAL):
         from repro.core import cache_server
 
         self.addresses = parse_ring(addresses)
         self.ring = ShardRing(self.addresses)
+        if replication < 1:
+            raise CacheError(
+                f"replication factor must be positive, got {replication}")
+        self.replication = int(replication)
+        self.epoch = 0
         self._kwargs = dict(
             timeout=(timeout if timeout is not None
                      else cache_server.CLIENT_TIMEOUT),
@@ -213,19 +337,51 @@ class ShardedCacheClient:
         )
         if max_frame_bytes is not None:
             self._kwargs["max_frame_bytes"] = max_frame_bytes
+        self._request_retries = max(1, int(request_retries))
+        self._breaker_base = float(breaker_base)
+        self._breaker_cap = float(breaker_cap)
+        self._ring_refresh = float(ring_refresh)
+        self._last_refresh = time.monotonic()
+        self._rng = random.Random()
         self._clients: Dict[str, object] = {}
-        self._dead: set = set()
+        self._breakers: Dict[str, _Breaker] = {}
+        self.counters: Dict[str, int] = self._fresh_counters()
+
+    @staticmethod
+    def _fresh_counters() -> Dict[str, int]:
+        return {"replica_hits": 0, "read_repairs": 0, "retries": 0,
+                "breaker_probes": 0, "breaker_recoveries": 0,
+                "ring_updates": 0}
 
     @property
     def address(self) -> str:
         """The ring's comma-joined spec form."""
         return format_ring(self.addresses)
 
-    # -- shard bookkeeping ---------------------------------------------
-    def _live(self, member: str):
-        """This member's client, or ``None`` when it is marked dead."""
-        if member in self._dead:
-            return None
+    # -- member health -------------------------------------------------
+    @staticmethod
+    def _now() -> float:
+        return time.monotonic()
+
+    def _drop_client(self, member: str) -> None:
+        client = self._clients.pop(member, None)
+        if client is not None:
+            try:
+                client.close()
+            except ReproError:
+                pass
+
+    def _open_breaker(self, member: str) -> None:
+        self._drop_client(member)
+        breaker = self._breakers.get(member)
+        if breaker is None:
+            self._breakers[member] = _Breaker(self._breaker_base,
+                                              self._now())
+        else:
+            breaker.trip_again(self._breaker_cap, BREAKER_JITTER,
+                               self._now(), self._rng)
+
+    def _dial(self, member: str):
         client = self._clients.get(member)
         if client is None:
             from repro.core.cache_server import CacheClient
@@ -233,111 +389,234 @@ class ShardedCacheClient:
             try:
                 client = CacheClient(member, **self._kwargs)
             except ReproError:
-                self._mark_dead(member)
+                self._open_breaker(member)
                 return None
             self._clients[member] = client
         return client
 
-    def _mark_dead(self, member: str) -> None:
-        client = self._clients.pop(member, None)
-        self._dead.add(member)
-        if client is not None:
+    def _live(self, member: str):
+        """This member's client, or ``None`` while its breaker holds.
+
+        An expired breaker goes half-open: one ``ping`` probe decides
+        between full recovery and a longer backoff.
+        """
+        breaker = self._breakers.get(member)
+        if breaker is not None:
+            if self._now() < breaker.next_probe:
+                return None
+            self.counters["breaker_probes"] += 1
+            client = self._dial(member)
+            if client is None:
+                return None
             try:
-                client.close()
+                client.ping()
             except ReproError:
-                pass
+                self._open_breaker(member)
+                return None
+            del self._breakers[member]
+            self.counters["breaker_recoveries"] += 1
+            return client
+        return self._dial(member)
+
+    def _attempt(self, member: str, op: str, *args, **kwargs):
+        """One op against *member* with bounded retries.
+
+        Returns ``(ok, result)``.  The first failure drops the
+        (possibly desynced) connection and retries on a fresh dial;
+        exhausting the budget opens the member's breaker.  Never
+        raises — per-shard failures are the caller's misses.
+        """
+        for attempt in range(self._request_retries):
+            client = self._live(member)
+            if client is None:
+                return (False, None)
+            try:
+                return (True, getattr(client, op)(*args, **kwargs))
+            except CacheError:
+                self._drop_client(member)
+                if attempt + 1 >= self._request_retries:
+                    self._open_breaker(member)
+                else:
+                    self.counters["retries"] += 1
+        return (False, None)
 
     def _require_any_alive(self) -> None:
-        if len(self._dead) >= len(self.addresses):
-            raise CacheError(
+        if all(member in self._breakers for member in self.addresses):
+            raise CacheRetryExhausted(
                 f"every shard of the cache ring "
                 f"{format_ring(self.addresses)!r} is unreachable")
 
     @property
     def dead_shards(self) -> Tuple[str, ...]:
-        """Addresses this client has given up on (fail-open per shard)."""
-        return tuple(m for m in self.addresses if m in self._dead)
+        """Members whose breaker is currently open (fail-open per
+        shard; each is re-probed on its backoff schedule)."""
+        return tuple(m for m in self.addresses if m in self._breakers)
+
+    # -- ring epoch adoption -------------------------------------------
+    def _maybe_refresh_ring(self) -> None:
+        if self._ring_refresh <= 0:
+            return
+        now = self._now()
+        if now - self._last_refresh < self._ring_refresh:
+            return
+        self._last_refresh = now
+        self.refresh_ring()
+
+    def refresh_ring(self) -> bool:
+        """Poll the first live member for its (members, epoch) map and
+        adopt it when newer.  Returns whether a member answered."""
+        for member in self.addresses:
+            client = self._live(member)
+            if client is None:
+                continue
+            try:
+                members, epoch = client.ring()
+            except CacheError:
+                # an error reply (or a bad frame) is not evidence the
+                # member is down — drop the connection, don't breaker
+                self._drop_client(member)
+                continue
+            if members:
+                self._adopt_ring(members, epoch)
+            return True
+        return False
+
+    def _adopt_ring(self, members, epoch: int) -> bool:
+        """Switch to a newer (members, epoch) map; stale epochs are
+        ignored so racing updates converge on the newest."""
+        members = parse_ring(members)
+        if int(epoch) <= self.epoch:
+            return False
+        old = set(self.addresses)
+        self.epoch = int(epoch)
+        self.addresses = members
+        self.ring = ShardRing(members)
+        for gone in old - set(members):
+            self._drop_client(gone)
+            self._breakers.pop(gone, None)
+        # the new map is fresh evidence: give breakered members an
+        # immediate probe instead of waiting out their backoff
+        now = self._now()
+        for breaker in self._breakers.values():
+            breaker.next_probe = now
+        self.counters["ring_updates"] += 1
+        return True
 
     # -- routed cache operations ---------------------------------------
     def get(self, layer: str, key: tuple):
-        member = self.ring.owner(layer, key)
-        client = self._live(member)
-        if client is not None:
-            try:
-                return client.get(layer, key)
-            except CacheError:
-                self._mark_dead(member)
+        self._maybe_refresh_ring()
+        owners = self.ring.owners(layer, key, self.replication)
+        primary_reply = None
+        for role, member in enumerate(owners):
+            ok, reply = self._attempt(member, "get", layer, key)
+            if not ok:
+                continue
+            if reply[0]:
+                if role > 0:
+                    self.counters["replica_hits"] += 1
+                    self._read_repair(layer, [(key, reply[1])],
+                                      owners[:role])
+                return reply
+            if role == 0:
+                primary_reply = reply
         self._require_any_alive()
-        return (False, None, 0.0)
+        return primary_reply if primary_reply is not None \
+            else (False, None, 0.0)
+
+    def _read_repair(self, layer: str, hits, targets) -> None:
+        """Re-warm earlier (missed or dead) owners with replica hits.
+        Best-effort: a failed repair is just a future replica hit."""
+        entries = [(layer, key, value) for key, value in hits]
+        for member in targets:
+            ok, _ = self._attempt(member, "put_many", entries)
+            if ok:
+                self.counters["read_repairs"] += len(entries)
 
     def get_many(self, layer: str, keys: Sequence[tuple]):
-        by_member: Dict[str, list] = {}
-        for key in keys:
-            by_member.setdefault(self.ring.owner(layer, key),
-                                 []).append(key)
+        self._maybe_refresh_ring()
+        pending = list(keys)
+        rf = self.replication
+        owners_of = {key: self.ring.owners(layer, key, rf)
+                     for key in pending}
         found: dict = {}
         windows: dict = {}
-        for member, member_keys in by_member.items():
-            client = self._live(member)
-            if client is None:
-                continue
-            try:
-                member_found, member_windows = client.get_many(
-                    layer, member_keys)
-            except CacheError:
-                self._mark_dead(member)
-                continue
-            found.update(member_found)
-            windows.update(member_windows)
+        for role in range(rf):
+            if not pending:
+                break
+            by_member: Dict[str, list] = {}
+            for key in pending:
+                owners = owners_of[key]
+                if role < len(owners):
+                    by_member.setdefault(owners[role], []).append(key)
+            still_missing: list = []
+            repairs: Dict[str, list] = {}
+            for member, member_keys in by_member.items():
+                ok, reply = self._attempt(member, "get_many", layer,
+                                          member_keys)
+                if not ok:
+                    still_missing.extend(member_keys)
+                    continue
+                member_found, member_windows = reply
+                for key in member_keys:
+                    if key in member_found:
+                        found[key] = member_found[key]
+                        if role > 0:
+                            self.counters["replica_hits"] += 1
+                            for earlier in owners_of[key][:role]:
+                                repairs.setdefault(earlier, []).append(
+                                    (key, member_found[key]))
+                    else:
+                        if key in member_windows:
+                            windows.setdefault(key,
+                                               member_windows[key])
+                        still_missing.append(key)
+            for member, hits in repairs.items():
+                self._read_repair(layer, hits, (member,))
+            pending = still_missing
         self._require_any_alive()
+        windows = {key: window for key, window in windows.items()
+                   if key not in found}
         return (found, windows)
 
     def put(self, layer: str, key: tuple, value: object) -> int:
-        member = self.ring.owner(layer, key)
-        client = self._live(member)
-        if client is not None:
-            try:
-                return client.put(layer, key, value)
-            except CacheError:
-                self._mark_dead(member)
+        self._maybe_refresh_ring()
+        owners = self.ring.owners(layer, key, self.replication)
+        adopted = 0
+        for role, member in enumerate(owners):
+            ok, result = self._attempt(member, "put", layer, key, value)
+            if ok and role == 0:
+                adopted = result
         self._require_any_alive()
-        return 0
+        return adopted
 
     def put_many(self, entries) -> int:
-        by_member: Dict[str, list] = {}
+        self._maybe_refresh_ring()
+        by_role_member: Dict[Tuple[int, str], list] = {}
         for entry in entries:
             layer, key = entry[0], entry[1]
-            by_member.setdefault(self.ring.owner(layer, key),
-                                 []).append(entry)
+            owners = self.ring.owners(layer, key, self.replication)
+            for role, member in enumerate(owners):
+                by_role_member.setdefault((role, member),
+                                          []).append(entry)
         adopted = 0
-        for member, member_entries in by_member.items():
-            client = self._live(member)
-            if client is None:
-                continue
-            try:
-                adopted += client.put_many(member_entries)
-            except CacheError:
-                self._mark_dead(member)
+        for (role, member), member_entries in by_role_member.items():
+            ok, result = self._attempt(member, "put_many",
+                                       member_entries)
+            if ok and role == 0:
+                adopted += result
         self._require_any_alive()
         return adopted
 
     # -- fleet operations ----------------------------------------------
     def ping(self) -> None:
         """Liveness check: succeeds while at least one shard answers."""
-        error: Optional[CacheError] = None
         alive = 0
         for member in self.addresses:
-            client = self._live(member)
-            if client is None:
-                continue
-            try:
-                client.ping()
+            ok, _ = self._attempt(member, "ping")
+            if ok:
                 alive += 1
-            except CacheError as exc:
-                error = exc
-                self._mark_dead(member)
         if not alive:
-            raise error if error is not None else CacheError(
+            raise CacheRetryExhausted(
                 f"every shard of the cache ring "
                 f"{format_ring(self.addresses)!r} is unreachable")
 
@@ -346,14 +625,8 @@ class ShardedCacheClient:
         per_shard: Dict[str, object] = {}
         totals: Dict[str, float] = {}
         for member in self.addresses:
-            client = self._live(member)
-            row = None
-            if client is not None:
-                try:
-                    row = client.stats()
-                except CacheError:
-                    self._mark_dead(member)
-            per_shard[member] = row
+            ok, row = self._attempt(member, "stats")
+            per_shard[member] = row if ok else None
             if isinstance(row, dict):
                 for name, value in row.items():
                     if isinstance(value, (int, float)) \
@@ -364,34 +637,23 @@ class ShardedCacheClient:
             totals["hit_rate"] = totals.get("hits", 0) / totals["gets"]
         totals["shards"] = per_shard
         totals["ring"] = list(self.addresses)
+        totals["ring_epoch"] = self.epoch
+        totals["client"] = dict(self.counters)
         return totals
 
     def flush(self) -> List[Optional[str]]:
         """Force a write-behind flush on every live shard."""
         paths: List[Optional[str]] = []
         for member in self.addresses:
-            client = self._live(member)
-            if client is None:
-                paths.append(None)
-                continue
-            try:
-                paths.append(client.flush())
-            except CacheError:
-                self._mark_dead(member)
-                paths.append(None)
+            ok, path = self._attempt(member, "flush")
+            paths.append(path if ok else None)
         self._require_any_alive()
         return paths
 
     def shutdown(self) -> None:
         """Ask every live shard to stop."""
         for member in self.addresses:
-            client = self._live(member)
-            if client is None:
-                continue
-            try:
-                client.shutdown()
-            except CacheError:
-                self._mark_dead(member)
+            self._attempt(member, "shutdown")
 
     # -- jobs: first live shard in ring order --------------------------
     def _job_client(self):
@@ -411,8 +673,8 @@ class ShardedCacheClient:
                                          **options)
             except CacheError as exc:
                 error = exc
-                self._mark_dead(member)
-        raise error if error is not None else CacheError(
+                self._open_breaker(member)
+        raise error if error is not None else CacheRetryExhausted(
             f"every shard of the cache ring "
             f"{format_ring(self.addresses)!r} is unreachable")
 
@@ -425,8 +687,8 @@ class ShardedCacheClient:
                                              latency_bound, **options)
             except CacheError as exc:
                 error = exc
-                self._mark_dead(member)
-        raise error if error is not None else CacheError(
+                self._open_breaker(member)
+        raise error if error is not None else CacheRetryExhausted(
             f"every shard of the cache ring "
             f"{format_ring(self.addresses)!r} is unreachable")
 
@@ -440,11 +702,14 @@ class ShardedCacheClient:
 
     def __getstate__(self):
         """Pickle without live connections: the copy re-dials each
-        shard lazily, and gives shards this client marked dead a fresh
-        chance (the mark reflects *this* process's connectivity)."""
+        shard lazily, gives breakered members a fresh chance (the
+        breaker reflects *this* process's connectivity), and starts
+        its own counters."""
         state = self.__dict__.copy()
         state["_clients"] = {}
-        state["_dead"] = set()
+        state["_breakers"] = {}
+        state["_rng"] = random.Random()
+        state["counters"] = self._fresh_counters()
         return state
 
     def __enter__(self) -> "ShardedCacheClient":
@@ -455,15 +720,150 @@ class ShardedCacheClient:
 
 
 # ----------------------------------------------------------------------
+# live ring membership
+# ----------------------------------------------------------------------
+def _control_client(address: str, **kwargs):
+    from repro.core.cache_server import CacheClient
+
+    return CacheClient(address, **kwargs)
+
+
+def ring_status(spec, **kwargs) -> Tuple[Tuple[str, ...], int]:
+    """The ``(members, epoch)`` map of the first reachable member of
+    *spec*.  An unsharded server answers as a one-member ring at its
+    own epoch (0 unless it has adopted an update)."""
+    addresses = parse_ring(spec)
+    error: Optional[CacheError] = None
+    for member in addresses:
+        try:
+            client = _control_client(member, **kwargs)
+            try:
+                members, epoch = client.ring()
+            finally:
+                client.close()
+        except CacheError as exc:
+            error = exc
+            continue
+        if not members:
+            return ((member,), int(epoch))
+        return (parse_ring(members), int(epoch))
+    raise error if error is not None else CacheError(
+        f"no member of {format_ring(addresses)!r} is reachable")
+
+
+def broadcast_ring_update(targets, members, epoch: int,
+                          **kwargs) -> int:
+    """Best-effort ``ring_update`` to every *target*; returns how many
+    acknowledged.  A target that is down simply misses the broadcast —
+    it re-learns the map from the next update or operator action."""
+    acked = 0
+    for target in parse_ring(targets):
+        try:
+            client = _control_client(target, **kwargs)
+            try:
+                client.ring_update(members, epoch)
+                acked += 1
+            finally:
+                client.close()
+        except CacheError:
+            continue
+    return acked
+
+
+def join_member(ring_spec, new_address: str, *,
+                replication: int = DEFAULT_REPLICATION,
+                **kwargs) -> Tuple[Tuple[str, ...], int, int]:
+    """Add *new_address* (an already-listening server) to a running
+    ring.
+
+    Warm-pulls the joiner's owned key ranges from the previous owners
+    **before** broadcasting the new map, so the member starts serving
+    warm; then bumps the epoch and broadcasts ``ring_update`` to every
+    member (including the joiner).  Re-joining an address that is
+    already in the map re-warms it and re-broadcasts — the path a
+    restarted member takes.  Returns ``(members, epoch, pulled)``.
+    """
+    old_members, epoch = ring_status(ring_spec, **kwargs)
+    if new_address in old_members:
+        new_members = old_members
+    else:
+        new_members = old_members + (new_address,)
+    new_epoch = int(epoch) + 1
+    ring = ShardRing(new_members)
+    new_index = new_members.index(new_address)
+    rf = max(1, min(int(replication), len(new_members)))
+
+    pulled = 0
+    donors = [m for m in old_members if m != new_address]
+    if donors:
+        try:
+            joiner = _control_client(new_address, **kwargs)
+        except CacheError:
+            joiner = None
+        if joiner is not None:
+            try:
+                for donor in donors:
+                    try:
+                        client = _control_client(donor, **kwargs)
+                        try:
+                            layers = client.pull_owned(
+                                new_members, new_index, rf)
+                        finally:
+                            client.close()
+                    except CacheError:
+                        continue
+                    entries = [(name, key, value)
+                               for name, rows in layers.items()
+                               for key, value in rows]
+                    for start in range(0, len(entries), PULL_CHUNK):
+                        chunk = entries[start:start + PULL_CHUNK]
+                        try:
+                            pulled += joiner.put_many(chunk)
+                        except CacheError:
+                            break
+            finally:
+                joiner.close()
+
+    broadcast_ring_update(new_members, new_members, new_epoch, **kwargs)
+    return (new_members, new_epoch, pulled)
+
+
+def leave_member(ring_spec, address: str,
+                 **kwargs) -> Tuple[Tuple[str, ...], int]:
+    """Remove *address* from a running ring.
+
+    Bumps the epoch and broadcasts the survivor map to every old
+    member — including the leaver, best-effort, so a still-running
+    leaver stops advertising itself.  Only the leaver's key ranges
+    remap (the consistent-hashing property); their replicas already
+    live on the successors.  Returns ``(members, epoch)``.
+    """
+    old_members, epoch = ring_status(ring_spec, **kwargs)
+    survivors = tuple(m for m in old_members if m != address)
+    if not survivors:
+        raise CacheError(
+            f"cannot remove {address!r}: it is the last ring member")
+    if len(survivors) == len(old_members):
+        raise CacheError(
+            f"{address!r} is not a member of "
+            f"{format_ring(old_members)!r}")
+    new_epoch = int(epoch) + 1
+    broadcast_ring_update(old_members, survivors, new_epoch, **kwargs)
+    return (survivors, new_epoch)
+
+
+# ----------------------------------------------------------------------
 # local rings
 # ----------------------------------------------------------------------
 class ShardRingHandle:
     """A locally spawned ring of cache servers, stopped as one."""
 
-    def __init__(self, servers, owns_directory: Optional[str] = None):
+    def __init__(self, servers, owns_directory: Optional[str] = None,
+                 spawn_kwargs: Optional[List[dict]] = None):
         self.servers = list(servers)
         self.addresses = tuple(server.address for server in self.servers)
         self._owns_directory = owns_directory
+        self._spawn_kwargs = spawn_kwargs
 
     @property
     def address(self) -> str:
@@ -475,6 +875,22 @@ class ShardRingHandle:
 
     def entry_counts(self) -> List[int]:
         return [server.entry_count() for server in self.servers]
+
+    def respawn(self, index: int):
+        """Restart the (stopped) member at slot *index* on its old
+        address with its original configuration — the test-harness
+        analogue of an operator restarting a crashed shard.  The new
+        process starts cold and map-less; re-admit it with
+        :func:`join_member` to warm-pull and re-broadcast."""
+        from repro.core.cache_server import CacheServer
+
+        old = self.servers[index]
+        kwargs = dict(self._spawn_kwargs[index]) \
+            if self._spawn_kwargs else {}
+        server = CacheServer(old.address, **kwargs)
+        server.start()
+        self.servers[index] = server
+        return server
 
     def stop(self) -> None:
         for server in self.servers:
@@ -533,13 +949,14 @@ def start_shard_ring(shards: int, *, address: Optional[str] = None,
     """Start *shards* local cache servers as one consistent-hash ring.
 
     Every server learns the full ring map (served in ``hello`` acks and
-    through the ``shard_map`` request) and its own position, keeps its
-    own LRU budget, and — when *snapshot_dir* is given — write-behind
-    flushes its partition to ``<snapshot>.shard<i>``.  *batch_window*
-    (seconds) enables per-shard RPC batch aggregation: each member
-    windows its own ``evaluate_batch`` traffic independently, since
-    jobs never cross shards.  Extra keyword arguments are forwarded to
-    every :class:`~repro.core.cache_server.CacheServer`.
+    through the ``shard_map`` / ``ring`` requests) at ring epoch 1, and
+    its own position; keeps its own LRU budget; and — when
+    *snapshot_dir* is given — write-behind flushes its partition to
+    ``<snapshot>.shard<i>``.  *batch_window* (seconds) enables
+    per-shard RPC batch aggregation: each member windows its own
+    ``evaluate_batch`` traffic independently, since jobs never cross
+    shards.  Extra keyword arguments are forwarded to every
+    :class:`~repro.core.cache_server.CacheServer`.
     """
     if shards < 1:
         raise CacheError(f"shard count must be positive, got {shards}")
@@ -548,6 +965,7 @@ def start_shard_ring(shards: int, *, address: Optional[str] = None,
 
     addresses, owned_dir = _shard_addresses(shards, address)
     servers = []
+    spawn_kwargs: List[dict] = []
     try:
         for index, shard_address in enumerate(addresses):
             kwargs = dict(server_kwargs)
@@ -556,10 +974,12 @@ def start_shard_ring(shards: int, *, address: Optional[str] = None,
                     "snapshot_path",
                     cache_store.snapshot_path(snapshot_dir)
                     + f".shard{index}")
-            server = CacheServer(shard_address, auth_token=auth_token,
-                                 batch_window=batch_window, **kwargs)
+            kwargs["auth_token"] = auth_token
+            kwargs["batch_window"] = batch_window
+            server = CacheServer(shard_address, **kwargs)
             server.start()
             servers.append(server)
+            spawn_kwargs.append(kwargs)
         bound = tuple(server.address for server in servers)
         for index, server in enumerate(servers):
             # visible to the event loop before any client can connect
@@ -567,10 +987,11 @@ def start_shard_ring(shards: int, *, address: Optional[str] = None,
             # handle returned below)
             server.shard_map = bound
             server.shard_index = index
+            server.ring_epoch = 1
     except ReproError:
         for server in servers:
             server.stop()
         if owned_dir:
             shutil.rmtree(owned_dir, ignore_errors=True)
         raise
-    return ShardRingHandle(servers, owned_dir)
+    return ShardRingHandle(servers, owned_dir, spawn_kwargs)

@@ -1,0 +1,12 @@
+"""Test-support utilities that ship with the library.
+
+:mod:`repro.testing.chaos` is the fault-injection harness for the
+cache service: a frame-aware proxy that injects drops, delays,
+truncated frames, and mid-stream disconnects between a client and a
+server, so the failover paths of the sharded tier can be exercised
+deterministically instead of waiting for real faults.
+"""
+
+from repro.testing.chaos import ChaosPolicy, ChaosProxy
+
+__all__ = ["ChaosPolicy", "ChaosProxy"]

@@ -7,6 +7,8 @@ every supported (transport, encoding, auth) combination:
 * AF_UNIX + pickle (the legacy no-handshake peer),
 * AF_UNIX + json, with and without an auth token (unix transports
   never require one, but a client that offers one must still work),
+* abstract-namespace AF_UNIX + json (``unix-abstract://`` — no
+  socket file on disk, so no stale-file reclaim either),
 * TCP + json with the mandatory token.
 
 Each combination must behave identically: same results as a local
@@ -23,6 +25,8 @@ designs are byte-identical to local across all three
 transport/encoding combinations, windowed or not.
 """
 
+import itertools
+import os
 import socket
 
 import pytest
@@ -47,8 +51,12 @@ MATRIX = [
     ("unix-pickle", "unix", "pickle", None, None),
     ("unix-json", "unix", "json", None, None),
     ("unix-json-token", "unix", "json", TOKEN, None),
+    ("abstract-json", "abstract", "json", None, None),
     ("tcp-json-token", "tcp", "json", TOKEN, TOKEN),
 ]
+
+#: Abstract-namespace names are machine-global; make each rig's unique.
+_ABSTRACT_IDS = itertools.count()
 
 
 class Rig:
@@ -69,6 +77,9 @@ def _make_rig(tmp_path_factory, transport, encoding, client_token,
               server_token, **server_kwargs):
     if transport == "tcp":
         address = "tcp://127.0.0.1:0"
+    elif transport == "abstract":
+        address = (f"unix-abstract://repro-conformance-{os.getpid()}"
+                   f"-{next(_ABSTRACT_IDS)}")
     else:
         address = str(tmp_path_factory.mktemp("conformance")
                       / "cache.sock")
@@ -216,7 +227,7 @@ class TestLegacyPeer:
     def test_version_2_peer_is_cleanly_rejected(self, json_rig):
         raw = self._raw_connect(json_rig.server)
         try:
-            _send_frame(raw, ("hello", PROTOCOL_VERSION - 1, "json",
+            _send_frame(raw, ("hello", PROTOCOL_VERSION - 2, "json",
                               json_rig.auth_token or ""),
                         encoding="json")
             reply = _recv_frame(raw, encoding="json")
@@ -227,6 +238,33 @@ class TestLegacyPeer:
         # the rejection left the server fully serviceable
         with json_rig.client() as client:
             client.ping()
+
+    def test_version_3_peer_is_still_served(self, json_rig):
+        """A pre-replication peer handshakes at version 3 and gets the
+        version-3 contract back: a 4-tuple ack with no ring-epoch
+        field, pongs echoing 3, and working puts/gets — epoch fields
+        never leak into its stream."""
+        raw = self._raw_connect(json_rig.server)
+        key = (("legacy-v3",), "k", 1)
+        try:
+            _send_frame(raw, ("hello", 3, "json",
+                              json_rig.auth_token or ""),
+                        encoding="json")
+            status, ack = _recv_frame(raw, encoding="json")
+            assert status == "ok"
+            assert ack == ("hello", 3, "json", None)  # no 5th field
+            _send_frame(raw, ("ping",), encoding="json")
+            assert _recv_frame(raw, encoding="json") \
+                == ("ok", ("pong", 3))
+            _send_frame(raw, ("put", "density", key, "v"),
+                        encoding="json")
+            assert _recv_frame(raw, encoding="json") == ("ok", 1)
+            _send_frame(raw, ("get", "density", key), encoding="json")
+            status, (hit, value, _age) = _recv_frame(raw,
+                                                     encoding="json")
+            assert (status, hit, value) == ("ok", True, "v")
+        finally:
+            raw.close()
 
     def test_future_version_peer_is_cleanly_rejected(self, json_rig):
         raw = self._raw_connect(json_rig.server)
@@ -240,19 +278,79 @@ class TestLegacyPeer:
             raw.close()
 
     def test_pickle_peer_is_transport_gated(self, json_rig):
-        """The no-handshake pickle peer is a unix-only privilege: the
-        same raw frame that works on AF_UNIX is refused on TCP."""
+        """The no-handshake pickle peer is a pathname-AF_UNIX-only
+        privilege: the same raw frame that works on a socket file is
+        refused on TCP *and* on the abstract namespace (which has no
+        filesystem permissions to lean on)."""
         raw = self._raw_connect(json_rig.server)
         try:
             _send_frame(raw, ("ping",), encoding="pickle")
-            if parse_address(json_rig.server.address)[0] == "tcp":
-                reply = _recv_frame(raw, encoding="json")
-                assert reply[0] == "error"
-            else:
+            if parse_address(json_rig.server.address)[0] == "unix":
                 reply = _recv_frame(raw, encoding="pickle")
                 assert reply == ("ok", ("pong", PROTOCOL_VERSION))
+            else:
+                reply = _recv_frame(raw, encoding="json")
+                assert reply[0] == "error"
         finally:
             raw.close()
+
+
+# ----------------------------------------------------------------------
+# versioned ring membership, identical over every matrix row
+# ----------------------------------------------------------------------
+class TestRingOps:
+    """PROTOCOL_VERSION 4's membership surface — ``ring`` /
+    ``ring_update`` / ``pull_owned`` — behaves identically on every
+    transport/encoding row.  Function-scoped rigs: these ops mutate
+    the server's ring state."""
+
+    @pytest.fixture(params=MATRIX, ids=[row[0] for row in MATRIX])
+    def fresh_rig(self, request, tmp_path_factory):
+        _id, transport, encoding, client_token, server_token = \
+            request.param
+        built = _make_rig(tmp_path_factory, transport, encoding,
+                          client_token, server_token)
+        yield built
+        built.server.stop()
+
+    def test_unsharded_server_reports_epoch_zero(self, fresh_rig):
+        with fresh_rig.client() as client:
+            assert client.ring() == (None, 0)
+            if fresh_rig.encoding == "json":
+                assert client.server_ring_epoch == 0
+
+    def test_ring_update_adopts_only_newer_epochs(self, fresh_rig):
+        server = fresh_rig.server
+        members = (server.address, "tcp://127.0.0.1:65000")
+        with fresh_rig.client() as client:
+            # a newer epoch is adopted; the server finds its own index
+            assert client.ring_update(members, 1) == (members, 1)
+            assert server.shard_index == 0
+            assert server.ring_epoch == 1
+            # stale offers are refused; the current map is echoed back
+            assert client.ring_update((server.address,), 1) \
+                == (members, 1)
+            assert client.ring_update(tuple(reversed(members)), 0) \
+                == (members, 1)
+            # handshaking clients learn the adopted epoch from the ack
+            if fresh_rig.encoding == "json":
+                with fresh_rig.client() as late:
+                    late.ping()
+                    assert late.server_ring_epoch == 1
+                    assert late.server_shard_map == members
+            # a leave that drops this server clears its shard index
+            survivors = ("tcp://127.0.0.1:65000",)
+            assert client.ring_update(survivors, 2) == (survivors, 2)
+            assert server.shard_index is None
+        assert server.stats.ring_updates == 2
+
+    def test_pull_owned_returns_the_owned_partition(self, fresh_rig):
+        key = (("pull", fresh_rig.encoding), "k", 1)
+        members = [fresh_rig.server.address]
+        with fresh_rig.client() as client:
+            client.put("density", key, "warm")
+            pulled = client.pull_owned(members, 0)
+        assert (key, "warm") in pulled["density"]
 
 
 # ----------------------------------------------------------------------

@@ -147,7 +147,8 @@ class TestShardRing:
 # ----------------------------------------------------------------------
 class TestShardedClient:
     def test_entries_spread_across_shards(self, ring):
-        with ShardedCacheClient(ring.addresses, timeout=10.0) as client:
+        with ShardedCacheClient(ring.addresses, timeout=10.0,
+                                replication=1) as client:
             for index in range(60):
                 client.put("density", (("g",), "k", index), index)
             counts = ring.entry_counts()
@@ -156,7 +157,8 @@ class TestShardedClient:
 
     def test_get_and_get_many_route_to_the_owner(self, ring):
         hash_ring = ring.ring()
-        with ShardedCacheClient(ring.addresses, timeout=10.0) as client:
+        with ShardedCacheClient(ring.addresses, timeout=10.0,
+                                replication=1) as client:
             keys = [(("g",), "k", index) for index in range(40)]
             for index, key in enumerate(keys):
                 client.put("density", key, index)
@@ -215,7 +217,8 @@ class TestShardedClient:
 
     def test_single_dead_shard_fails_open(self, ring):
         spread = _spread_keys(ring.addresses)
-        with ShardedCacheClient(ring.addresses, timeout=2.0) as client:
+        with ShardedCacheClient(ring.addresses, timeout=2.0,
+                                replication=1) as client:
             for member, keys in spread.items():
                 for key in keys:
                     client.put("density", key, member)
@@ -284,9 +287,11 @@ class TestServerNegativeWindows:
         *different* engine's round trip — impossible with client-local
         markers."""
         key = (("g",), "cold-everywhere")
-        with ShardedCacheClient(ring.addresses, timeout=10.0) as first:
+        with ShardedCacheClient(ring.addresses, timeout=10.0,
+                                replication=1) as first:
             assert first.get("density", key)[0] is False
-        with ShardedCacheClient(ring.addresses, timeout=10.0) as second:
+        with ShardedCacheClient(ring.addresses, timeout=10.0,
+                                replication=1) as second:
             found, _value, window = second.get("density", key)
             assert found is False and window > 0.0
         assert sum(server.stats.negative_hits
